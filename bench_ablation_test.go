@@ -1,0 +1,32 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// gap-statistic threshold vs fixed thresholds, the merge heuristic,
+// the cleaning pass, and the GA-ID-only association alternative —
+// plus a ground-truth accuracy evaluation the simulator makes
+// possible.
+package main
+
+import (
+	"testing"
+)
+
+func BenchmarkAblationClustering(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.AblationClustering()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report("Clustering ablation", out)
+		}
+	}
+}
+
+func BenchmarkClusteringAccuracy(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Clustering accuracy vs ground truth", s.ClusteringAccuracy())
+	}
+}

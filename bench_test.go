@@ -1,0 +1,260 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. The first benchmark to run builds the shared suite (two
+// full simulated-cloud campaigns + cartography + clustering, a few
+// minutes on one core); every benchmark then re-times its analysis and
+// prints the regenerated rows once.
+//
+//	go test -bench . -benchmem            # full suite
+//	WHOWAS_SCALE=4 go test -bench .       # 4x smaller clouds
+//	go test -bench BenchmarkTable7 -v
+//
+// EXPERIMENTS.md records how each output compares with the paper.
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"whowas/internal/experiments"
+)
+
+var printOnce sync.Map
+
+// report prints an experiment's regenerated output once per process.
+func report(id, output string) {
+	if _, loaded := printOnce.LoadOrStore(id, true); !loaded {
+		fmt.Printf("\n==== %s ====\n%s\n", id, output)
+	}
+}
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	s, err := experiments.Shared()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkSec4TimeoutExperiment(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.Sec4TimeoutExperiment(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report("§4 timeout experiment", out)
+		}
+	}
+}
+
+func BenchmarkTable2VPCPrefixes(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Table 2", s.Table2())
+	}
+}
+
+func BenchmarkTable3OpenPorts(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Table 3", s.Table3())
+	}
+}
+
+func BenchmarkTable4StatusCodes(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Table 4", s.Table4())
+	}
+}
+
+func BenchmarkTable5ContentTypes(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Table 5", s.Table5())
+	}
+}
+
+func BenchmarkTable6ClusteringSummary(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Table 6", s.Table6())
+	}
+}
+
+func BenchmarkTable7UsageSummary(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Table 7", s.Table7())
+	}
+}
+
+func BenchmarkFigure8UsageTimeSeries(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Figure 8", s.Figure8())
+	}
+}
+
+func BenchmarkFigure9ChurnTimeSeries(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Figure 9", s.Figure9())
+	}
+}
+
+func BenchmarkFigure10ClusterAvailability(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Figure 10", s.Figure10())
+	}
+}
+
+func BenchmarkTable11SizePatterns(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Table 11", s.Table11())
+	}
+}
+
+func BenchmarkFigure12UptimeCDF(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Figure 12", s.Figure12())
+	}
+}
+
+func BenchmarkFigure13VPCTimeSeries(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Figure 13", s.Figure13())
+	}
+}
+
+func BenchmarkFigure14VPCClusters(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Figure 14", s.Figure14())
+	}
+}
+
+func BenchmarkTable15TopClusters(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Table 15", s.Table15())
+	}
+}
+
+func BenchmarkSec81Extras(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("§8.1 extras", s.Sec81Extras())
+	}
+}
+
+func BenchmarkFigure16MaliciousLifetimes(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Figure 16", s.Figure16())
+	}
+}
+
+func BenchmarkTable17MaliciousByRegion(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Tables 17/18", s.Table17And18())
+	}
+}
+
+func BenchmarkTable18MaliciousDomains(b *testing.B) {
+	// Table 18 is produced by the same VirusTotal join as Table 17;
+	// this benchmark times the join in isolation.
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := s.Table17And18()
+		if i == 0 {
+			report("Table 18 (with 17)", out)
+		}
+	}
+}
+
+func BenchmarkFigure19DetectionLag(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Figure 19", s.Figure19())
+	}
+}
+
+func BenchmarkSec82ClusterExpansion(b *testing.B) {
+	// The expansion count is part of the Figure 19 output.
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := s.Figure19()
+		if i == 0 {
+			report("§8.2 cluster expansion", out)
+		}
+	}
+}
+
+func BenchmarkSec82Linchpins(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("§8.2 linchpins", s.Linchpins())
+	}
+}
+
+func BenchmarkSec83SoftwareCensus(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("§8.3 census", s.Sec83Census())
+	}
+}
+
+func BenchmarkTable20Trackers(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report("Table 20", s.Table20())
+	}
+}
+
+func BenchmarkBaselineDNSCoverage(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.BaselineComparison(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			report("DNS baseline", out)
+		}
+	}
+}

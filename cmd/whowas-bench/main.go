@@ -1,0 +1,87 @@
+// Command whowas-bench regenerates every table and figure of the
+// paper's evaluation over freshly simulated clouds and prints a
+// combined report. It drives the same experiment suite as the
+// testing.B benchmarks in bench_test.go.
+//
+// Usage:
+//
+//	whowas-bench                 # full suite at default scale
+//	whowas-bench -ec2-scale 256 -azure-scale 64
+//	whowas-bench -only table7,figure9
+//	WHOWAS_SCALE=4 whowas-bench  # shrink everything 4x
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"whowas/internal/experiments"
+)
+
+func main() {
+	var (
+		ec2Scale   = flag.Int("ec2-scale", 0, "EC2 scale divisor (default 128)")
+		azureScale = flag.Int("azure-scale", 0, "Azure scale divisor (default 32)")
+		seed       = flag.Int64("seed", 0, "simulation seed (default fixed)")
+		only       = flag.String("only", "", "comma-separated experiment IDs to print (default all)")
+		csvDir     = flag.String("csv", "", "also write each figure's data series as CSV into this directory")
+		quiet      = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := experiments.Options{EC2Scale: *ec2Scale, AzureScale: *azureScale, Seed: *seed}
+	if !*quiet {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[bench] "+format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	suite, err := experiments.Run(ctx, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "whowas-bench: %v\n", err)
+		os.Exit(1)
+	}
+	all, err := suite.All(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "whowas-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	for _, exp := range all {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		fmt.Printf("==== %s — %s ====\n%s\n", exp.ID, exp.Title, exp.Output)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "whowas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		for stem, data := range suite.FigureCSVs() {
+			path := filepath.Join(*csvDir, stem+".csv")
+			if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "whowas-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[bench] wrote %s\n", path)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[bench] suite completed in %s\n", time.Since(start))
+}

@@ -1,0 +1,167 @@
+// Command whowas-query answers the platform's headline question over a
+// collected store: "who was at this IP, and when?" It also prints the
+// aggregate tables the analysis engines produce.
+//
+// Usage:
+//
+//	whowas-query -store ec2.whowas -ip 54.0.3.17     # per-round history
+//	whowas-query -store ec2.whowas -summary          # Tables 3/4/5/7
+//	whowas-query -store ec2.whowas -census           # §8.3 census
+//	whowas-query -store ec2.whowas -trackers         # Table 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"whowas/internal/analysis"
+	"whowas/internal/ipaddr"
+	"whowas/internal/store"
+)
+
+func main() {
+	var (
+		storePath = flag.String("store", "", "path to a store written by whowas -out")
+		ip        = flag.String("ip", "", "IP address to look up")
+		clusterID = flag.Int64("cluster", 0, "cluster ID to inspect")
+		summary   = flag.Bool("summary", false, "print usage tables (3/4/5/7)")
+		census    = flag.Bool("census", false, "print the §8.3 software census")
+		trackers  = flag.Bool("trackers", false, "print the Table 20 tracker census")
+		jsonRound = flag.Int("json", -1, "export the given round as JSON to stdout")
+	)
+	flag.Parse()
+	if err := run(*storePath, *ip, *clusterID, *summary, *census, *trackers, *jsonRound); err != nil {
+		fmt.Fprintf(os.Stderr, "whowas-query: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(storePath, ip string, clusterID int64, summary, census, trackers bool, jsonRound int) error {
+	if storePath == "" {
+		return fmt.Errorf("-store is required")
+	}
+	f, err := os.Open(storePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := store.Load(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store: cloud=%s rounds=%d\n", st.CloudName, st.NumRounds())
+
+	did := false
+	if ip != "" {
+		did = true
+		addr, err := ipaddr.ParseAddr(ip)
+		if err != nil {
+			return err
+		}
+		if err := printHistory(st, addr); err != nil {
+			return err
+		}
+	}
+	if summary {
+		did = true
+		fmt.Println(analysis.Usage(st).Format(st.CloudName))
+		fmt.Println(analysis.Ports(st).Format(st.CloudName))
+		fmt.Println(analysis.Statuses(st).Format(st.CloudName))
+		fmt.Println(analysis.FormatContentTypes(st.CloudName, analysis.ContentTypes(st, 5)))
+	}
+	if census {
+		did = true
+		fmt.Println(analysis.Census(st).Format(st.CloudName))
+	}
+	if trackers {
+		did = true
+		fmt.Println(analysis.Trackers(st).Format(st.CloudName))
+	}
+	if clusterID != 0 {
+		did = true
+		printCluster(st, clusterID)
+	}
+	if jsonRound >= 0 {
+		did = true
+		if err := st.ExportJSON(os.Stdout, jsonRound); err != nil {
+			return err
+		}
+	}
+	if !did {
+		return fmt.Errorf("nothing to do: pass -ip, -cluster, -summary, -census, -trackers or -json")
+	}
+	return nil
+}
+
+// printCluster summarizes one cluster's footprint: per-round IP counts
+// and representative features.
+func printCluster(st *store.Store, id int64) {
+	type roundInfo struct {
+		day int
+		ips map[ipaddr.Addr]bool
+	}
+	rounds := map[int]*roundInfo{}
+	var sample *store.Record
+	total := map[ipaddr.Addr]bool{}
+	for _, r := range st.Rounds() {
+		r.Each(func(rec *store.Record) bool {
+			if rec.Cluster != id {
+				return true
+			}
+			ri := rounds[rec.Round]
+			if ri == nil {
+				ri = &roundInfo{day: rec.Day, ips: map[ipaddr.Addr]bool{}}
+				rounds[rec.Round] = ri
+			}
+			ri.ips[rec.IP] = true
+			total[rec.IP] = true
+			if sample == nil {
+				sample = rec
+			}
+			return true
+		})
+	}
+	if sample == nil {
+		fmt.Printf("cluster %d: not found\n", id)
+		return
+	}
+	fmt.Printf("cluster %d: title=%q server=%q template=%q ga=%q\n",
+		id, sample.Title, sample.Server, sample.Template, sample.AnalyticsID)
+	fmt.Printf("  %d unique IPs across %d rounds\n", len(total), len(rounds))
+	var order []int
+	for r := range rounds {
+		order = append(order, r)
+	}
+	sort.Ints(order)
+	for _, r := range order {
+		fmt.Printf("  round %2d (day %2d): %d IPs\n", r, rounds[r].day, len(rounds[r].ips))
+	}
+}
+
+func printHistory(st *store.Store, addr ipaddr.Addr) error {
+	hist := st.History(addr)
+	if len(hist) == 0 {
+		fmt.Printf("%s: never responsive during the campaign\n", addr)
+		return nil
+	}
+	fmt.Printf("history of %s (%d observations):\n", addr, len(hist))
+	fmt.Printf("  %-6s %-5s %-6s %-7s %-8s %-24s %-20s %s\n",
+		"round", "day", "ports", "status", "cluster", "simhash", "server", "title")
+	for _, rec := range hist {
+		ports := ""
+		if rec.OpenPorts&store.PortHTTP != 0 {
+			ports += "80 "
+		}
+		if rec.OpenPorts&store.PortHTTPS != 0 {
+			ports += "443 "
+		}
+		if rec.OpenPorts&store.PortSSH != 0 {
+			ports += "22"
+		}
+		fmt.Printf("  %-6d %-5d %-6s %-7d %-8d %-24s %-20.20s %.40s\n",
+			rec.Round, rec.Day, ports, rec.HTTPStatus, rec.Cluster, rec.Simhash, rec.Server, rec.Title)
+	}
+	return nil
+}

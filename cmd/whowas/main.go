@@ -1,0 +1,151 @@
+// Command whowas runs a WhoWas measurement campaign against a
+// simulated IaaS cloud (EC2- or Azure-like; see DESIGN.md for the
+// substitution rationale), then saves the round store for later
+// querying with whowas-query.
+//
+// Usage:
+//
+//	whowas -cloud ec2 -scale 256 -out ec2.whowas
+//	whowas -cloud azure -scale 64 -rounds 10 -cluster=false
+//
+// The campaign follows the paper's §6 schedule (a round every 3 days,
+// then daily for the final month) unless -rounds caps the round count.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"whowas/internal/carto"
+	"whowas/internal/cloudsim"
+	"whowas/internal/cluster"
+	"whowas/internal/core"
+	"whowas/internal/ipaddr"
+)
+
+func main() {
+	var (
+		cloudName = flag.String("cloud", "ec2", "cloud profile: ec2 or azure")
+		scale     = flag.Int("scale", 256, "address-space scale divisor (larger = smaller cloud)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		out       = flag.String("out", "", "write the collected store (gob) to this path")
+		maxRounds = flag.Int("rounds", 0, "cap the number of rounds (0 = full §6 schedule)")
+		doCluster = flag.Bool("cluster", true, "run the §5 clustering after collection")
+		doCarto   = flag.Bool("carto", true, "run the §5 VPC cartography (EC2 only)")
+		blacklist = flag.String("exclude", "", "comma-separated IPs to exclude from probing (opt-outs)")
+		quiet     = flag.Bool("q", false, "suppress per-round progress")
+	)
+	flag.Parse()
+
+	if err := run(*cloudName, *scale, *seed, *out, *maxRounds, *doCluster, *doCarto, *blacklist, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "whowas: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cloudName string, scale int, seed int64, out string, maxRounds int, doCluster, doCarto bool, exclude string, quiet bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var cfg cloudsim.Config
+	switch cloudName {
+	case "ec2":
+		cfg = cloudsim.DefaultEC2Config(scale, seed)
+	case "azure":
+		cfg = cloudsim.DefaultAzureConfig(scale, seed)
+	default:
+		return fmt.Errorf("unknown cloud %q (want ec2 or azure)", cloudName)
+	}
+
+	fmt.Printf("building %s-like cloud (%d probed IPs, %d-day campaign)...\n",
+		cloudName, totalIPs(cfg), cfg.Days)
+	p, err := core.NewPlatform(cfg)
+	if err != nil {
+		return err
+	}
+
+	camp := core.FastCampaign()
+	if maxRounds > 0 {
+		days := core.DefaultRoundSchedule(cfg.Days)
+		if maxRounds < len(days) {
+			days = days[:maxRounds]
+		}
+		camp.RoundDays = days
+	}
+	if exclude != "" {
+		set := ipaddr.NewSet()
+		for _, s := range splitComma(exclude) {
+			a, err := ipaddr.ParseAddr(s)
+			if err != nil {
+				return fmt.Errorf("bad -exclude entry: %w", err)
+			}
+			set.Add(a)
+		}
+		camp.Blacklist = set
+		fmt.Printf("excluding %d opted-out IPs\n", set.Len())
+	}
+	if !quiet {
+		camp.Progress = func(round, day, responsive int) {
+			fmt.Printf("  round %2d (day %2d): %d responsive IPs\n", round, day, responsive)
+		}
+	}
+
+	if err := p.RunCampaign(ctx, camp); err != nil {
+		return err
+	}
+	fmt.Printf("campaign complete: %d rounds collected\n", p.Store.NumRounds())
+
+	if doCarto && p.IsEC2Like() {
+		fmt.Println("running VPC cartography sweep...")
+		if err := p.RunCartography(ctx, carto.Config{Rate: 1e6}); err != nil {
+			return err
+		}
+		fmt.Printf("cartography: %d VPC /22 prefixes\n", p.CartoMap.VPCPrefixCount())
+	}
+	if doCluster {
+		fmt.Println("clustering <IP, round> records...")
+		if err := p.RunClustering(cluster.Config{}); err != nil {
+			return err
+		}
+		fmt.Printf("clusters: %d top-level, %d second-level, %d final (threshold %d)\n",
+			p.Clusters.TopLevel, p.Clusters.SecondLevel, p.Clusters.Final, p.Clusters.Threshold)
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := p.Store.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("store written to %s\n", out)
+	}
+	return nil
+}
+
+func totalIPs(cfg cloudsim.Config) int {
+	n := 0
+	for _, r := range cfg.Regions {
+		n += r.Prefixes22 * 1024
+	}
+	return n
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+// Churn study: reproduce the §8.1 cloud-usage-dynamics analysis on a
+// compact simulated EC2 — usage growth (Table 7 / Figure 8), IP status
+// churn (Figure 9), cluster size-change patterns (Table 11), and
+// intra-cluster IP uptime (Figure 12).
+//
+// Run with:
+//
+//	go run ./examples/churn-study
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"whowas/internal/analysis"
+	"whowas/internal/cloudsim"
+	"whowas/internal/cluster"
+	"whowas/internal/core"
+)
+
+func main() {
+	platform, err := core.NewPlatform(cloudsim.DefaultEC2Config(512, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper's full §6 schedule: every 3 days, then daily (51
+	// rounds over 93 days).
+	fmt.Println("running the full 51-round campaign (a minute or two)...")
+	if err := platform.RunCampaign(context.Background(), core.FastCampaign()); err != nil {
+		log.Fatal(err)
+	}
+	if err := platform.RunClustering(cluster.Config{}); err != nil {
+		log.Fatal(err)
+	}
+
+	st := platform.Store
+	fmt.Println()
+	fmt.Println(analysis.Usage(st).Format("ec2"))
+	fmt.Println(analysis.Churn(st).Format("ec2"))
+	fmt.Println(analysis.Sizes(platform.Clusters).Format("ec2"))
+	fmt.Println(analysis.SizePatterns(st, platform.Clusters, platform.Cloud.Days()).Format("ec2", 5))
+	fmt.Println(analysis.IPUptimes(platform.Clusters).Format("ec2"))
+	fmt.Println(analysis.FormatTopClusters("ec2",
+		analysis.TopClusters(platform.Clusters, 10, platform.Cloud.RegionOf)))
+}

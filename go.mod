@@ -1,0 +1,3 @@
+module whowas
+
+go 1.22

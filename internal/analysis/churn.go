@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"whowas/internal/ipaddr"
+	"whowas/internal/store"
+)
+
+// ChurnPoint is one round-to-round churn measurement (Figure 9).
+type ChurnPoint struct {
+	Round int // the later round T (compared against T-1)
+	Day   int
+	// Fractions of all probed IPs whose status changed (the paper's
+	// primary denominator).
+	Responsiveness float64 // responsive <-> unresponsive flips
+	Availability   float64 // available <-> unavailable flips
+	ClusterChange  float64 // IPs whose cluster assignment changed
+	Overall        float64 // any of the above
+	// Fractions relative to the unique IPs responsive in either round
+	// (the paper's secondary denominator: 11.9% EC2 / 12.2% Azure).
+	RelResponsiveness float64
+	RelAvailability   float64
+	RelClusterChange  float64
+	RelOverall        float64
+}
+
+// ChurnSummary aggregates the per-round series.
+type ChurnSummary struct {
+	Points []ChurnPoint
+	// Averages across rounds.
+	AvgResponsiveness, AvgAvailability, AvgClusterChange, AvgOverall             float64
+	AvgRelResponsiveness, AvgRelAvailability, AvgRelClusterChange, AvgRelOverall float64
+}
+
+// Churn computes the §8.1 IP-status churn between consecutive rounds.
+func Churn(st *store.Store) *ChurnSummary {
+	rounds := st.Rounds()
+	out := &ChurnSummary{}
+	for i := 1; i < len(rounds); i++ {
+		prev, cur := rounds[i-1], rounds[i]
+		probed := cur.Probed
+		if probed == 0 {
+			probed = prev.Probed
+		}
+		var respFlips, availFlips, clustFlips, anyFlips float64
+		// Union of IPs appearing in either round; IPs in neither are
+		// unresponsive both times and cannot have changed.
+		seen := map[ipaddr.Addr]bool{}
+		var uniqueResponsive float64
+		consider := func(rec *store.Record) {
+			ip := rec.IP
+			if seen[ip] {
+				return
+			}
+			seen[ip] = true
+			a := prev.Get(ip)
+			b := cur.Get(ip)
+			respA, respB := a != nil && a.Responsive(), b != nil && b.Responsive()
+			availA, availB := a != nil && a.Available(), b != nil && b.Available()
+			var clustA, clustB int64
+			if a != nil {
+				clustA = a.Cluster
+			}
+			if b != nil {
+				clustB = b.Cluster
+			}
+			if respA || respB {
+				uniqueResponsive++
+			}
+			changed := false
+			if respA != respB {
+				respFlips++
+				changed = true
+			}
+			if availA != availB {
+				availFlips++
+				changed = true
+			}
+			// Cluster change only counts when both rounds carry an
+			// assignment and they differ (an appearance/disappearance
+			// is already availability churn).
+			if clustA != 0 && clustB != 0 && clustA != clustB {
+				clustFlips++
+				changed = true
+			}
+			if changed {
+				anyFlips++
+			}
+		}
+		prev.Each(func(rec *store.Record) bool { consider(rec); return true })
+		cur.Each(func(rec *store.Record) bool { consider(rec); return true })
+
+		p := ChurnPoint{Round: cur.Index, Day: cur.Day}
+		if probed > 0 {
+			d := float64(probed)
+			p.Responsiveness = respFlips / d
+			p.Availability = availFlips / d
+			p.ClusterChange = clustFlips / d
+			p.Overall = anyFlips / d
+		}
+		if uniqueResponsive > 0 {
+			p.RelResponsiveness = respFlips / uniqueResponsive
+			p.RelAvailability = availFlips / uniqueResponsive
+			p.RelClusterChange = clustFlips / uniqueResponsive
+			p.RelOverall = anyFlips / uniqueResponsive
+		}
+		out.Points = append(out.Points, p)
+	}
+	n := float64(len(out.Points))
+	if n == 0 {
+		return out
+	}
+	for _, p := range out.Points {
+		out.AvgResponsiveness += p.Responsiveness / n
+		out.AvgAvailability += p.Availability / n
+		out.AvgClusterChange += p.ClusterChange / n
+		out.AvgOverall += p.Overall / n
+		out.AvgRelResponsiveness += p.RelResponsiveness / n
+		out.AvgRelAvailability += p.RelAvailability / n
+		out.AvgRelClusterChange += p.RelClusterChange / n
+		out.AvgRelOverall += p.RelOverall / n
+	}
+	return out
+}
+
+// Format renders the Figure 9 summary and series.
+func (c *ChurnSummary) Format(cloud string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 9 (%s): per-round status churn, %% of all probed IPs\n", cloud)
+	fmt.Fprintf(&sb, "  averages: responsiveness %.1f%%  availability %.1f%%  cluster %.2f%%  overall %.1f%%\n",
+		100*c.AvgResponsiveness, 100*c.AvgAvailability, 100*c.AvgClusterChange, 100*c.AvgOverall)
+	fmt.Fprintf(&sb, "  relative to responsive IPs: responsiveness %.1f%%  availability %.1f%%  cluster %.1f%%  overall %.1f%%\n",
+		100*c.AvgRelResponsiveness, 100*c.AvgRelAvailability, 100*c.AvgRelClusterChange, 100*c.AvgRelOverall)
+	fmt.Fprintf(&sb, "  %-6s %-5s %12s %12s\n", "round", "day", "resp-churn%", "avail-churn%")
+	for _, p := range c.Points {
+		fmt.Fprintf(&sb, "  %-6d %-5d %12.2f %12.2f\n", p.Round, p.Day, 100*p.Responsiveness, 100*p.Availability)
+	}
+	return sb.String()
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"whowas/internal/cluster"
+	"whowas/internal/store"
+)
+
+func TestDepartures(t *testing.T) {
+	res := &cluster.Result{Clusters: []*cluster.Cluster{
+		// Departs after round 1 (never returns from round 2 on).
+		mkCluster(1, map[int][]string{0: {"1.0.0.1", "1.0.0.2"}, 1: {"1.0.0.1", "1.0.0.2"}}),
+		// Alive through the final round: not a departure.
+		mkCluster(2, map[int][]string{0: {"2.0.0.1"}, 1: {"2.0.0.1"}, 2: {"2.0.0.1"}, 3: {"2.0.0.1"}}),
+		// Departs after round 0.
+		mkCluster(3, map[int][]string{0: {"3.0.0.1"}}),
+	}}
+	st := mkStore(t, 100, []int{0, 3, 6, 9}, [][]*store.Record{nil, nil, nil, nil})
+	events := Departures(st, res, 0)
+	byRound := map[int]DepartureEvent{}
+	for _, e := range events {
+		byRound[e.Round] = e
+	}
+	if e := byRound[2]; e.Clusters != 1 || e.IPs != 2 {
+		t.Errorf("round-2 departures = %+v", e)
+	}
+	if e := byRound[1]; e.Clusters != 1 || e.IPs != 1 {
+		t.Errorf("round-1 departures = %+v", e)
+	}
+	if e := byRound[3]; e.Clusters != 0 {
+		t.Errorf("round-3 departures = %+v", e)
+	}
+	// topN caps and sorts by batch size.
+	top := Departures(st, res, 1)
+	if len(top) != 1 || top[0].IPs != 2 {
+		t.Errorf("top departure = %+v", top)
+	}
+	if out := FormatDepartures("x", top); !strings.Contains(out, "never-return") {
+		t.Error("format broken")
+	}
+}

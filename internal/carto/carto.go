@@ -1,0 +1,145 @@
+// Package carto implements WhoWas's cloud cartography (§5): a one-time
+// DNS sweep that labels each public /22 prefix of an EC2-like cloud as
+// VPC or classic networking. For every sampled IP the sweep forms the
+// EC2-style public DNS name and interprets the internal resolver's
+// answer: an SOA means no active instance (classic by the paper's
+// rule), a public-IP answer means VPC, and a private-IP answer means
+// classic. A /22 becomes VPC when any sampled IP in it answers with a
+// public address.
+//
+// The resulting map is joined onto round records so every analysis can
+// split by networking type (Figures 13 and 14, Table 2).
+package carto
+
+import (
+	"context"
+	"fmt"
+
+	"whowas/internal/dnssim"
+	"whowas/internal/ipaddr"
+	"whowas/internal/ratelimit"
+	"whowas/internal/store"
+)
+
+// Map labels /22 prefixes as VPC or classic.
+type Map struct {
+	vpc map[ipaddr.Addr]bool // keyed by /22 network address
+}
+
+// IsVPC reports whether an address lies in a VPC-labeled /22.
+func (m *Map) IsVPC(a ipaddr.Addr) bool {
+	return m != nil && m.vpc[a.Prefix22().Addr]
+}
+
+// VPCPrefixCount returns the number of VPC-labeled /22s.
+func (m *Map) VPCPrefixCount() int {
+	n := 0
+	for _, v := range m.vpc {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// CountByRegion tallies VPC /22 prefixes per region (Table 2's left
+// column). regionOf maps a prefix's network address to its region.
+func (m *Map) CountByRegion(regionOf func(ipaddr.Addr) string) map[string]int {
+	out := map[string]int{}
+	for p, v := range m.vpc {
+		if v {
+			out[regionOf(p)]++
+		}
+	}
+	return out
+}
+
+// Apply writes the VPC label into every record of every round.
+func (m *Map) Apply(st *store.Store) {
+	for _, round := range st.Rounds() {
+		round.Each(func(rec *store.Record) bool {
+			rec.VPC = m.IsVPC(rec.IP)
+			return true
+		})
+	}
+}
+
+// Config tunes the sweep.
+type Config struct {
+	// SamplePerPrefix is how many addresses of each /22 are queried
+	// (default 48; one public-IP answer suffices to label the prefix,
+	// and at default utilization a /22 holds ~240 bound IPs).
+	SamplePerPrefix int
+	// Rate caps DNS queries per second ("a suitably low rate limit",
+	// §5; default 100).
+	Rate float64
+	// Clock feeds the rate limiter (nil = wall clock).
+	Clock ratelimit.Clock
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.SamplePerPrefix <= 0 {
+		out.SamplePerPrefix = 48
+	}
+	if out.Rate <= 0 {
+		out.Rate = 100
+	}
+	return out
+}
+
+// Sweep performs the cartography measurement over every /22 in ranges,
+// querying through the resolver.
+func Sweep(ctx context.Context, resolver *dnssim.Resolver, ranges *ipaddr.RangeList, regionOf func(ipaddr.Addr) string, cfg Config) (*Map, error) {
+	cfg = cfg.withDefaults()
+	limiter, err := ratelimit.NewWithClock(cfg.Rate, 10, cfg.Clock)
+	if err != nil {
+		return nil, fmt.Errorf("carto: %w", err)
+	}
+	m := &Map{vpc: make(map[ipaddr.Addr]bool)}
+	for _, prefix := range ranges.Prefixes() {
+		first := prefix.First() &^ 0x3ff
+		last := prefix.Last() &^ 0x3ff
+		for p22 := first; ; p22 += 1024 {
+			if _, seen := m.vpc[p22]; !seen {
+				vpc, err := sweepPrefix(ctx, resolver, limiter, p22, regionOf, cfg.SamplePerPrefix)
+				if err != nil {
+					return nil, err
+				}
+				m.vpc[p22] = vpc
+			}
+			if p22 == last {
+				break
+			}
+		}
+	}
+	return m, nil
+}
+
+// sweepPrefix samples addresses of one /22 and reports whether any
+// resolves as VPC. Samples spread evenly across the block so clustered
+// allocations are still hit.
+func sweepPrefix(ctx context.Context, resolver *dnssim.Resolver, limiter *ratelimit.Limiter, p22 ipaddr.Addr, regionOf func(ipaddr.Addr) string, samples int) (bool, error) {
+	if samples > 1024 {
+		samples = 1024
+	}
+	step := 1024 / samples
+	if step < 1 {
+		step = 1
+	}
+	region := regionOf(p22)
+	for i := 0; i < samples; i++ {
+		if err := limiter.Wait(ctx); err != nil {
+			return false, err
+		}
+		ip := p22 + ipaddr.Addr(i*step)
+		resp, err := resolver.LookupPublicName(dnssim.PublicName(ip, region))
+		if err != nil {
+			return false, fmt.Errorf("carto: %w", err)
+		}
+		if resp.Type == dnssim.PublicA {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,467 @@
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"whowas/internal/ipaddr"
+	"whowas/internal/websim"
+)
+
+// Cloud is a fully materialized simulated IaaS cloud: a ground-truth
+// timeline of every public IP's state across the campaign. It is
+// immutable after New, so the network, DNS and blacklist simulators
+// can share it concurrently.
+type Cloud struct {
+	cfg      Config
+	space    *addressSpace
+	services []*Service
+	byID     map[uint64]*Service
+	days     []daySnapshot
+}
+
+// daySnapshot holds the bindings for one day, sorted by address for
+// binary-search lookup.
+type daySnapshot struct {
+	addrs    []ipaddr.Addr
+	bindings []bindingVal
+}
+
+type bindingVal struct {
+	svcID uint32 // 0 = background (non-web) instance
+	ports PortProfile
+}
+
+// IPState is the ground-truth state of one IP on one day.
+type IPState struct {
+	Bound     bool        // an instance holds the IP
+	Ports     PortProfile // which probed ports answer
+	Web       bool        // serves HTTP(S) content
+	ServiceID uint64      // owning web service, 0 for background
+	Region    string
+	VPC       bool
+	Slow      bool // answers probes only after >2 s (the §4 timeout tail)
+	HTTPFail  bool // transient HTTP-layer failure today
+	Down      bool // service-wide maintenance window today
+}
+
+// New builds the cloud: generates the tenant population and steps the
+// assignment engine through every campaign day.
+func New(cfg Config) (*Cloud, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	space, err := newAddressSpace(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	popRng := rand.New(rand.NewSource(cfg.Seed))
+	services := buildPopulation(&cfg, popRng)
+	c := &Cloud{
+		cfg:      cfg,
+		space:    space,
+		services: services,
+		byID:     make(map[uint64]*Service, len(services)),
+	}
+	for _, s := range services {
+		if s.ID > uint64(^uint32(0)) {
+			return nil, fmt.Errorf("cloudsim: service ID %d exceeds uint32", s.ID)
+		}
+		c.byID[s.ID] = s
+	}
+	c.step(rand.New(rand.NewSource(cfg.Seed + 1)))
+	return c, nil
+}
+
+// step runs the per-day assignment engine, producing c.days.
+func (c *Cloud) step(rng *rand.Rand) {
+	pool := newPool(c.space, rng)
+	assigned := make(map[uint64][]ipaddr.Addr) // svcID -> current IPs
+	classOf := make(map[ipaddr.Addr]poolKey)   // where to release an IP back
+	// reserve models Elastic/Reserved IPs (§2): addresses a deployment
+	// released while downsizing stay allocated to the tenant and are
+	// re-bound first when it scales back up, so size fluctuations do
+	// not churn ownership.
+	reserve := make(map[uint64][]ipaddr.Addr)
+
+	type bgInst struct {
+		addr     ipaddr.Addr
+		deathDay int
+	}
+	var bg []bgInst
+
+	p := c.cfg.Population
+	total := float64(c.cfg.regionIPTotal())
+	responsive0 := total * p.TargetResponsive
+	lastDay := c.cfg.Days - 1
+	// Per-day web IP usage is known in advance from the schedules.
+	webByDay := make([]int, c.cfg.Days)
+	for _, s := range c.services {
+		for d := s.StartDay; d < s.EndDay && d < c.cfg.Days; d++ {
+			webByDay[d] += s.SizeOn(d)
+		}
+	}
+	// The background population absorbs the *smooth trend* of web
+	// growth so the total responsive curve follows Table 7's target,
+	// while sharp web events (the Friday departure dips of Figure 8)
+	// still show through. A 21-day centered moving average separates
+	// trend from event.
+	webTrend := movingAverage(webByDay, 10)
+	bgTarget := func(d int) int {
+		target := responsive0
+		if lastDay > 0 {
+			target = responsive0 * (1 + p.Growth*float64(d)/float64(lastDay))
+		}
+		n := int(target) - int(webTrend[d])
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	geomLifetime := func() int {
+		churn := p.DailyBackgroundChurn
+		if churn <= 0 {
+			return c.cfg.Days + 1
+		}
+		u := rng.Float64()
+		if u <= 0 {
+			u = 1e-12
+		}
+		life := int(math.Log(u)/math.Log(1-churn)) + 1
+		if life < 1 {
+			life = 1
+		}
+		return life
+	}
+
+	acquireFor := func(s *Service) (ipaddr.Addr, bool) {
+		region := s.Regions[rng.Intn(len(s.Regions))]
+		vpc := rng.Float64() < s.VPCShare
+		if a, ok := pool.acquire(region, vpc); ok {
+			classOf[a] = poolKey{region, vpc}
+			return a, true
+		}
+		// Fall back to the other class, then to any region.
+		if a, ok := pool.acquire(region, !vpc); ok {
+			classOf[a] = poolKey{region, !vpc}
+			return a, true
+		}
+		for _, r := range c.cfg.Regions {
+			for _, v := range []bool{vpc, !vpc} {
+				if a, ok := pool.acquire(r.Name, v); ok {
+					classOf[a] = poolKey{r.Name, v}
+					return a, true
+				}
+			}
+		}
+		return 0, false
+	}
+	release := func(a ipaddr.Addr) {
+		k := classOf[a]
+		delete(classOf, a)
+		pool.release(a, k.region, k.vpc)
+	}
+
+	c.days = make([]daySnapshot, c.cfg.Days)
+	for d := 0; d < c.cfg.Days; d++ {
+		// Service transitions, in deterministic (ID) order.
+		for _, s := range c.services {
+			cur := assigned[s.ID]
+			target := s.SizeOn(d)
+			// Classic->VPC migration (§8.1, Figure 14): the deployment
+			// relaunches all instances on its migration day, drawing
+			// fresh addresses from the other networking type.
+			if s.MigrateDay == d && len(cur) > 0 {
+				for _, a := range cur {
+					release(a)
+				}
+				cur = cur[:0]
+				for _, a := range reserve[s.ID] {
+					release(a)
+				}
+				delete(reserve, s.ID)
+				s.VPCShare = s.MigrateVPCShare
+			}
+			// Intra-deployment IP churn: replace a fraction of IPs
+			// (genuine relinquishment — the addresses return to the
+			// provider pool, not to the tenant's reserve).
+			if d > s.StartDay && s.DailyChurn > 0 && len(cur) > 0 && target > 0 {
+				keep := cur[:0]
+				replaced := 0
+				for _, a := range cur {
+					if rng.Float64() < s.DailyChurn {
+						release(a)
+						replaced++
+					} else {
+						keep = append(keep, a)
+					}
+				}
+				cur = keep
+				for i := 0; i < replaced; i++ {
+					if a, ok := acquireFor(s); ok {
+						cur = append(cur, a)
+					}
+				}
+			}
+			// Resize toward the day's target. Downsizing terminates the
+			// newest instances first (autoscaling keeps the long-lived
+			// base) and parks their IPs in the tenant's reserve
+			// (Elastic-IP semantics); a deployment that ends releases
+			// everything.
+			for len(cur) > target {
+				idx := len(cur) - 1
+				if target == 0 {
+					release(cur[idx])
+				} else {
+					reserve[s.ID] = append(reserve[s.ID], cur[idx])
+				}
+				cur = cur[:idx]
+			}
+			if target == 0 && len(reserve[s.ID]) > 0 {
+				for _, a := range reserve[s.ID] {
+					release(a)
+				}
+				delete(reserve, s.ID)
+			}
+			for len(cur) < target {
+				if rs := reserve[s.ID]; len(rs) > 0 {
+					cur = append(cur, rs[len(rs)-1])
+					reserve[s.ID] = rs[:len(rs)-1]
+					continue
+				}
+				a, ok := acquireFor(s)
+				if !ok {
+					break
+				}
+				cur = append(cur, a)
+			}
+			assigned[s.ID] = cur
+		}
+
+		// Background population lifecycle.
+		live := bg[:0]
+		for _, inst := range bg {
+			if inst.deathDay <= d {
+				release(inst.addr)
+			} else {
+				live = append(live, inst)
+			}
+		}
+		bg = live
+		for len(bg) < bgTarget(d) {
+			// Background instances spread across all regions; a share
+			// sits on VPC prefixes once VPC exists.
+			region := c.cfg.Regions[rng.Intn(len(c.cfg.Regions))].Name
+			vpc := rng.Float64() < p.VPCClusterShare*0.8
+			a, ok := pool.acquire(region, vpc)
+			if !ok {
+				if a, ok = pool.acquire(region, !vpc); !ok {
+					break
+				}
+				vpc = !vpc
+			}
+			classOf[a] = poolKey{region, vpc}
+			bg = append(bg, bgInst{addr: a, deathDay: d + geomLifetime()})
+		}
+
+		// Materialize the snapshot.
+		snap := daySnapshot{}
+		for _, s := range c.services {
+			for _, a := range assigned[s.ID] {
+				snap.addrs = append(snap.addrs, a)
+				snap.bindings = append(snap.bindings, bindingVal{svcID: uint32(s.ID), ports: s.Ports})
+			}
+		}
+		for _, inst := range bg {
+			snap.addrs = append(snap.addrs, inst.addr)
+			snap.bindings = append(snap.bindings, bindingVal{svcID: 0, ports: SSHOnly})
+		}
+		sortSnapshot(&snap)
+		c.days[d] = snap
+	}
+}
+
+// movingAverage returns the centered moving average of xs with the
+// given half-window (window = 2*half+1). Near the edges the window
+// shrinks *symmetrically*: an asymmetric window would bias the trend
+// toward interior values and distort the growth the background
+// population compensates for.
+func movingAverage(xs []int, half int) []float64 {
+	out := make([]float64, len(xs))
+	for i := range xs {
+		h := half
+		if i < h {
+			h = i
+		}
+		if len(xs)-1-i < h {
+			h = len(xs) - 1 - i
+		}
+		sum := 0
+		for j := i - h; j <= i+h; j++ {
+			sum += xs[j]
+		}
+		out[i] = float64(sum) / float64(2*h+1)
+	}
+	return out
+}
+
+func sortSnapshot(s *daySnapshot) {
+	idx := make([]int, len(s.addrs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return s.addrs[idx[i]] < s.addrs[idx[j]] })
+	addrs := make([]ipaddr.Addr, len(s.addrs))
+	binds := make([]bindingVal, len(s.bindings))
+	for i, k := range idx {
+		addrs[i] = s.addrs[k]
+		binds[i] = s.bindings[k]
+	}
+	s.addrs = addrs
+	s.bindings = binds
+}
+
+// hash64 is a deterministic per-(cloud, ip, day, salt) hash for
+// transient-event draws (HTTP failures, slow hosts).
+func (c *Cloud) hash64(ip ipaddr.Addr, day int, salt uint64) uint64 {
+	x := uint64(ip)<<32 ^ uint64(uint32(day))<<8 ^ salt ^ uint64(c.cfg.Seed)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Config returns the cloud's configuration.
+func (c *Cloud) Config() Config { return c.cfg }
+
+// Days returns the campaign length in days.
+func (c *Cloud) Days() int { return c.cfg.Days }
+
+// Ranges returns the probed address space.
+func (c *Cloud) Ranges() *ipaddr.RangeList { return c.space.ranges }
+
+// Services exposes the ground-truth tenant population (shared slice;
+// callers must not modify).
+func (c *Cloud) Services() []*Service { return c.services }
+
+// ServiceByID looks up one service.
+func (c *Cloud) ServiceByID(id uint64) *Service { return c.byID[id] }
+
+// RegionOf returns the region owning an address, or "".
+func (c *Cloud) RegionOf(a ipaddr.Addr) string {
+	if pi := c.space.lookup(a); pi != nil {
+		return pi.region
+	}
+	return ""
+}
+
+// IsVPC reports the ground-truth VPC flag of an address's prefix.
+func (c *Cloud) IsVPC(a ipaddr.Addr) bool {
+	pi := c.space.lookup(a)
+	return pi != nil && pi.vpc
+}
+
+// VPCPrefixes22 returns, per region, how many /22 prefixes are VPC
+// (ground truth behind Table 2).
+func (c *Cloud) VPCPrefixes22() map[string]int {
+	out := map[string]int{}
+	for _, r := range c.cfg.Regions {
+		out[r.Name] = r.VPC22
+	}
+	return out
+}
+
+// StateAt returns the ground-truth state of ip on the given day.
+func (c *Cloud) StateAt(day int, ip ipaddr.Addr) IPState {
+	var st IPState
+	if day < 0 || day >= len(c.days) {
+		return st
+	}
+	pi := c.space.lookup(ip)
+	if pi == nil {
+		return st
+	}
+	st.Region = pi.region
+	st.VPC = pi.vpc
+	snap := &c.days[day]
+	i := sort.Search(len(snap.addrs), func(i int) bool { return snap.addrs[i] >= ip })
+	if i >= len(snap.addrs) || snap.addrs[i] != ip {
+		return st
+	}
+	b := snap.bindings[i]
+	st.Bound = true
+	st.Ports = b.ports
+	st.ServiceID = uint64(b.svcID)
+	st.Web = b.ports.Web() && b.svcID != 0
+	// ~0.5% of live hosts are persistently slow (only answer patient
+	// probes); keyed by IP+service so the set is stable day to day.
+	st.Slow = c.hash64(ip, 0, uint64(b.svcID)*31+7)%1000 < 4
+	if st.Web {
+		svc := c.byID[st.ServiceID]
+		if svc != nil {
+			st.Down = svc.DownOn(day)
+		}
+		failPermille := uint64(c.cfg.Population.HTTPFailRate * 1000)
+		st.HTTPFail = c.hash64(ip, day, 13)%1000 < failPermille
+	}
+	return st
+}
+
+// PageOn returns the content profile an IP serves on a day, with the
+// content revision in effect. ok is false when the IP serves no web
+// content that day (unbound, SSH-only, service down, or HTTP failure).
+func (c *Cloud) PageOn(day int, ip ipaddr.Addr) (profile websim.Profile, revision int, ok bool) {
+	st := c.StateAt(day, ip)
+	if !st.Web || st.Down || st.HTTPFail {
+		return websim.Profile{}, 0, false
+	}
+	svc := c.byID[st.ServiceID]
+	if svc == nil {
+		return websim.Profile{}, 0, false
+	}
+	p, ok := svc.PageOn(day)
+	if !ok {
+		return websim.Profile{}, 0, false
+	}
+	return p, svc.RevisionOn(day), true
+}
+
+// AssignedIPs returns the IPs a service holds on a day (ground truth
+// for calibration tests and the blacklist feeds).
+func (c *Cloud) AssignedIPs(day int, svcID uint64) []ipaddr.Addr {
+	if day < 0 || day >= len(c.days) {
+		return nil
+	}
+	snap := &c.days[day]
+	var out []ipaddr.Addr
+	for i, a := range snap.addrs {
+		if uint64(snap.bindings[i].svcID) == svcID {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// BoundCount returns how many IPs are bound on a day (responsive
+// ground truth).
+func (c *Cloud) BoundCount(day int) int {
+	if day < 0 || day >= len(c.days) {
+		return 0
+	}
+	return len(c.days[day].addrs)
+}
+
+// MaliciousServices returns services carrying malicious behaviour.
+func (c *Cloud) MaliciousServices() []*Service {
+	var out []*Service
+	for _, s := range c.services {
+		if s.Malicious.Type != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

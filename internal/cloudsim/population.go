@@ -1,0 +1,628 @@
+package cloudsim
+
+import (
+	"math/rand"
+	"sort"
+
+	"whowas/internal/websim"
+)
+
+// patternMix reproduces Table 11's size-change pattern distribution.
+// For single-IP clusters the pattern is realized through presence
+// windows (a late start reads as "0,1,0", a mid-campaign departure as
+// "0,-1,0"); multi-IP clusters additionally scale their size.
+var patternMix = []struct {
+	pattern string
+	weight  int
+}{
+	{"0", 385},         // stable for the whole campaign (ephemerals add to "0" separately)
+	{"0,1,0", 150},     // appears / grows mid-campaign
+	{"0,-1,0", 137},    // departs / shrinks mid-campaign
+	{"0,1,0,-1,0", 52}, // bump
+	{"0,-1,1,0", 41},   // dip then recovery
+	{"other", 121},     // irregular
+}
+
+// drawPattern picks a pattern label per the Table 11 mix.
+func drawPattern(rng *rand.Rand) string {
+	total := 0
+	for _, p := range patternMix {
+		total += p.weight
+	}
+	n := rng.Intn(total)
+	for _, p := range patternMix {
+		n -= p.weight
+		if n < 0 {
+			return p.pattern
+		}
+	}
+	return "0"
+}
+
+// lifetimeFor translates a pattern into a presence window for the
+// cluster. Multi-IP clusters keep a full window for most patterns and
+// express the pattern through size; single-IP clusters express it
+// through the window itself.
+func lifetimeFor(rng *rand.Rand, pattern string, days, size int) (start, end int) {
+	mid := days / 2
+	switch pattern {
+	case "0,1,0":
+		if size == 1 {
+			start = mid/2 + rng.Intn(mid) // appears somewhere in the middle
+			return start, days
+		}
+		return 0, days
+	case "0,-1,0":
+		if size == 1 {
+			end = mid/2 + rng.Intn(mid)
+			return 0, end + mid/2
+		}
+		return 0, days
+	case "0,1,0,-1,0":
+		if size == 1 {
+			start = days/5 + rng.Intn(days/5)
+			end = start + days/4 + rng.Intn(days/4)
+			if end > days {
+				end = days
+			}
+			return start, end
+		}
+		return 0, days
+	default:
+		return 0, days
+	}
+}
+
+// webPortProfile draws a web port profile with Table 3's relative mix
+// among web-open IPs.
+func webPortProfile(rng *rand.Rand, p *PopulationConfig) PortProfile {
+	webTotal := p.HTTPOnly + p.HTTPSOnly + p.HTTPBoth
+	r := rng.Float64() * webTotal
+	switch {
+	case r < p.HTTPOnly:
+		return HTTPOnly
+	case r < p.HTTPOnly+p.HTTPSOnly:
+		return HTTPSOnly
+	default:
+		return HTTPBoth
+	}
+}
+
+// categories for ordinary (non-giant) services, weighted towards the
+// long tail the paper describes.
+var ordinaryCategories = []struct {
+	cat    websim.Category
+	weight int
+}{
+	{websim.CategoryBlog, 24},
+	{websim.CategoryCorporate, 22},
+	{websim.CategoryShopping, 12},
+	{websim.CategorySaaS, 12},
+	{websim.CategoryDev, 12},
+	{websim.CategoryMarketing, 6},
+	{websim.CategoryGame, 5},
+	{websim.CategoryVideo, 4},
+	{websim.CategoryCloudHosting, 3},
+}
+
+func drawCategory(rng *rand.Rand) websim.Category {
+	total := 0
+	for _, c := range ordinaryCategories {
+		total += c.weight
+	}
+	n := rng.Intn(total)
+	for _, c := range ordinaryCategories {
+		n -= c.weight
+		if n < 0 {
+			return c.cat
+		}
+	}
+	return websim.CategoryCorporate
+}
+
+// populationBuilder accumulates the generated services.
+type populationBuilder struct {
+	cfg    *Config
+	rng    *rand.Rand
+	nextID uint64
+	out    []*Service
+}
+
+func (b *populationBuilder) id() uint64 {
+	b.nextID++
+	return b.nextID
+}
+
+// newService constructs a service with a fresh profile.
+func (b *populationBuilder) newService(cat websim.Category, ports PortProfile) *Service {
+	id := b.id()
+	svc := &Service{
+		ID:     id,
+		Ports:  ports,
+		HasDNS: b.rng.Float64() < b.cfg.Population.RegisteredDNSShare,
+	}
+	if ports.Web() {
+		svc.Profile = websim.GenProfile(b.rng, id, b.cfg.Kind, cat)
+	}
+	return svc
+}
+
+// pickRegions selects n distinct regions, weighted by size.
+func (b *populationBuilder) pickRegions(n int) []string {
+	regions := b.cfg.Regions
+	if n >= len(regions) {
+		out := make([]string, len(regions))
+		for i, r := range regions {
+			out[i] = r.Name
+		}
+		return out
+	}
+	// Weight by prefix count so us-east-1 dominates, as in EC2.
+	chosen := map[string]bool{}
+	var out []string
+	for len(out) < n {
+		total := 0
+		for _, r := range regions {
+			if !chosen[r.Name] {
+				total += r.Prefixes22
+			}
+		}
+		k := b.rng.Intn(total)
+		for _, r := range regions {
+			if chosen[r.Name] {
+				continue
+			}
+			k -= r.Prefixes22
+			if k < 0 {
+				chosen[r.Name] = true
+				out = append(out, r.Name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// vpcShareFor draws a deployment's VPC usage: classic-only, VPC-only,
+// or mixed. Late-starting deployments skew VPC (Figure 14's adoption
+// trend; Amazon required VPC for accounts created after Dec 2013).
+func (b *populationBuilder) vpcShareFor(startDay int) float64 {
+	base := b.cfg.Population.VPCClusterShare
+	if base <= 0 {
+		return 0
+	}
+	// Adoption shifts ~20 points over the campaign for new arrivals
+	// (Amazon required VPC for accounts created after Dec 2013).
+	pVPC := base + 0.20*float64(startDay)/float64(b.cfg.Days)
+	r := b.rng.Float64()
+	switch {
+	case r < pVPC:
+		return 1 // VPC-only
+	case r < pVPC+0.026:
+		return 0.3 + b.rng.Float64()*0.4 // mixed
+	default:
+		return 0 // classic-only
+	}
+}
+
+// buildGiants instantiates Table 15-scale deployments.
+func (b *populationBuilder) buildGiants() {
+	for _, g := range b.cfg.Population.Giants {
+		svc := b.newService(g.Category, HTTPBoth)
+		// Giants serve real content.
+		svc.Profile.StatusCode = 200
+		svc.Profile.ContentType = "text/html"
+		svc.Profile.DefaultPage = false
+		svc.Profile.MultiVhost = false
+		svc.Regions = b.pickRegions(g.Regions)
+		svc.VPCShare = g.VPCShare
+		svc.StartDay, svc.EndDay = 0, b.cfg.Days
+		svc.DailyChurn = g.DailyChurn
+		svc.RevisionEvery = 7 + b.rng.Intn(21)
+		svc.Pattern = "0"
+		svc.sizeByDay = sizeSchedule(b.rng, "0", g.MeanSize, b.cfg.Days, g.SizeJitter)
+		svc.HasDNS = true
+		b.out = append(b.out, svc)
+	}
+}
+
+// buildWebClusters generates the general web-service population until
+// the average concurrent web-IP budget is met.
+func (b *populationBuilder) buildWebClusters(webIPBudget float64) {
+	p := &b.cfg.Population
+	var sumConcurrent float64
+	// Subtract what the giants already consume.
+	for _, g := range p.Giants {
+		sumConcurrent += float64(g.MeanSize)
+	}
+	days := b.cfg.Days
+	for sumConcurrent < webIPBudget {
+		// Size band per §8.1's cluster-size mix.
+		r := b.rng.Float64()
+		var size int
+		switch {
+		case r < p.SingletonFrac:
+			size = 1
+		case r < p.SingletonFrac+p.SmallFrac:
+			// 2–20, skewed small (P(k) ~ 1/k^1.7).
+			size = smallSize(b.rng)
+		case r < p.SingletonFrac+p.SmallFrac+p.MediumFrac:
+			size = 21 + b.rng.Intn(30)
+		default:
+			size = 51 + b.rng.Intn(100)
+		}
+		pattern := drawPattern(b.rng)
+		ephemeral := b.rng.Float64() < p.EphemeralFrac
+		svc := b.newService(drawCategory(b.rng), webPortProfile(b.rng, p))
+		svc.Pattern = pattern
+		if ephemeral {
+			// Ephemerals: tiny, very brief (1-3 days: in-development
+			// pages, tests — §8.1 found 92.8%% using one IP), pattern
+			// effectively "0" since the PAA medians never leave zero.
+			svc.Pattern = "0"
+			svc.Ephemeral = true
+			if size > 3 {
+				size = 1 + b.rng.Intn(3)
+			}
+			svc.StartDay = b.rng.Intn(days - 1)
+			svc.EndDay = svc.StartDay + 1 + b.rng.Intn(3)
+			if svc.EndDay > days {
+				svc.EndDay = days
+			}
+		} else {
+			svc.StartDay, svc.EndDay = lifetimeFor(b.rng, pattern, days, size)
+		}
+		svc.Regions = b.pickRegions(b.regionCountFor(size))
+		svc.VPCShare = b.vpcShareFor(svc.StartDay)
+		svc.DailyChurn = b.churnFor(size)
+		svc.RevisionEvery = b.revisionFor()
+		// A small share of deployments migrates networking types
+		// mid-campaign (§8.1: ~0.4% classic->VPC, ~0.2% the reverse).
+		if b.cfg.Population.VPCClusterShare > 0 && !ephemeral && svc.EndDay == days {
+			switch r := b.rng.Float64(); {
+			case svc.VPCShare == 0 && r < 0.006:
+				svc.MigrateDay = days/4 + b.rng.Intn(days/2)
+				svc.MigrateVPCShare = 1
+			case svc.VPCShare == 1 && r < 0.003:
+				svc.MigrateDay = days/4 + b.rng.Intn(days/2)
+				svc.MigrateVPCShare = 0
+			}
+		}
+		if svc.Pattern == "0,-1,1,0" {
+			// Dip-and-recover: a mid-campaign unavailability window.
+			svc.DownPeriod = days
+			svc.DownLen = 8 + b.rng.Intn(8)
+		}
+		// Single-IP clusters express their pattern through the presence
+		// window alone; scaling a size-1 schedule would silently turn
+		// them into 2-IP clusters.
+		schedPattern := svc.Pattern
+		if size == 1 {
+			schedPattern = "0"
+		}
+		svc.sizeByDay = sizeSchedule(b.rng, schedPattern, size, days, b.jitterFor(size))
+		b.out = append(b.out, svc)
+
+		// Account the service's true average concurrent IP usage.
+		sum := 0
+		for d := svc.StartDay; d < svc.EndDay; d++ {
+			sum += svc.SizeOn(d)
+		}
+		sumConcurrent += float64(sum) / float64(days)
+	}
+}
+
+// smallSize draws a 2–20 cluster size with a heavy small-end skew.
+func smallSize(rng *rand.Rand) int {
+	for {
+		k := 2 + int(18*rng.Float64()*rng.Float64()*rng.Float64())
+		if k >= 2 && k <= 20 {
+			return k
+		}
+	}
+}
+
+// regionCountFor: most clusters use a single region (97% in §8.1);
+// larger ones sometimes more.
+func (b *populationBuilder) regionCountFor(size int) int {
+	if size >= 21 && b.rng.Float64() < 0.215 {
+		return 2 + b.rng.Intn(2)
+	}
+	if b.rng.Float64() < 0.03 {
+		return 2
+	}
+	return 1
+}
+
+// churnFor assigns intra-cluster IP turnover. §8.1: 75.3% of clusters
+// have 100% average IP uptime (mostly singletons); larger clusters
+// churn more (size >= 50 averages 62% IP uptime).
+func (b *populationBuilder) churnFor(size int) float64 {
+	switch {
+	case size == 1:
+		if b.rng.Float64() < 0.10 {
+			return 0.01 // a tenth of singletons restart occasionally
+		}
+		return 0
+	case size <= 20:
+		if b.rng.Float64() < 0.5 {
+			return 0
+		}
+		return 0.002 + b.rng.Float64()*0.02
+	case size <= 50:
+		return 0.005 + b.rng.Float64()*0.03
+	default:
+		return 0.01 + b.rng.Float64()*0.05
+	}
+}
+
+// jitterFor sets day-to-day size noise. Small clusters hold steady
+// (their size-change patterns come from lifecycle, not noise); only
+// larger deployments fluctuate with load.
+func (b *populationBuilder) jitterFor(size int) float64 {
+	switch {
+	case size <= 20:
+		return 0
+	case size <= 50:
+		return 0.05
+	default:
+		return 0.1
+	}
+}
+
+// revisionFor assigns a content-update cadence: most sites rarely
+// change, some update often.
+func (b *populationBuilder) revisionFor() int {
+	r := b.rng.Float64()
+	switch {
+	case r < 0.5:
+		return 0 // never during the campaign
+	case r < 0.8:
+		return 30 + b.rng.Intn(40)
+	case r < 0.95:
+		return 7 + b.rng.Intn(21)
+	default:
+		return 1 + b.rng.Intn(5)
+	}
+}
+
+// buildDepartures makes DipClusters services end permanently on each
+// configured dip day (the Friday/Saturday departures of Figure 8).
+func (b *populationBuilder) buildDepartures() {
+	p := &b.cfg.Population
+	if len(p.DipDays) == 0 || p.DipClusters <= 0 {
+		return
+	}
+	// Choose victims among ordinary full-lifetime clusters, skewed
+	// toward classic-only deployments: the departures accelerate the
+	// classic decline of Figure 14.
+	var classic, other []*Service
+	for _, s := range b.out {
+		if !s.Ephemeral && s.EndDay == b.cfg.Days && s.MigrateDay == 0 &&
+			s.SizeOn(0) >= 1 && s.SizeOn(0) <= 20 && len(s.sizeByDay) > 0 {
+			if s.VPCShare == 0 {
+				classic = append(classic, s)
+			} else {
+				other = append(other, s)
+			}
+		}
+	}
+	b.rng.Shuffle(len(classic), func(i, j int) { classic[i], classic[j] = classic[j], classic[i] })
+	b.rng.Shuffle(len(other), func(i, j int) { other[i], other[j] = other[j], other[i] })
+	candidates := append(classic, other...)
+	idx := 0
+	for _, day := range p.DipDays {
+		for n := 0; n < p.DipClusters && idx < len(candidates); n++ {
+			svc := candidates[idx]
+			idx++
+			svc.EndDay = day
+			svc.Pattern = "0,-1,0"
+		}
+	}
+}
+
+// buildMalicious tags services with malicious behaviour per §8.2.
+func (b *populationBuilder) buildMalicious() {
+	m := b.cfg.Population.Malicious
+	days := b.cfg.Days
+	// Region weights for malicious placement follow Table 17.
+	regionWeights := map[string]int{
+		"us-east-1": 1422, "eu-west-1": 200, "us-west-2": 192,
+		"us-west-1": 91, "sa-east-1": 57, "ap-southeast-1": 51,
+		"ap-northeast-1": 35, "ap-southeast-2": 22,
+	}
+	pickMaliciousRegion := func() []string {
+		if b.cfg.Kind != websim.EC2Like {
+			return b.pickRegions(1)
+		}
+		total := 0
+		for _, r := range b.cfg.Regions {
+			total += regionWeights[r.Name]
+		}
+		if total == 0 {
+			return b.pickRegions(1)
+		}
+		k := b.rng.Intn(total)
+		for _, r := range b.cfg.Regions {
+			k -= regionWeights[r.Name]
+			if k < 0 {
+				return []string{r.Name}
+			}
+		}
+		return b.pickRegions(1)
+	}
+
+	genURLs := func(kind websim.MaliciousKind, n int) []string {
+		p := websim.Profile{}
+		websim.MarkMalicious(b.rng, &p, kind, n)
+		return p.MaliciousURLs
+	}
+
+	addMalicious := func(kind websim.MaliciousKind, mtype, urlCount int) *Service {
+		svc := b.newService(websim.CategoryDev, HTTPOnly)
+		// Malicious pages must actually render links.
+		svc.Profile.StatusCode = 200
+		svc.Profile.ContentType = "text/html"
+		svc.Profile.DefaultPage = false
+		svc.Profile.MultiVhost = false
+		svc.Regions = pickMaliciousRegion()
+		svc.VPCShare = 0
+		if b.cfg.Kind == websim.EC2Like && b.rng.Float64() < 0.24 { // 47 of 196 SB IPs were VPC
+			svc.VPCShare = 1
+		}
+		size := 1
+		if b.rng.Float64() < 0.3 {
+			size = 2 + b.rng.Intn(4)
+		}
+		// Malicious activity grows over the campaign (Table 17):
+		// windows open across the whole period with a late skew.
+		svc.StartDay = b.rng.Intn(days * 4 / 5)
+		if b.rng.Float64() < 0.35 {
+			svc.StartDay = days/2 + b.rng.Intn(days*2/5)
+		}
+		svc.EndDay = days
+		svc.sizeByDay = sizeSchedule(b.rng, "0", size, days, 0)
+		svc.Pattern = "0"
+		// Malicious window: lifetimes skew long (Figure 16: 62% of EC2
+		// malicious IPs stay malicious >7 days, 46% >14 days).
+		winLen := maliciousWindow(b.rng, days-svc.StartDay)
+		mb := MaliciousBehavior{
+			Kind:       kind,
+			Type:       mtype,
+			ActiveFrom: svc.StartDay,
+			ActiveTo:   svc.StartDay + winLen,
+		}
+		switch mtype {
+		case 2:
+			mb.FlickerPeriod = 6 + b.rng.Intn(10)
+			mb.URLSets = [][]string{genURLs(kind, urlCount)}
+		case 3:
+			mb.RotateEvery = 5 + b.rng.Intn(10)
+			sets := 2 + b.rng.Intn(3)
+			for i := 0; i < sets; i++ {
+				mb.URLSets = append(mb.URLSets, genURLs(kind, urlCount))
+			}
+		default:
+			mb.URLSets = [][]string{genURLs(kind, urlCount)}
+		}
+		svc.Malicious = mb
+		b.out = append(b.out, svc)
+		return svc
+	}
+
+	// Safe-Browsing-visible services: mostly malware links, some phishing.
+	for i := 0; i < m.SBServices; i++ {
+		kind := websim.Malware
+		if b.rng.Float64() < 0.18 { // 9 of 51 EC2 SB clusters were phishing
+			kind = websim.Phishing
+		}
+		addMalicious(kind, 1+b.rng.Intn(3), 1+b.rng.Intn(9))
+	}
+	// VirusTotal-flagged services by behaviour type.
+	for i := 0; i < m.VTType1; i++ {
+		addMalicious(websim.Malware, 1, 2+b.rng.Intn(8))
+	}
+	for i := 0; i < m.VTType2; i++ {
+		addMalicious(websim.Malware, 2, 1+b.rng.Intn(6))
+	}
+	for i := 0; i < m.VTType3; i++ {
+		addMalicious(websim.Malware, 3, 2+b.rng.Intn(6))
+	}
+	// Linchpin pages aggregating many malicious URLs (§8.2).
+	for i := 0; i < m.Linchpins; i++ {
+		svc := addMalicious(websim.Malware, 1, m.LinchpinURLs)
+		svc.StartDay = 0
+		svc.Malicious.ActiveFrom = 0
+		svc.Malicious.ActiveTo = days
+	}
+}
+
+// maliciousWindow draws how long malicious content stays up, matching
+// Figure 16's long-tailed lifetime CDF.
+func maliciousWindow(rng *rand.Rand, maxLen int) int {
+	r := rng.Float64()
+	var w int
+	switch {
+	case r < 0.25:
+		w = 1 + rng.Intn(7) // short-lived
+	case r < 0.55:
+		w = 7 + rng.Intn(14)
+	case r < 0.85:
+		w = 14 + rng.Intn(30)
+	default:
+		w = 40 + rng.Intn(60) // very long; clipped below
+	}
+	if w > maxLen {
+		w = maxLen
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// sharedSeedBase seeds the cross-cloud shared-service profiles: both
+// clouds derive the same profiles from it, so the same web application
+// (same domain, title, GA ID, content) appears on EC2 and Azure —
+// the paper found 980 such clusters.
+const sharedSeedBase = 0x5ca1ab1e
+
+// buildShared adds the cross-cloud service population. Profiles are
+// generated from a cloud-independent seed per index, so any two
+// default clouds share their first min(N, M) services.
+func (b *populationBuilder) buildShared() {
+	days := b.cfg.Days
+	cats := []websim.Category{
+		websim.CategorySaaS, websim.CategoryShopping, websim.CategoryVideo,
+		websim.CategoryMarketing, websim.CategoryCorporate,
+	}
+	for i := 0; i < b.cfg.Population.SharedServices; i++ {
+		shared := rand.New(rand.NewSource(sharedSeedBase + int64(i)))
+		sharedID := uint64(1)<<40 + uint64(i)
+		profile := websim.GenProfile(shared, sharedID, websim.EC2Like, cats[i%len(cats)])
+		// Cross-cloud deployments serve real content on both clouds.
+		profile.StatusCode = 200
+		profile.ContentType = "text/html"
+		profile.DefaultPage = false
+		profile.MultiVhost = false
+		size := 1 + shared.Intn(5)
+
+		svc := b.newService(profile.Category, HTTPBoth)
+		svc.Profile = profile // replace with the shared identity
+		svc.Regions = b.pickRegions(1)
+		svc.VPCShare = b.vpcShareFor(0)
+		svc.StartDay, svc.EndDay = 0, days
+		svc.Pattern = "0"
+		svc.sizeByDay = sizeSchedule(b.rng, "0", size, days, 0)
+		svc.HasDNS = true
+		b.out = append(b.out, svc)
+	}
+}
+
+// buildPopulation generates every service for the configured cloud.
+// The background (non-web) deployments are handled separately by the
+// day-stepper, which maintains their per-day population directly.
+func buildPopulation(cfg *Config, rng *rand.Rand) []*Service {
+	b := &populationBuilder{cfg: cfg, rng: rng}
+	total := float64(cfg.regionIPTotal())
+	responsive0 := total * cfg.Population.TargetResponsive
+	webShare := cfg.Population.HTTPOnly + cfg.Population.HTTPSOnly + cfg.Population.HTTPBoth
+	webIPBudget := responsive0 * webShare
+	b.buildGiants()
+	b.buildWebClusters(webIPBudget)
+	b.buildShared()
+	b.buildDepartures()
+	b.buildMalicious()
+	// Deterministic order for downstream seeding.
+	sort.Slice(b.out, func(i, j int) bool { return b.out[i].ID < b.out[j].ID })
+	return b.out
+}
+
+// regionIPTotal is the probed address-space size.
+func (c *Config) regionIPTotal() int {
+	total := 0
+	for _, r := range c.Regions {
+		total += r.Prefixes22 * 1024
+	}
+	return total
+}

@@ -1,0 +1,261 @@
+package cloudsim
+
+import (
+	"math"
+	"math/rand"
+
+	"whowas/internal/websim"
+)
+
+// PortProfile describes which of the three probed ports (§4: 80/tcp,
+// 443/tcp, 22/tcp) an instance answers on.
+type PortProfile int
+
+// Port profiles per Table 3's breakdown of responsive IPs.
+const (
+	SSHOnly   PortProfile = iota // 22 only: live instance, no public web
+	HTTPOnly                     // 80 only
+	HTTPSOnly                    // 443 only
+	HTTPBoth                     // 80 and 443
+)
+
+// OpensPort reports whether the profile answers on the given port.
+func (p PortProfile) OpensPort(port int) bool {
+	switch port {
+	case 22:
+		// Web instances typically also run SSH for administration.
+		return true
+	case 80:
+		return p == HTTPOnly || p == HTTPBoth
+	case 443:
+		return p == HTTPSOnly || p == HTTPBoth
+	}
+	return false
+}
+
+// Web reports whether the profile serves HTTP(S) at all.
+func (p PortProfile) Web() bool { return p != SSHOnly }
+
+// MaliciousBehavior captures the §8.2 taxonomy of how malicious
+// content evolves on a service's IPs over time.
+type MaliciousBehavior struct {
+	Kind websim.MaliciousKind
+	// Type is the paper's behaviour type: 1 = same malicious page the
+	// whole active window, 2 = the page flickers (removed after
+	// detection, returns days later), 3 = multiple different malicious
+	// pages over time. 0 = not malicious.
+	Type int
+	// ActiveFrom/ActiveTo bound the malicious window in campaign days
+	// (half-open interval).
+	ActiveFrom, ActiveTo int
+	// FlickerPeriod is the on/off cycle length in days for type 2.
+	FlickerPeriod int
+	// RotateEvery is how often (days) a type-3 service swaps URL sets.
+	RotateEvery int
+	// URLSets holds the malicious URL groups; types 1 and 2 use only
+	// URLSets[0], type 3 cycles through all of them.
+	URLSets [][]string
+}
+
+// ActiveOn reports whether malicious URLs are present on the page on
+// the given day, and which URL set.
+func (m *MaliciousBehavior) ActiveOn(day int) (urls []string, active bool) {
+	urls, _, active = m.ActiveSet(day)
+	return urls, active
+}
+
+// ActiveSet is ActiveOn plus the index of the URL set in effect, which
+// type-3 services use to render a genuinely different page per set.
+func (m *MaliciousBehavior) ActiveSet(day int) (urls []string, setIdx int, active bool) {
+	if m.Type == 0 || day < m.ActiveFrom || day >= m.ActiveTo || len(m.URLSets) == 0 {
+		return nil, 0, false
+	}
+	switch m.Type {
+	case 2:
+		period := m.FlickerPeriod
+		if period < 2 {
+			period = 2
+		}
+		// On for the first ceil(period/2) days of each cycle.
+		if (day-m.ActiveFrom)%period >= (period+1)/2 {
+			return nil, 0, false
+		}
+		return m.URLSets[0], 0, true
+	case 3:
+		rot := m.RotateEvery
+		if rot < 1 {
+			rot = 1
+		}
+		idx := ((day - m.ActiveFrom) / rot) % len(m.URLSets)
+		return m.URLSets[idx], idx, true
+	default:
+		return m.URLSets[0], 0, true
+	}
+}
+
+// AllURLs returns every malicious URL the behaviour ever serves.
+func (m *MaliciousBehavior) AllURLs() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, set := range m.URLSets {
+		for _, u := range set {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// Service is one tenant deployment: a set of IPs serving the same
+// content (the ground truth behind a WhoWas cluster), or a non-web
+// instance group (SSH-only background deployments).
+type Service struct {
+	ID      uint64
+	Profile websim.Profile
+	Ports   PortProfile
+	// Regions the deployment draws IPs from (uniformly).
+	Regions []string
+	// VPCShare is the fraction of the deployment's IPs drawn from VPC
+	// prefixes (EC2 only; 0 for classic-only, 1 for VPC-only).
+	VPCShare float64
+	// StartDay/EndDay bound the deployment's lifetime (half-open).
+	StartDay, EndDay int
+	// sizeByDay[d] is the target number of IPs on absolute day d; zero
+	// outside the lifetime.
+	sizeByDay []int
+	// DailyChurn is the fraction of assigned IPs replaced each day.
+	DailyChurn float64
+	// DownPeriod/DownLen inject whole-service unavailability windows:
+	// every DownPeriod days the service is down for DownLen days
+	// (0 = never down). Drives cluster-availability churn (Figure 10).
+	DownPeriod, DownLen int
+	// RevisionEvery is the cadence (days) of content updates; 0 = never.
+	RevisionEvery int
+	// Malicious describes malicious content on this service, if any.
+	Malicious MaliciousBehavior
+	// HasDNS marks services visible to DNS interrogation (baseline).
+	HasDNS bool
+	// MigrateDay, when > 0, relaunches the deployment on that day with
+	// MigrateVPCShare as its new networking mix (classic<->VPC
+	// migrations, §8.1). 0 = never.
+	MigrateDay      int
+	MigrateVPCShare float64
+	// Pattern is the intended size-change pattern label (ground truth
+	// for Table 11 validation).
+	Pattern string
+	// Ephemeral marks services designed to appear only briefly.
+	Ephemeral bool
+}
+
+// SizeOn returns the deployment's target IP count on day d.
+func (s *Service) SizeOn(d int) int {
+	if d < 0 || d >= len(s.sizeByDay) || d < s.StartDay || d >= s.EndDay {
+		return 0
+	}
+	return s.sizeByDay[d]
+}
+
+// DownOn reports whether the whole service is unavailable on day d
+// (instances up, HTTP serving suspended — maintenance windows).
+func (s *Service) DownOn(d int) bool {
+	if s.DownPeriod <= 0 || s.DownLen <= 0 {
+		return false
+	}
+	phase := (d + int(s.ID%uint64(s.DownPeriod))) % s.DownPeriod
+	return phase < s.DownLen
+}
+
+// RevisionOn returns the content revision in effect on day d.
+func (s *Service) RevisionOn(d int) int {
+	rev := 0
+	if s.RevisionEvery > 0 {
+		rev = d / s.RevisionEvery
+	}
+	if s.Malicious.Type == 3 && s.Malicious.RotateEvery > 0 && d >= s.Malicious.ActiveFrom {
+		// Page rotation changes content beyond the URL swap.
+		rev = rev*97 + (d-s.Malicious.ActiveFrom)/s.Malicious.RotateEvery
+	}
+	return rev
+}
+
+// PageOn materializes the profile to serve on day d, folding in the
+// malicious URL set active that day. The bool reports whether the
+// service serves web content at all.
+func (s *Service) PageOn(d int) (websim.Profile, bool) {
+	if !s.Ports.Web() {
+		return websim.Profile{}, false
+	}
+	p := s.Profile
+	if urls, setIdx, active := s.Malicious.ActiveSet(d); active {
+		p.Malicious = s.Malicious.Kind
+		p.MaliciousURLs = urls
+		if s.Malicious.Type == 3 && setIdx > 0 {
+			// A type-3 service hosts *multiple different malicious
+			// webpages* (§8.2): each URL set is a distinct page, not a
+			// revision, so shift the body-content identity.
+			p.ID += uint64(setIdx) << 40
+		}
+	} else {
+		p.Malicious = websim.NotMalicious
+		p.MaliciousURLs = nil
+	}
+	return p, true
+}
+
+// sizeSchedule builds a per-day target-size vector exhibiting the
+// requested pattern over a campaign of days length.
+//
+// Patterns correspond to Table 11's merged tendency vectors: "0"
+// (stable), "0,1,0" (step up), "0,-1,0" (step down), "0,1,0,-1,0"
+// (bump), "0,-1,1,0" (dip and recover). Any other label yields a
+// noisy random walk ("other" patterns).
+func sizeSchedule(rng *rand.Rand, pattern string, base, days int, jitter float64) []int {
+	if base < 1 {
+		base = 1
+	}
+	out := make([]int, days)
+	level := func(d int) float64 {
+		t := float64(d) / float64(days)
+		switch pattern {
+		case "0":
+			return 1
+		case "0,1,0":
+			if t > 0.45 {
+				return 1.8
+			}
+			return 1
+		case "0,-1,0":
+			if t > 0.45 {
+				return 0.45
+			}
+			return 1
+		case "0,1,0,-1,0":
+			if t > 0.3 && t < 0.7 {
+				return 1.9
+			}
+			return 1
+		case "0,-1,1,0":
+			if t > 0.35 && t < 0.6 {
+				return 0.4
+			}
+			return 1
+		default:
+			// Random-walk "other" pattern: several level shifts.
+			return 0.6 + 1.2*math.Abs(math.Sin(float64(d)*0.23+float64(base)))
+		}
+	}
+	for d := 0; d < days; d++ {
+		v := float64(base) * level(d)
+		if jitter > 0 {
+			v *= 1 + (rng.Float64()*2-1)*jitter
+		}
+		n := int(v + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		out[d] = n
+	}
+	return out
+}

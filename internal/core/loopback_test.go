@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"whowas/internal/features"
+	"whowas/internal/fetcher"
+	"whowas/internal/ipaddr"
+	"whowas/internal/netsim"
+	"whowas/internal/scanner"
+	"whowas/internal/store"
+	"whowas/internal/websim"
+)
+
+// TestLoopbackRealSockets drives the scanner and fetcher over the real
+// kernel TCP stack: two simulated cloud IPs are routed to actual
+// loopback listeners, a third is left unrouted so the dial must hit a
+// genuine timeout.
+func TestLoopbackRealSockets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket test skipped in -short mode")
+	}
+	lb := netsim.NewLoopback()
+	defer lb.Close()
+
+	rng := rand.New(rand.NewSource(4))
+	mkProfile := func(id uint64) websim.Profile {
+		p := websim.GenProfile(rng, id, websim.EC2Like, websim.CategoryBlog)
+		p.StatusCode = 200
+		p.ContentType = "text/html"
+		p.DefaultPage = false
+		p.MultiVhost = false
+		p.RobotsDeny = false
+		return p
+	}
+	profA := mkProfile(1)
+	profB := mkProfile(2)
+	ipA := ipaddr.MustParseAddr("54.0.0.10")
+	ipB := ipaddr.MustParseAddr("54.0.0.11")
+	ipDead := ipaddr.MustParseAddr("54.0.0.12")
+	if err := lb.ServeProfile(ipA, 80, profA, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.ServeProfile(ipB, 80, profB, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scan the three addresses with a short real timeout.
+	scn, err := scanner.New(lb, scanner.Config{Rate: 1000, Timeout: 300 * time.Millisecond, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, err := ipaddr.NewRangeList([]ipaddr.Prefix{{Addr: ipA, Bits: 30}}) // covers .8-.11... adjust
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ranges
+	// Probe each address individually for precise assertions.
+	ctx := context.Background()
+	okA, err := scn.ProbeOnce(ctx, ipA, 80, 300*time.Millisecond)
+	if err != nil || !okA {
+		t.Fatalf("probe A = %v, %v", okA, err)
+	}
+	start := time.Now()
+	okDead, err := scn.ProbeOnce(ctx, ipDead, 80, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okDead {
+		t.Fatal("unrouted IP answered")
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Errorf("dead probe returned in %v; want a real timeout wait", elapsed)
+	}
+
+	// Fetch both live pages and extract features.
+	ftc, err := fetcher.New(lb, fetcher.Config{Workers: 2, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		ip   ipaddr.Addr
+		prof websim.Profile
+		rev  int
+	}{{ipA, profA, 0}, {ipB, profB, 3}} {
+		page := ftc.FetchIP(ctx, scanner.Result{IP: tc.ip, OpenPorts: store.PortHTTP})
+		if page.Err != nil {
+			t.Fatalf("fetch %s: %v", tc.ip, page.Err)
+		}
+		if page.Status != 200 {
+			t.Fatalf("fetch %s status %d", tc.ip, page.Status)
+		}
+		rec := features.FromPage(&page)
+		if rec.Title != tc.prof.Title {
+			t.Errorf("%s: title %q, want %q", tc.ip, rec.Title, tc.prof.Title)
+		}
+		if rec.Server != tc.prof.Server {
+			t.Errorf("%s: server %q, want %q", tc.ip, rec.Server, tc.prof.Server)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package core assembles the WhoWas platform (§4, Figure 1): the
+// scanner, webpage fetcher and feature generator populating a
+// round-oriented store, plus the analysis attachments — clustering,
+// cloud cartography, and blacklist feeds. It is the public face of the
+// library: the CLIs, the examples and the benchmark harness all drive
+// a Platform.
+//
+// A Platform binds one simulated cloud (the measurement substrate
+// standing in for 2013 EC2/Azure — see DESIGN.md) to one measurement
+// campaign. Running a campaign executes the paper's §6 schedule: a
+// round of scanning every three days for the first two months and
+// daily for the final month.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"whowas/internal/blacklist"
+	"whowas/internal/carto"
+	"whowas/internal/cloudsim"
+	"whowas/internal/cluster"
+	"whowas/internal/dnssim"
+	"whowas/internal/features"
+	"whowas/internal/fetcher"
+	"whowas/internal/ipaddr"
+	"whowas/internal/netsim"
+	"whowas/internal/ratelimit"
+	"whowas/internal/scanner"
+	"whowas/internal/store"
+	"whowas/internal/websim"
+)
+
+// CampaignConfig drives one measurement campaign.
+type CampaignConfig struct {
+	// RoundDays are the campaign day offsets on which rounds run; nil
+	// means the paper's schedule (DefaultRoundSchedule).
+	RoundDays []int
+	// Scanner and Fetcher tune the pipeline; zero values take the
+	// paper's defaults (250 pps, 2 s probe timeout, 250 workers, 10 s
+	// HTTP timeout).
+	Scanner scanner.Config
+	Fetcher fetcher.Config
+	// Blacklist lists opted-out IPs that are never probed (§4/§7).
+	Blacklist *ipaddr.Set
+	// KeepBodies retains raw page bodies in the store (memory-hungry;
+	// features are extracted either way).
+	KeepBodies bool
+	// Progress, when non-nil, receives a line per round.
+	Progress func(round, day, responsive int)
+}
+
+// DefaultRoundSchedule reproduces §6: one round every 3 days during
+// the first two months, then daily for the final month. For the
+// 93-day EC2 campaign this yields the paper's 51 rounds.
+func DefaultRoundSchedule(days int) []int {
+	var out []int
+	dailyFrom := days - 30
+	if dailyFrom < 0 {
+		dailyFrom = 0
+	}
+	for d := 0; d < dailyFrom; d += 3 {
+		out = append(out, d)
+	}
+	for d := dailyFrom; d < days; d++ {
+		out = append(out, d)
+	}
+	return out
+}
+
+// FastCampaign returns a config that runs the full schedule at
+// simulation speed: probing is unthrottled (simulation only — see
+// scanner.UnlimitedRate) and worker pools are sized for throughput.
+func FastCampaign() CampaignConfig {
+	return CampaignConfig{
+		Scanner: scanner.Config{Rate: scanner.UnlimitedRate, Workers: 128},
+		Fetcher: fetcher.Config{Workers: 128, Timeout: 10 * time.Second},
+	}
+}
+
+// Platform is one cloud's measurement deployment.
+type Platform struct {
+	Cloud *cloudsim.Cloud
+	Net   *netsim.Network
+	Store *store.Store
+	// Feeds are the §8.2 blacklist attachments.
+	Feeds *blacklist.Feeds
+	// CartoMap is set by RunCartography (EC2-like clouds).
+	CartoMap *carto.Map
+	// Clusters is set by RunClustering.
+	Clusters *cluster.Result
+}
+
+// NewPlatform builds the cloud, its network, and an empty store.
+func NewPlatform(cloudCfg cloudsim.Config) (*Platform, error) {
+	cloud, err := cloudsim.New(cloudCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: building cloud: %w", err)
+	}
+	net, err := netsim.New(cloud)
+	if err != nil {
+		return nil, fmt.Errorf("core: building network: %w", err)
+	}
+	return &Platform{
+		Cloud: cloud,
+		Net:   net,
+		Store: store.New(cloudCfg.Name),
+		Feeds: blacklist.BuildFeeds(cloud),
+	}, nil
+}
+
+// RunCampaign executes rounds per the config's schedule: each round
+// advances the network day, scans the cloud's ranges, fetches pages
+// for responsive web IPs, extracts features, and stores the records.
+func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
+	days := cfg.RoundDays
+	if days == nil {
+		days = DefaultRoundSchedule(p.Cloud.Days())
+	}
+	cfg.Fetcher.UserAgent = "" // force the research UA default
+	scn, err := scanner.New(p.Net, cfg.Scanner)
+	if err != nil {
+		return err
+	}
+	ftc, err := fetcher.New(p.Net, cfg.Fetcher)
+	if err != nil {
+		return err
+	}
+	p.Store.KeepBodies = cfg.KeepBodies
+
+	for i, day := range days {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if day < 0 || day >= p.Cloud.Days() {
+			return fmt.Errorf("core: round day %d outside campaign [0,%d)", day, p.Cloud.Days())
+		}
+		p.Net.SetDay(day)
+		if _, err := p.Store.BeginRound(day); err != nil {
+			return err
+		}
+
+		results := make(chan scanner.Result, 1024)
+		pages := make(chan fetcher.Page, 1024)
+		go ftc.Run(ctx, results, pages)
+
+		collectErr := make(chan error, 1)
+		go func() {
+			for page := range pages {
+				rec := features.FromPage(&page)
+				if err := p.Store.Put(rec); err != nil {
+					collectErr <- err
+					return
+				}
+			}
+			collectErr <- nil
+		}()
+
+		stats, err := scn.ScanRanges(ctx, p.Cloud.Ranges(), cfg.Blacklist, results)
+		if err != nil {
+			<-collectErr
+			return fmt.Errorf("core: round %d scan: %w", i, err)
+		}
+		if err := <-collectErr; err != nil {
+			return fmt.Errorf("core: round %d collect: %w", i, err)
+		}
+		p.Store.AddProbed(stats.Probed)
+		// Drop pooled connections: the next round is days away, and a
+		// kept-alive connection must not outlive the IP's tenancy.
+		ftc.CloseIdle()
+		if err := p.Store.EndRound(); err != nil {
+			return err
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(i, day, int(stats.Responsive))
+		}
+	}
+	return nil
+}
+
+// RunCartography performs the §5 one-time VPC/classic DNS sweep and
+// joins the labels onto every stored record. Azure-like clouds have no
+// VPC; the sweep still runs and labels everything classic.
+func (p *Platform) RunCartography(ctx context.Context, cfg carto.Config) error {
+	resolver := dnssim.NewResolver(p.Cloud, 0)
+	if cfg.Clock == nil {
+		cfg.Clock = ratelimit.NewFakeClock(time.Unix(1380499200, 0))
+	}
+	m, err := carto.Sweep(ctx, resolver, p.Cloud.Ranges(), p.Cloud.RegionOf, cfg)
+	if err != nil {
+		return err
+	}
+	p.CartoMap = m
+	m.Apply(p.Store)
+	return nil
+}
+
+// RunClustering executes the §5 clustering over the collected rounds
+// and records the result on the platform.
+func (p *Platform) RunClustering(cfg cluster.Config) error {
+	if cfg.Seed == 0 {
+		cfg.Seed = p.Cloud.Config().Seed
+	}
+	res, err := cluster.Run(p.Store, cfg)
+	if err != nil {
+		return err
+	}
+	p.Clusters = res
+	return nil
+}
+
+// History is the headline "whowas" lookup: the per-round records of
+// one IP across the campaign.
+func (p *Platform) History(ip ipaddr.Addr) []*store.Record {
+	return p.Store.History(ip)
+}
+
+// IsEC2Like reports whether the platform's cloud models EC2 (and thus
+// has VPC networking and a meaningful cartography).
+func (p *Platform) IsEC2Like() bool {
+	return p.Cloud.Config().Kind == websim.EC2Like
+}

@@ -1,0 +1,158 @@
+// Package dnssim simulates the two DNS surfaces WhoWas uses:
+//
+//  1. Amazon's internal resolution of EC2-style public DNS names
+//     ("ec2-1-2-3-4.compute-1.amazonaws.com"), which the cloud
+//     cartography of §5 interrogates to separate VPC from classic
+//     prefixes: a name with no active instance yields an SOA record,
+//     a VPC instance resolves to its public IP, and a classic instance
+//     (queried from inside EC2) resolves to its private IP.
+//
+//  2. Forward resolution of tenant web-service domains, which the
+//     DNS-interrogation baseline (prior work the paper compares
+//     against) uses to discover cloud deployments.
+package dnssim
+
+import (
+	"fmt"
+	"strings"
+
+	"whowas/internal/cloudsim"
+	"whowas/internal/ipaddr"
+)
+
+// ResponseType classifies a DNS answer.
+type ResponseType int
+
+const (
+	// SOA means no DNS information exists for the name (NXDOMAIN with
+	// a start-of-authority record), i.e. no active instance.
+	SOA ResponseType = iota
+	// PublicA means the name resolved to a public cloud IP (VPC).
+	PublicA
+	// PrivateA means the name resolved to a private 10/8 IP (classic,
+	// as seen from inside the cloud).
+	PrivateA
+)
+
+func (t ResponseType) String() string {
+	switch t {
+	case PublicA:
+		return "public-a"
+	case PrivateA:
+		return "private-a"
+	default:
+		return "soa"
+	}
+}
+
+// Response is one DNS answer.
+type Response struct {
+	Type ResponseType
+	Addr ipaddr.Addr // meaningful for PublicA (the public IP) and PrivateA (a 10/8 address)
+}
+
+// Resolver answers DNS queries from the simulated cloud's ground truth.
+type Resolver struct {
+	cloud *cloudsim.Cloud
+	day   int
+	// Queries counts lookups, for rate-limit verification in tests.
+	Queries int64
+}
+
+// NewResolver builds a resolver pinned at the given campaign day (the
+// cartography sweep is a one-time measurement).
+func NewResolver(cloud *cloudsim.Cloud, day int) *Resolver {
+	return &Resolver{cloud: cloud, day: day}
+}
+
+// PublicName renders the EC2-style public DNS name for an IP, matching
+// the provider pattern described in §2: prefix "ec2-", dots replaced
+// with hyphens, and a region-specific suffix.
+func PublicName(ip ipaddr.Addr, region string) string {
+	dashed := strings.ReplaceAll(ip.String(), ".", "-")
+	suffix := region + ".compute.amazonaws.com"
+	if region == "us-east-1" {
+		suffix = "compute-1.amazonaws.com"
+	}
+	return fmt.Sprintf("ec2-%s.%s", dashed, suffix)
+}
+
+// ParsePublicName inverts PublicName, extracting the IP.
+func ParsePublicName(name string) (ipaddr.Addr, error) {
+	if !strings.HasPrefix(name, "ec2-") {
+		return 0, fmt.Errorf("dnssim: %q is not an EC2-style name", name)
+	}
+	rest := name[len("ec2-"):]
+	dot := strings.IndexByte(rest, '.')
+	if dot < 0 {
+		return 0, fmt.Errorf("dnssim: %q has no domain suffix", name)
+	}
+	quad := strings.ReplaceAll(rest[:dot], "-", ".")
+	a, err := ipaddr.ParseAddr(quad)
+	if err != nil {
+		return 0, fmt.Errorf("dnssim: %q: %w", name, err)
+	}
+	return a, nil
+}
+
+// LookupPublicName resolves an EC2-style public DNS name as Amazon's
+// internal DNS would for a query from a classic instance (§5):
+//
+//   - unbound IP -> SOA,
+//   - VPC instance -> the public IP itself,
+//   - classic instance -> the instance's private 10/8 address.
+func (r *Resolver) LookupPublicName(name string) (Response, error) {
+	r.Queries++
+	ip, err := ParsePublicName(name)
+	if err != nil {
+		return Response{}, err
+	}
+	st := r.cloud.StateAt(r.day, ip)
+	switch {
+	case !st.Bound:
+		return Response{Type: SOA}, nil
+	case st.VPC:
+		return Response{Type: PublicA, Addr: ip}, nil
+	default:
+		return Response{Type: PrivateA, Addr: privateFor(ip)}, nil
+	}
+}
+
+// privateFor derives a deterministic private address for a classic
+// instance.
+func privateFor(ip ipaddr.Addr) ipaddr.Addr {
+	return ipaddr.Addr(uint32(10)<<24 | uint32(ip)&0x00ffffff)
+}
+
+// LookupDomain resolves a tenant domain to the service's public IPs on
+// a given day. Only services with a public DNS record resolve; this is
+// what limits the DNS-interrogation baseline's coverage. At most max
+// IPs are returned (authoritative servers cap answer sets; pass 0 for
+// no cap).
+func (r *Resolver) LookupDomain(domain string, day int, max int) []ipaddr.Addr {
+	r.Queries++
+	for _, svc := range r.cloud.Services() {
+		if !svc.HasDNS || !svc.Ports.Web() || svc.Profile.Domain != domain {
+			continue
+		}
+		ips := r.cloud.AssignedIPs(day, svc.ID)
+		if max > 0 && len(ips) > max {
+			ips = ips[:max]
+		}
+		return ips
+	}
+	return nil
+}
+
+// Domains lists every resolvable tenant domain (the baseline's seed
+// list, standing in for the Alexa-derived domain lists prior work
+// interrogated).
+func (r *Resolver) Domains() []string {
+	var out []string
+	for _, svc := range r.cloud.Services() {
+		if svc.HasDNS && svc.Ports.Web() && svc.Profile.Domain != "" {
+			out = append(out, svc.Profile.Domain)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package dnssim
+
+import (
+	"testing"
+
+	"whowas/internal/cloudsim"
+	"whowas/internal/ipaddr"
+)
+
+func testCloud(t testing.TB) *cloudsim.Cloud {
+	t.Helper()
+	c, err := cloudsim.New(cloudsim.DefaultEC2Config(512, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPublicNameRoundTrip(t *testing.T) {
+	ip := ipaddr.MustParseAddr("54.208.37.5")
+	name := PublicName(ip, "us-east-1")
+	if name != "ec2-54-208-37-5.compute-1.amazonaws.com" {
+		t.Errorf("PublicName = %q", name)
+	}
+	got, err := ParsePublicName(name)
+	if err != nil || got != ip {
+		t.Errorf("ParsePublicName = %v, %v", got, err)
+	}
+	// Non us-east regions use the region in the suffix.
+	name2 := PublicName(ip, "eu-west-1")
+	if name2 != "ec2-54-208-37-5.eu-west-1.compute.amazonaws.com" {
+		t.Errorf("PublicName eu = %q", name2)
+	}
+}
+
+func TestParsePublicNameErrors(t *testing.T) {
+	for _, bad := range []string{"", "foo.example.com", "ec2-1-2-3.compute-1.amazonaws.com", "ec2-nodots"} {
+		if _, err := ParsePublicName(bad); err == nil {
+			t.Errorf("ParsePublicName(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestLookupSemantics(t *testing.T) {
+	cloud := testCloud(t)
+	r := NewResolver(cloud, 0)
+	var sawSOA, sawPublic, sawPrivate bool
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		st := cloud.StateAt(0, a)
+		resp, err := r.LookupPublicName(PublicName(a, cloud.RegionOf(a)))
+		if err != nil {
+			t.Fatalf("lookup %s: %v", a, err)
+		}
+		switch {
+		case !st.Bound:
+			if resp.Type != SOA {
+				t.Fatalf("%s unbound but response %v", a, resp.Type)
+			}
+			sawSOA = true
+		case st.VPC:
+			if resp.Type != PublicA || resp.Addr != a {
+				t.Fatalf("%s VPC but response %v %v", a, resp.Type, resp.Addr)
+			}
+			sawPublic = true
+		default:
+			if resp.Type != PrivateA {
+				t.Fatalf("%s classic but response %v", a, resp.Type)
+			}
+			if resp.Addr>>24 != 10 {
+				t.Fatalf("classic private addr %v not in 10/8", resp.Addr)
+			}
+			sawPrivate = true
+		}
+		return sawSOA == false || sawPublic == false || sawPrivate == false
+	})
+	if !sawSOA || !sawPublic || !sawPrivate {
+		t.Errorf("response coverage: soa=%v public=%v private=%v", sawSOA, sawPublic, sawPrivate)
+	}
+}
+
+func TestQueriesCounted(t *testing.T) {
+	cloud := testCloud(t)
+	r := NewResolver(cloud, 0)
+	ip, _ := cloud.Ranges().AtIndex(0)
+	for i := 0; i < 5; i++ {
+		_, _ = r.LookupPublicName(PublicName(ip, cloud.RegionOf(ip)))
+	}
+	if r.Queries != 5 {
+		t.Errorf("Queries = %d, want 5", r.Queries)
+	}
+}
+
+func TestLookupDomain(t *testing.T) {
+	cloud := testCloud(t)
+	r := NewResolver(cloud, 0)
+	// Find a DNS-registered web service alive on day 0.
+	var domain string
+	var svcID uint64
+	for _, svc := range cloud.Services() {
+		if svc.HasDNS && svc.Ports.Web() && svc.SizeOn(0) > 0 {
+			domain = svc.Profile.Domain
+			svcID = svc.ID
+			break
+		}
+	}
+	if domain == "" {
+		t.Fatal("no DNS-registered service found")
+	}
+	ips := r.LookupDomain(domain, 0, 0)
+	want := cloud.AssignedIPs(0, svcID)
+	if len(ips) != len(want) {
+		t.Errorf("LookupDomain returned %d IPs, ground truth %d", len(ips), len(want))
+	}
+	// Cap respected.
+	if len(want) > 0 {
+		capped := r.LookupDomain(domain, 0, 1)
+		if len(capped) != 1 {
+			t.Errorf("capped lookup returned %d IPs", len(capped))
+		}
+	}
+	if got := r.LookupDomain("no-such-domain.example", 0, 0); got != nil {
+		t.Errorf("unknown domain resolved: %v", got)
+	}
+}
+
+func TestDomainsList(t *testing.T) {
+	cloud := testCloud(t)
+	r := NewResolver(cloud, 0)
+	domains := r.Domains()
+	if len(domains) == 0 {
+		t.Fatal("no resolvable domains")
+	}
+	// Every listed domain must resolve on some day.
+	resolved := 0
+	for _, d := range domains[:min(50, len(domains))] {
+		for day := 0; day < cloud.Days(); day += 10 {
+			if len(r.LookupDomain(d, day, 0)) > 0 {
+				resolved++
+				break
+			}
+		}
+	}
+	if resolved == 0 {
+		t.Error("no listed domain ever resolves")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

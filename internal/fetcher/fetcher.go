@@ -1,0 +1,357 @@
+// Package fetcher implements WhoWas's webpage fetcher (§4): a worker
+// pool that, for each IP the scanner reports with an open web port,
+// fetches robots.txt, honors a top-level disallow, and then issues at
+// most one GET for the root URL. The URL scheme is "http://" when port
+// 80 answered and "https://" when only 443 did.
+//
+// Per the paper's ethics stance (§7), the User-Agent identifies the
+// measurement as research and carries a contact address; at most two
+// GETs are made per IP per round; and only textual content is stored,
+// truncated to 512 KB.
+package fetcher
+
+import (
+	"context"
+	"crypto/tls"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"net/url"
+
+	"whowas/internal/htmlparse"
+	"whowas/internal/ipaddr"
+	"whowas/internal/netsim"
+	"whowas/internal/scanner"
+	"whowas/internal/store"
+)
+
+// DefaultUserAgent is the research-identifying UA string (§7).
+const DefaultUserAgent = "WhoWas-Research-Scanner/1.0 (measurement study; contact: whowas@example.edu; opt-out honored)"
+
+// MaxBodyBytes caps stored content at 512 KB (§4).
+const MaxBodyBytes = 512 * 1024
+
+// Config tunes the fetcher. Zero fields take the paper's defaults
+// (250 workers, 10 s HTTP timeout).
+type Config struct {
+	Workers   int
+	Timeout   time.Duration
+	MaxBody   int
+	UserAgent string
+	// FollowLinks enables the §9 future-work extension: after the
+	// top-level GET of a 200 HTML page, follow up to this many
+	// same-site links (fetched by path on the same IP). 0 preserves
+	// the paper's behaviour — "the fetcher does not follow links".
+	FollowLinks int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Workers <= 0 {
+		out.Workers = 250
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 10 * time.Second
+	}
+	if out.MaxBody <= 0 {
+		out.MaxBody = MaxBodyBytes
+	}
+	if out.UserAgent == "" {
+		out.UserAgent = DefaultUserAgent
+	}
+	return out
+}
+
+// SubPage is one followed link's outcome (FollowLinks > 0).
+type SubPage struct {
+	Path   string
+	Status int
+	Body   []byte
+}
+
+// Page is the outcome of fetching one IP in one round.
+type Page struct {
+	IP           ipaddr.Addr
+	OpenPorts    uint8 // copied from the scan result
+	Scheme       string
+	Status       int // 0 when no HTTP response was obtained
+	Header       http.Header
+	ContentType  string
+	Body         []byte    // truncated, textual content only
+	BodySkipped  bool      // non-text content: headers kept, body not downloaded
+	RobotsDenied bool      // robots.txt disallows "/": no page GET was made
+	SubPages     []SubPage // followed links, when the extension is enabled
+	Err          error     // transport-level failure, nil on any HTTP response
+}
+
+// Available mirrors the paper's availability definition: the HTTP(S)
+// request for the root URL succeeded.
+func (p *Page) Available() bool { return p.Status != 0 }
+
+// Fetcher fetches pages through a Dialer.
+type Fetcher struct {
+	cfg       Config
+	client    *http.Client
+	transport *http.Transport
+}
+
+// CloseIdle drops pooled keep-alive connections. The platform calls it
+// between rounds: rounds are days apart, and no real server keeps a
+// connection open that long — without this, a pooled connection could
+// observe a dead IP as still serving.
+func (f *Fetcher) CloseIdle() { f.transport.CloseIdleConnections() }
+
+// New builds a fetcher over the given dialer.
+func New(dialer netsim.Dialer, cfg Config) (*Fetcher, error) {
+	if dialer == nil {
+		return nil, fmt.Errorf("fetcher: nil dialer")
+	}
+	c := cfg.withDefaults()
+	transport := &http.Transport{
+		DialContext:         dialer.DialContext,
+		TLSClientConfig:     &tls.Config{InsecureSkipVerify: true}, // cloud IPs serve self-signed certs
+		MaxIdleConnsPerHost: 1,
+		DisableCompression:  true,
+	}
+	return &Fetcher{
+		cfg:       c,
+		transport: transport,
+		client: &http.Client{
+			Transport: transport,
+			Timeout:   c.Timeout,
+			// The paper's fetcher does not follow links or redirects
+			// off the measured IP.
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		},
+	}, nil
+}
+
+// textualType reports whether a content type's body is stored. The
+// paper forgoes application/*, audio/*, image/* and video/* content,
+// with the structured-text exceptions that appear in its Table 5.
+func textualType(ctype string) bool {
+	ct := strings.ToLower(strings.TrimSpace(strings.SplitN(ctype, ";", 2)[0]))
+	if strings.HasPrefix(ct, "text/") {
+		return true
+	}
+	switch ct {
+	case "application/json", "application/xml", "application/xhtml+xml":
+		return true
+	}
+	return false
+}
+
+// get performs one GET, recording status/headers and, for textual
+// types, the truncated body.
+func (f *Fetcher) get(ctx context.Context, url string) (*Page, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("User-Agent", f.cfg.UserAgent)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	page := &Page{
+		Status:      resp.StatusCode,
+		Header:      resp.Header,
+		ContentType: resp.Header.Get("Content-Type"),
+	}
+	if textualType(page.ContentType) {
+		body, err := io.ReadAll(io.LimitReader(resp.Body, int64(f.cfg.MaxBody)))
+		if err != nil {
+			// Keep what arrived; the response itself succeeded.
+			page.Body = body
+			return page, nil
+		}
+		page.Body = body
+	} else {
+		page.BodySkipped = true
+	}
+	return page, nil
+}
+
+// FetchIP runs the §4 exchange for one responsive IP: robots.txt
+// first, then at most one GET for "/".
+func (f *Fetcher) FetchIP(ctx context.Context, res scanner.Result) Page {
+	scheme := "http"
+	if res.OpenPorts&store.PortHTTP == 0 {
+		scheme = "https"
+	}
+	out := Page{IP: res.IP, OpenPorts: res.OpenPorts, Scheme: scheme}
+	base := fmt.Sprintf("%s://%s", scheme, res.IP)
+
+	robots, err := f.get(ctx, base+"/robots.txt")
+	if err == nil && robots.Status == 200 && len(robots.Body) > 0 {
+		if RobotsDisallowsRoot(string(robots.Body), f.cfg.UserAgent) {
+			out.RobotsDenied = true
+			return out
+		}
+	}
+
+	page, err := f.get(ctx, base+"/")
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Status = page.Status
+	out.Header = page.Header
+	out.ContentType = page.ContentType
+	out.Body = page.Body
+	out.BodySkipped = page.BodySkipped
+
+	// §9 extension: follow same-site links from the front page.
+	if f.cfg.FollowLinks > 0 && out.Status == 200 && len(out.Body) > 0 &&
+		strings.HasPrefix(strings.ToLower(out.ContentType), "text/html") {
+		for _, path := range SameSitePaths(string(out.Body), f.cfg.FollowLinks) {
+			sub, err := f.get(ctx, base+path)
+			if err != nil {
+				continue
+			}
+			out.SubPages = append(out.SubPages, SubPage{Path: path, Status: sub.Status, Body: sub.Body})
+		}
+	}
+	return out
+}
+
+// SameSitePaths extracts up to max distinct link paths from page
+// markup, dropping the root, fragments, and off-page artifacts. Links
+// to the site's own domain are followed by path on the measured IP —
+// WhoWas visits by address, not by name.
+func SameSitePaths(body string, max int) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, u := range htmlparse.Parse(body).Links {
+		parsed, err := url.Parse(u)
+		if err != nil || parsed.Path == "" || parsed.Path == "/" {
+			continue
+		}
+		// Skip links that are clearly third-party assets (tracker
+		// scripts and CDNs live on well-known hosts, not the site).
+		if strings.Contains(parsed.Host, "google-analytics") ||
+			strings.Contains(parsed.Host, "facebook") ||
+			strings.Contains(parsed.Host, "twitter") ||
+			strings.Contains(parsed.Host, "doubleclick") {
+			continue
+		}
+		p := parsed.Path
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// Run consumes scan results and produces Pages with the configured
+// worker pool, closing out when in is exhausted.
+func (f *Fetcher) Run(ctx context.Context, in <-chan scanner.Result, out chan<- Page) {
+	var wg sync.WaitGroup
+	for w := 0; w < f.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for res := range in {
+				if res.OpenPorts&(store.PortHTTP|store.PortHTTPS) == 0 {
+					// SSH-only: nothing to fetch, but the record of the
+					// responsive IP still flows through.
+					select {
+					case out <- Page{IP: res.IP, OpenPorts: res.OpenPorts}:
+					case <-ctx.Done():
+						return
+					}
+					continue
+				}
+				page := f.FetchIP(ctx, res)
+				select {
+				case out <- page:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+}
+
+// RobotsDisallowsRoot parses a robots.txt body and reports whether the
+// root path is disallowed for the given user agent (matching the
+// agent's product token or the wildcard group). Only a "Disallow: /"
+// rule blocks the top-level fetch, which is the exclusion the paper
+// honors.
+func RobotsDisallowsRoot(body, userAgent string) bool {
+	token := strings.ToLower(strings.SplitN(userAgent, "/", 2)[0])
+	var inWildcard, inOurs bool
+	denyWildcard, denyOurs := false, false
+	sawAnyGroup := false
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		field := strings.ToLower(strings.TrimSpace(line[:colon]))
+		value := strings.TrimSpace(line[colon+1:])
+		switch field {
+		case "user-agent":
+			v := strings.ToLower(value)
+			// A new group starts; reset membership when we had already
+			// collected rules for the previous group run.
+			if sawAnyGroup {
+				inWildcard, inOurs = false, false
+				sawAnyGroup = false
+			}
+			if v == "*" {
+				inWildcard = true
+			}
+			if v != "*" && strings.Contains(token, v) {
+				inOurs = true
+			}
+		case "disallow":
+			sawAnyGroup = true
+			if value == "/" {
+				if inWildcard {
+					denyWildcard = true
+				}
+				if inOurs {
+					denyOurs = true
+				}
+			}
+		case "allow":
+			sawAnyGroup = true
+			if value == "/" {
+				if inOurs {
+					return false
+				}
+				if inWildcard {
+					denyWildcard = false
+				}
+			}
+		}
+	}
+	if denyOurs {
+		return true
+	}
+	return denyWildcard
+}

@@ -1,0 +1,293 @@
+package fetcher
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"whowas/internal/cloudsim"
+	"whowas/internal/ipaddr"
+	"whowas/internal/netsim"
+	"whowas/internal/scanner"
+	"whowas/internal/store"
+)
+
+func testSetup(t testing.TB) (*cloudsim.Cloud, *netsim.Network, *Fetcher) {
+	t.Helper()
+	cloud, err := cloudsim.New(cloudsim.DefaultEC2Config(1024, 51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := netsim.New(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(net, Config{Workers: 32, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cloud, net, f
+}
+
+func findIP(t testing.TB, cloud *cloudsim.Cloud, pred func(cloudsim.IPState) bool) ipaddr.Addr {
+	t.Helper()
+	var out ipaddr.Addr
+	found := false
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		if pred(cloud.StateAt(0, a)) {
+			out, found = a, true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Skip("no IP matches predicate in sample cloud")
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil dialer accepted")
+	}
+	_, net, _ := testSetup(t)
+	f, err := New(net, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.cfg.Workers != 250 || f.cfg.Timeout != 10*time.Second || f.cfg.MaxBody != MaxBodyBytes {
+		t.Errorf("defaults = %+v", f.cfg)
+	}
+	if !strings.Contains(f.cfg.UserAgent, "contact:") {
+		t.Error("default User-Agent lacks contact note (§7)")
+	}
+}
+
+func webPred(port cloudsim.PortProfile) func(cloudsim.IPState) bool {
+	return func(s cloudsim.IPState) bool {
+		return s.Bound && s.Web && s.Ports == port && !s.Slow && !s.HTTPFail && !s.Down
+	}
+}
+
+func TestFetchHTTPPage(t *testing.T) {
+	cloud, _, f := testSetup(t)
+	ip := findIP(t, cloud, webPred(cloudsim.HTTPBoth))
+	page := f.FetchIP(context.Background(), scanner.Result{IP: ip, OpenPorts: store.PortHTTP | store.PortHTTPS})
+	prof, rev, ok := cloud.PageOn(0, ip)
+	if !ok {
+		t.Fatal("ground truth has no page")
+	}
+	if page.Scheme != "http" {
+		t.Errorf("scheme = %q, want http (port 80 open)", page.Scheme)
+	}
+	if page.RobotsDenied != prof.RobotsDeny {
+		t.Errorf("RobotsDenied = %v, ground truth %v", page.RobotsDenied, prof.RobotsDeny)
+	}
+	if prof.RobotsDeny {
+		if page.Status != 0 {
+			t.Error("denied page still fetched")
+		}
+		return
+	}
+	if page.Status != prof.StatusCode {
+		t.Errorf("status = %d, want %d", page.Status, prof.StatusCode)
+	}
+	wantBody := prof.RenderPage(rev)
+	if string(page.Body) != wantBody {
+		t.Errorf("body len = %d, want %d", len(page.Body), len(wantBody))
+	}
+}
+
+func TestFetchHTTPSOnly(t *testing.T) {
+	cloud, _, f := testSetup(t)
+	ip := findIP(t, cloud, webPred(cloudsim.HTTPSOnly))
+	page := f.FetchIP(context.Background(), scanner.Result{IP: ip, OpenPorts: store.PortHTTPS})
+	if page.Scheme != "https" {
+		t.Fatalf("scheme = %q, want https", page.Scheme)
+	}
+	if page.Err != nil {
+		t.Fatalf("https fetch failed: %v", page.Err)
+	}
+	if !page.RobotsDenied && page.Status == 0 {
+		t.Error("no HTTP response on https-only fetch")
+	}
+}
+
+func TestFetchFailingIP(t *testing.T) {
+	cloud, _, f := testSetup(t)
+	ip := findIP(t, cloud, func(s cloudsim.IPState) bool {
+		return s.Bound && s.Web && s.HTTPFail && !s.Slow && s.Ports == cloudsim.HTTPBoth
+	})
+	page := f.FetchIP(context.Background(), scanner.Result{IP: ip, OpenPorts: store.PortHTTP})
+	// The backend answers 503 (or resets); either way the IP must not
+	// look like a healthy 200.
+	if page.Status == 200 {
+		t.Errorf("failing IP returned 200")
+	}
+}
+
+func TestBodyTruncation(t *testing.T) {
+	cloud, net, _ := testSetup(t)
+	f, err := New(net, Config{Workers: 1, Timeout: 5 * time.Second, MaxBody: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ip ipaddr.Addr
+	found := false
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		st := cloud.StateAt(0, a)
+		if !(st.Bound && st.Web && !st.Slow && st.Ports == cloudsim.HTTPBoth) {
+			return true
+		}
+		prof, rev, ok := cloud.PageOn(0, a)
+		if ok && !prof.RobotsDeny && prof.StatusCode == 200 && len(prof.RenderPage(rev)) > 64 {
+			ip, found = a, true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Skip("no suitable IP")
+	}
+	page := f.FetchIP(context.Background(), scanner.Result{IP: ip, OpenPorts: store.PortHTTP})
+	if len(page.Body) > 64 {
+		t.Errorf("body = %d bytes, cap 64", len(page.Body))
+	}
+}
+
+func TestRunPool(t *testing.T) {
+	cloud, _, f := testSetup(t)
+	// Feed a batch of mixed results through the pool.
+	in := make(chan scanner.Result, 64)
+	out := make(chan Page, 64)
+	go f.Run(context.Background(), in, out)
+
+	// Producer runs concurrently: filling `in` from the main goroutine
+	// before draining `out` would deadlock once both buffers fill.
+	want := make(chan int, 1)
+	go func() {
+		n, count := 0, 0
+		cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+			st := cloud.StateAt(0, a)
+			if !st.Bound || st.Slow {
+				return true
+			}
+			var ports uint8
+			switch st.Ports {
+			case cloudsim.SSHOnly:
+				ports = store.PortSSH
+			case cloudsim.HTTPOnly:
+				ports = store.PortHTTP
+			case cloudsim.HTTPSOnly:
+				ports = store.PortHTTPS
+			case cloudsim.HTTPBoth:
+				ports = store.PortHTTP | store.PortHTTPS
+			}
+			in <- scanner.Result{IP: a, OpenPorts: ports}
+			n++
+			count++
+			return count < 200
+		})
+		close(in)
+		want <- n
+	}()
+	got := 0
+	sshPages, webPages := 0, 0
+	for page := range out {
+		got++
+		if page.OpenPorts&(store.PortHTTP|store.PortHTTPS) == 0 {
+			sshPages++
+			if page.Status != 0 {
+				t.Error("SSH-only page has HTTP status")
+			}
+		} else {
+			webPages++
+		}
+	}
+	if w := <-want; got != w {
+		t.Errorf("pool emitted %d pages, want %d", got, w)
+	}
+	if sshPages == 0 || webPages == 0 {
+		t.Errorf("page mix: ssh=%d web=%d", sshPages, webPages)
+	}
+}
+
+func TestTextualType(t *testing.T) {
+	cases := map[string]bool{
+		"text/html":                true,
+		"text/html; charset=utf-8": true,
+		"TEXT/PLAIN":               true,
+		"application/json":         true,
+		"application/xml":          true,
+		"application/xhtml+xml":    true,
+		"application/octet-stream": false,
+		"image/png":                false,
+		"video/mp4":                false,
+		"audio/mpeg":               false,
+		"application/pdf":          false,
+		"":                         false,
+	}
+	for in, want := range cases {
+		if got := textualType(in); got != want {
+			t.Errorf("textualType(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestRobotsDisallowsRoot(t *testing.T) {
+	ua := DefaultUserAgent
+	cases := []struct {
+		name, body string
+		want       bool
+	}{
+		{"empty", "", false},
+		{"wildcard deny", "User-agent: *\nDisallow: /\n", true},
+		{"wildcard deny subpath only", "User-agent: *\nDisallow: /admin/\n", false},
+		{"deny other agent", "User-agent: Googlebot\nDisallow: /\n", false},
+		{"deny us by name", "User-agent: whowas-research-scanner\nDisallow: /\n", true},
+		{"allow overrides for us", "User-agent: whowas-research-scanner\nAllow: /\nUser-agent: *\nDisallow: /\n", false},
+		{"comments and case", "# block all\nUSER-AGENT: *\nDISALLOW: /\n", true},
+		{"empty disallow allows", "User-agent: *\nDisallow:\n", false},
+		{"multiple groups", "User-agent: a\nDisallow: /x\n\nUser-agent: *\nDisallow: /\n", true},
+	}
+	for _, c := range cases {
+		if got := RobotsDisallowsRoot(c.body, ua); got != c.want {
+			t.Errorf("%s: RobotsDisallowsRoot = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPageAvailable(t *testing.T) {
+	p := Page{}
+	if p.Available() {
+		t.Error("zero page available")
+	}
+	p.Status = 404
+	if !p.Available() {
+		t.Error("404 page not available (any response counts, §4)")
+	}
+}
+
+func BenchmarkFetchIP(b *testing.B) {
+	cloud, _, f := testSetup(b)
+	var ip ipaddr.Addr
+	found := false
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		st := cloud.StateAt(0, a)
+		if st.Bound && st.Web && !st.Slow && !st.HTTPFail && !st.Down && st.Ports == cloudsim.HTTPBoth {
+			ip, found = a, true
+			return false
+		}
+		return true
+	})
+	if !found {
+		b.Skip("no suitable IP")
+	}
+	res := scanner.Result{IP: ip, OpenPorts: store.PortHTTP | store.PortHTTPS}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.FetchIP(context.Background(), res)
+	}
+}

@@ -1,0 +1,330 @@
+// Package htmlparse provides a small, fault-tolerant HTML scanner used
+// by the WhoWas feature generator (§4). The standard library contains
+// no HTML parser, so the package implements a forgiving tokenizer that
+// extracts exactly what WhoWas needs from fetched pages:
+//
+//   - the <title> string
+//   - <meta name="description|keywords|generator" content="..."> values
+//   - Google Analytics IDs embedded in tracking snippets
+//   - absolute URLs appearing in href/src attributes and in script text
+//     (for the malicious-URL analysis of §8.2)
+//   - third-party tracker fingerprint matching (§8.3)
+//   - the visible text, for simhash fingerprinting
+//
+// Malformed markup (unclosed tags, bare ampersands, attribute soup from
+// 2013-era templates) must not cause failures: the tokenizer never
+// returns an error, it extracts what it can.
+package htmlparse
+
+import (
+	"strings"
+)
+
+// Document holds everything WhoWas extracts from one HTML page.
+type Document struct {
+	Title       string   // first <title> contents, whitespace-collapsed
+	Description string   // <meta name="description" content>
+	Keywords    string   // <meta name="keywords" content>
+	Generator   string   // <meta name="generator" content> (web template, e.g. "WordPress 3.5.1")
+	AnalyticsID string   // first Google Analytics ID (UA-xxxx-n), "" if none
+	Links       []string // absolute http(s) URLs from href/src attributes and script bodies
+	Text        string   // visible text with tags stripped
+}
+
+// Parse scans page markup and extracts Document fields. It never fails;
+// missing pieces are left zero-valued, matching the paper's "unknown"
+// convention for absent features.
+func Parse(html string) Document {
+	var doc Document
+	var text strings.Builder
+	seenLink := map[string]bool{}
+
+	addLink := func(u string) {
+		u = strings.TrimSpace(u)
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return
+		}
+		if !seenLink[u] {
+			seenLink[u] = true
+			doc.Links = append(doc.Links, u)
+		}
+	}
+
+	i := 0
+	n := len(html)
+	for i < n {
+		lt := strings.IndexByte(html[i:], '<')
+		if lt < 0 {
+			text.WriteString(html[i:])
+			break
+		}
+		text.WriteString(html[i : i+lt])
+		i += lt
+		// Comments: skip to -->.
+		if strings.HasPrefix(html[i:], "<!--") {
+			end := strings.Index(html[i+4:], "-->")
+			if end < 0 {
+				break
+			}
+			i += 4 + end + 3
+			continue
+		}
+		gt := strings.IndexByte(html[i:], '>')
+		if gt < 0 {
+			// Unterminated tag at EOF: treat remainder as discarded markup.
+			break
+		}
+		tag := html[i+1 : i+gt]
+		i += gt + 1
+
+		name, attrs := splitTag(tag)
+		switch name {
+		case "title":
+			body, rest := untilClose(html[i:], "title")
+			if doc.Title == "" {
+				doc.Title = CollapseSpace(body)
+			}
+			text.WriteString(body)
+			text.WriteByte(' ')
+			i += rest
+		case "script":
+			body, rest := untilClose(html[i:], "script")
+			for _, u := range ExtractURLs(body) {
+				addLink(u)
+			}
+			if doc.AnalyticsID == "" {
+				doc.AnalyticsID = FindAnalyticsID(body)
+			}
+			i += rest
+		case "style":
+			_, rest := untilClose(html[i:], "style")
+			i += rest
+		case "meta":
+			metaName := strings.ToLower(attrValue(attrs, "name"))
+			content := attrValue(attrs, "content")
+			switch metaName {
+			case "description":
+				if doc.Description == "" {
+					doc.Description = CollapseSpace(content)
+				}
+			case "keywords":
+				if doc.Keywords == "" {
+					doc.Keywords = CollapseSpace(content)
+				}
+			case "generator":
+				if doc.Generator == "" {
+					doc.Generator = CollapseSpace(content)
+				}
+			}
+		case "a", "link", "img", "iframe", "frame", "embed", "source", "form":
+			for _, attr := range []string{"href", "src", "action"} {
+				if v := attrValue(attrs, attr); v != "" {
+					addLink(v)
+				}
+			}
+		case "br", "p", "div", "li", "tr", "td", "th", "h1", "h2", "h3", "h4", "h5", "h6":
+			text.WriteByte(' ')
+		}
+	}
+	doc.Text = CollapseSpace(text.String())
+	if doc.AnalyticsID == "" {
+		doc.AnalyticsID = FindAnalyticsID(html)
+	}
+	return doc
+}
+
+// splitTag splits a raw tag body ("meta name=... content=...") into the
+// lowercase element name and its attribute region. Closing tags and
+// doctype declarations yield their name with the leading '/' or '!'.
+func splitTag(tag string) (name, attrs string) {
+	tag = strings.TrimSpace(tag)
+	end := len(tag)
+	for j := 0; j < len(tag); j++ {
+		c := tag[j]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			end = j
+			break
+		}
+	}
+	name = strings.ToLower(strings.TrimSuffix(tag[:end], "/"))
+	attrs = tag[end:]
+	return name, attrs
+}
+
+// untilClose returns the run of text up to (not including) the closing
+// tag </name> in s, plus the number of bytes consumed including the
+// closing tag. If the closing tag is missing, the rest of s is the body.
+func untilClose(s, name string) (body string, consumed int) {
+	lower := strings.ToLower(s)
+	idx := strings.Index(lower, "</"+name)
+	if idx < 0 {
+		return s, len(s)
+	}
+	gt := strings.IndexByte(s[idx:], '>')
+	if gt < 0 {
+		return s[:idx], len(s)
+	}
+	return s[:idx], idx + gt + 1
+}
+
+// attrValue extracts a (case-insensitive) attribute value from a tag's
+// attribute region, handling single-, double- and un-quoted forms.
+func attrValue(attrs, name string) string {
+	lower := strings.ToLower(attrs)
+	needle := name + "="
+	from := 0
+	for {
+		idx := strings.Index(lower[from:], needle)
+		if idx < 0 {
+			return ""
+		}
+		idx += from
+		// Must be at a word boundary (start or preceded by whitespace).
+		if idx > 0 {
+			prev := lower[idx-1]
+			if prev != ' ' && prev != '\t' && prev != '\n' && prev != '\r' && prev != '\'' && prev != '"' {
+				from = idx + len(needle)
+				continue
+			}
+		}
+		rest := attrs[idx+len(needle):]
+		if rest == "" {
+			return ""
+		}
+		switch rest[0] {
+		case '"':
+			if end := strings.IndexByte(rest[1:], '"'); end >= 0 {
+				return rest[1 : 1+end]
+			}
+			return rest[1:]
+		case '\'':
+			if end := strings.IndexByte(rest[1:], '\''); end >= 0 {
+				return rest[1 : 1+end]
+			}
+			return rest[1:]
+		default:
+			end := strings.IndexAny(rest, " \t\n\r>")
+			if end < 0 {
+				return rest
+			}
+			return rest[:end]
+		}
+	}
+}
+
+// CollapseSpace trims and collapses runs of whitespace to single spaces.
+func CollapseSpace(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	space := false
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\f' {
+			space = true
+			continue
+		}
+		if space && sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		space = false
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+// ExtractURLs returns every absolute http(s) URL appearing in raw text
+// (script bodies, attributes already handled separately). A URL runs
+// until whitespace, quote, or markup delimiter.
+func ExtractURLs(s string) []string {
+	var urls []string
+	for i := 0; i < len(s); {
+		idx := strings.Index(s[i:], "http")
+		if idx < 0 {
+			break
+		}
+		i += idx
+		rest := s[i:]
+		var scheme int
+		switch {
+		case strings.HasPrefix(rest, "https://"):
+			scheme = len("https://")
+		case strings.HasPrefix(rest, "http://"):
+			scheme = len("http://")
+		default:
+			i += 4
+			continue
+		}
+		end := scheme
+		for end < len(rest) && isURLByte(rest[end]) {
+			end++
+		}
+		if end > scheme {
+			urls = append(urls, strings.TrimRight(rest[:end], ".,;)"))
+		}
+		i += end
+	}
+	return urls
+}
+
+func isURLByte(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '"', '\'', '<', '>', '\\', '`', '{', '}', '|', '^':
+		return false
+	}
+	return c > 0x20 && c < 0x7f
+}
+
+// FindAnalyticsID locates the first Google Analytics tracking ID
+// ("UA-<digits>-<digits>") in s, returning "" if none is present.
+// WhoWas uses these IDs both as a clustering feature and to estimate
+// website counts per user account (§8.3).
+func FindAnalyticsID(s string) string {
+	for i := 0; i < len(s); {
+		idx := strings.Index(s[i:], "UA-")
+		if idx < 0 {
+			return ""
+		}
+		i += idx
+		j := i + 3
+		start := j
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		if j == start || j >= len(s) || s[j] != '-' {
+			i += 3
+			continue
+		}
+		k := j + 1
+		start2 := k
+		for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+			k++
+		}
+		if k == start2 {
+			i += 3
+			continue
+		}
+		return s[i:k]
+	}
+	return ""
+}
+
+// SplitAnalyticsID splits "UA-12345-2" into the account part ("12345")
+// and profile part ("2"). ok is false when id is not a well-formed GA ID.
+func SplitAnalyticsID(id string) (account, profile string, ok bool) {
+	if !strings.HasPrefix(id, "UA-") {
+		return "", "", false
+	}
+	rest := id[3:]
+	dash := strings.IndexByte(rest, '-')
+	if dash <= 0 || dash == len(rest)-1 {
+		return "", "", false
+	}
+	account, profile = rest[:dash], rest[dash+1:]
+	for _, part := range []string{account, profile} {
+		for i := 0; i < len(part); i++ {
+			if part[i] < '0' || part[i] > '9' {
+				return "", "", false
+			}
+		}
+	}
+	return account, profile, true
+}

@@ -1,0 +1,239 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const samplePage = `<!DOCTYPE html>
+<html lang="en">
+<head>
+  <title>  My   Cloud   Shop  </title>
+  <meta name="description" content="Buy widgets   in the cloud">
+  <meta name="keywords" content="widgets,cloud,shop">
+  <meta name="generator" content="WordPress 3.5.1">
+  <link rel="stylesheet" href="https://cdn.example.com/style.css">
+  <script>
+    var _gaq = _gaq || [];
+    _gaq.push(['_setAccount', 'UA-123456-2']);
+    (function() {
+      var ga = document.createElement('script');
+      ga.src = 'http://www.google-analytics.com/ga.js';
+    })();
+  </script>
+</head>
+<body>
+  <h1>Welcome</h1>
+  <p>Best prices on <a href="http://shop.example.com/catalog">widgets</a>.</p>
+  <img src="https://img.example.com/logo.png">
+  <!-- hidden <a href="http://comment.example.com/x"> -->
+</body>
+</html>`
+
+func TestParseSamplePage(t *testing.T) {
+	doc := Parse(samplePage)
+	if doc.Title != "My Cloud Shop" {
+		t.Errorf("Title = %q", doc.Title)
+	}
+	if doc.Description != "Buy widgets in the cloud" {
+		t.Errorf("Description = %q", doc.Description)
+	}
+	if doc.Keywords != "widgets,cloud,shop" {
+		t.Errorf("Keywords = %q", doc.Keywords)
+	}
+	if doc.Generator != "WordPress 3.5.1" {
+		t.Errorf("Generator = %q", doc.Generator)
+	}
+	if doc.AnalyticsID != "UA-123456-2" {
+		t.Errorf("AnalyticsID = %q", doc.AnalyticsID)
+	}
+	wantLinks := map[string]bool{
+		"https://cdn.example.com/style.css":     true,
+		"http://www.google-analytics.com/ga.js": true,
+		"http://shop.example.com/catalog":       true,
+		"https://img.example.com/logo.png":      true,
+	}
+	for _, l := range doc.Links {
+		if !wantLinks[l] {
+			t.Errorf("unexpected link %q", l)
+		}
+		delete(wantLinks, l)
+	}
+	for l := range wantLinks {
+		t.Errorf("missing link %q", l)
+	}
+	if strings.Contains(doc.Text, "_gaq") {
+		t.Error("script body leaked into visible text")
+	}
+	if !strings.Contains(doc.Text, "Best prices on") {
+		t.Errorf("visible text missing body content: %q", doc.Text)
+	}
+	if strings.Contains(doc.Text, "comment.example.com") {
+		t.Error("comment content leaked into text")
+	}
+}
+
+func TestParseEmptyAndGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"<",
+		"<<<>>>",
+		"<html",
+		"no markup at all",
+		"<title>unclosed title",
+		"<script>var x = 'http://a.example.com/x'",
+		strings.Repeat("<div>", 1000),
+	} {
+		doc := Parse(in) // must not panic
+		_ = doc
+	}
+}
+
+func TestParseUnclosedTitle(t *testing.T) {
+	doc := Parse("<title>Dangling")
+	if doc.Title != "Dangling" {
+		t.Errorf("Title = %q, want %q", doc.Title, "Dangling")
+	}
+}
+
+func TestParseFirstTitleWins(t *testing.T) {
+	doc := Parse("<title>First</title><title>Second</title>")
+	if doc.Title != "First" {
+		t.Errorf("Title = %q, want First", doc.Title)
+	}
+}
+
+func TestParseCaseInsensitiveTags(t *testing.T) {
+	doc := Parse(`<TITLE>Upper</TITLE><META NAME="Description" CONTENT="desc here">`)
+	if doc.Title != "Upper" {
+		t.Errorf("Title = %q", doc.Title)
+	}
+	if doc.Description != "desc here" {
+		t.Errorf("Description = %q", doc.Description)
+	}
+}
+
+func TestAttrValueQuoting(t *testing.T) {
+	cases := []struct {
+		attrs, name, want string
+	}{
+		{` name="double"`, "name", "double"},
+		{` name='single'`, "name", "single"},
+		{` name=bare`, "name", "bare"},
+		{` name=bare other=x`, "name", "bare"},
+		{` content="has = sign" name="n"`, "content", "has = sign"},
+		{` filename="decoy" name="real"`, "name", "real"},
+		{``, "name", ""},
+		{` name=`, "name", ""},
+		{` name="unterminated`, "name", "unterminated"},
+	}
+	for _, c := range cases {
+		if got := attrValue(c.attrs, c.name); got != c.want {
+			t.Errorf("attrValue(%q, %q) = %q, want %q", c.attrs, c.name, got, c.want)
+		}
+	}
+}
+
+func TestCollapseSpace(t *testing.T) {
+	cases := map[string]string{
+		"":              "",
+		"   ":           "",
+		"a":             "a",
+		"  a  b  ":      "a b",
+		"a\t\nb\r\nc":   "a b c",
+		"already clean": "already clean",
+	}
+	for in, want := range cases {
+		if got := CollapseSpace(in); got != want {
+			t.Errorf("CollapseSpace(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExtractURLs(t *testing.T) {
+	in := `visit http://a.example.com/page and https://b.example.com/x?q=1, also
+		"http://quoted.example.com/y" but not ftp://nope or httpx://bad`
+	got := ExtractURLs(in)
+	want := []string{
+		"http://a.example.com/page",
+		"https://b.example.com/x?q=1",
+		"http://quoted.example.com/y",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ExtractURLs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ExtractURLs[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExtractURLsNeverPanics(t *testing.T) {
+	prop := func(s string) bool {
+		_ = ExtractURLs(s)
+		_ = Parse(s)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindAnalyticsID(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"_setAccount', 'UA-123456-1'", "UA-123456-1"},
+		{"no id here", ""},
+		{"UA- not an id", ""},
+		{"UA-12 not complete", ""},
+		{"UA-12-", ""},
+		{"prefix UA-9-9 suffix", "UA-9-9"},
+		{"two UA-1-1 then UA-2-2", "UA-1-1"},
+		{"ga('create', 'UA-4433-12', 'auto')", "UA-4433-12"},
+	}
+	for _, c := range cases {
+		if got := FindAnalyticsID(c.in); got != c.want {
+			t.Errorf("FindAnalyticsID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitAnalyticsID(t *testing.T) {
+	acct, prof, ok := SplitAnalyticsID("UA-12345-2")
+	if !ok || acct != "12345" || prof != "2" {
+		t.Errorf("SplitAnalyticsID = %q,%q,%v", acct, prof, ok)
+	}
+	for _, bad := range []string{"", "UA-", "UA-1", "UA-1-", "UA--2", "GA-1-2", "UA-1a-2", "UA-1-2b"} {
+		if _, _, ok := SplitAnalyticsID(bad); ok {
+			t.Errorf("SplitAnalyticsID(%q) ok, want failure", bad)
+		}
+	}
+}
+
+func TestStyleStripped(t *testing.T) {
+	doc := Parse("<style>body{color:red}</style><p>visible</p>")
+	if strings.Contains(doc.Text, "color") {
+		t.Errorf("style leaked into text: %q", doc.Text)
+	}
+	if !strings.Contains(doc.Text, "visible") {
+		t.Errorf("body text missing: %q", doc.Text)
+	}
+}
+
+func TestBlockTagsSeparateWords(t *testing.T) {
+	doc := Parse("<div>one</div><div>two</div>")
+	if doc.Text != "one two" {
+		t.Errorf("Text = %q, want %q", doc.Text, "one two")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(samplePage)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(samplePage)
+	}
+}

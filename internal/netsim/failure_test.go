@@ -1,0 +1,191 @@
+package netsim
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"whowas/internal/cloudsim"
+	"whowas/internal/ipaddr"
+)
+
+// rawHTTP writes raw request bytes over a dialed connection and reads
+// the raw response — exercising serveHTTP below the http.Client layer.
+func rawHTTP(t *testing.T, n *Network, ip ipaddr.Addr, port int, raw string) (string, error) {
+	t.Helper()
+	c, err := n.DialContext(context.Background(), "tcp", ip.String()+":"+itoa(port))
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	if _, err := io.WriteString(c, raw); err != nil {
+		return "", err
+	}
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	out, err := io.ReadAll(c)
+	return string(out), err
+}
+
+func itoa(n int) string {
+	if n == 80 {
+		return "80"
+	}
+	if n == 443 {
+		return "443"
+	}
+	return "22"
+}
+
+func TestRawRequestServed(t *testing.T) {
+	n, cloud := testNetwork(t)
+	ip := findWebIP(t, cloud, 80)
+	resp, err := rawHTTP(t, n, ip, 80, "GET / HTTP/1.1\r\nHost: "+ip.String()+"\r\nConnection: close\r\n\r\n")
+	if err != nil && !strings.Contains(err.Error(), "EOF") {
+		t.Fatalf("raw read: %v", err)
+	}
+	if !strings.HasPrefix(resp, "HTTP/1.1 ") {
+		t.Fatalf("response start = %.40q", resp)
+	}
+	if !strings.Contains(resp, "Content-Type:") {
+		t.Error("missing Content-Type header")
+	}
+}
+
+func TestGarbageRequestClosesConnection(t *testing.T) {
+	n, cloud := testNetwork(t)
+	ip := findWebIP(t, cloud, 80)
+	resp, _ := rawHTTP(t, n, ip, 80, "THIS IS NOT HTTP\r\n\r\n")
+	// The server must simply close; no panic, no partial garbage
+	// beyond at most an error response.
+	if strings.Contains(resp, "200 OK") {
+		t.Errorf("garbage request got 200: %.60q", resp)
+	}
+}
+
+func TestKeepAliveServesMultipleRequests(t *testing.T) {
+	n, cloud := testNetwork(t)
+	ip := findWebIP(t, cloud, 80)
+	c, err := n.DialContext(context.Background(), "tcp", ip.String()+":80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+	for i := 0; i < 3; i++ {
+		if _, err := io.WriteString(c, "GET /robots.txt HTTP/1.1\r\nHost: x\r\n\r\n"); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		resp, err := http.ReadResponse(br, nil)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(body), "User-agent") {
+			t.Fatalf("request %d: status %d body %.40q", i, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestKeepAliveTracksDayChanges(t *testing.T) {
+	// A connection held across SetDay must serve the NEW day's truth —
+	// the regression that once had pooled fetcher connections serving
+	// stale content.
+	n, cloud := testNetwork(t)
+	// Find an IP that is web on day 0 and HTTPFails on a later day.
+	var ip ipaddr.Addr
+	var failDay int
+	found := false
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		s0 := cloud.StateAt(0, a)
+		if !s0.Web || s0.Slow || s0.HTTPFail || s0.Down {
+			return true
+		}
+		for d := 1; d < cloud.Days(); d++ {
+			st := cloud.StateAt(d, a)
+			if st.Web && st.HTTPFail {
+				ip, failDay, found = a, d, true
+				return false
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Skip("no suitable flickering IP")
+	}
+	c, err := n.DialContext(context.Background(), "tcp", ip.String()+":80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+	if _, err := io.WriteString(c, "GET / HTTP/1.1\r\nHost: x\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	n.SetDay(failDay)
+	if _, err := io.WriteString(c, "GET / HTTP/1.1\r\nHost: x\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := http.ReadResponse(br, nil); err == nil {
+		t.Error("connection served content on the IP's failure day; want reset")
+	}
+}
+
+func TestConcurrentDials(t *testing.T) {
+	n, cloud := testNetwork(t)
+	ip := findWebIP(t, cloud, 80)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			client := &http.Client{Transport: &http.Transport{DialContext: n.DialContext, DisableKeepAlives: true}, Timeout: 5 * time.Second}
+			resp, err := client.Get("http://" + ip.String() + "/")
+			if err != nil {
+				done <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			done <- nil
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDownServiceConnectionReset(t *testing.T) {
+	n, cloud := testNetwork(t)
+	var ip ipaddr.Addr
+	found := false
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		st := cloud.StateAt(0, a)
+		if st.Web && st.Down && !st.Slow {
+			ip, found = a, true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Skip("no down service on day 0")
+	}
+	client := &http.Client{Transport: &http.Transport{DialContext: n.DialContext}, Timeout: 2 * time.Second}
+	_, err := client.Get("http://" + ip.String() + "/")
+	if err == nil {
+		t.Error("down service answered HTTP")
+	}
+	_ = cloudsim.SSHOnly
+}

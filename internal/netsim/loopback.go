@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"whowas/internal/ipaddr"
+	"whowas/internal/websim"
+)
+
+// Loopback routes simulated cloud addresses to real TCP listeners on
+// 127.0.0.1, so integration tests can run the scanner and fetcher over
+// the actual kernel network stack (real dial timeouts, real sockets)
+// against a handful of addresses.
+type Loopback struct {
+	mu        sync.Mutex
+	routes    map[string]string // "ip:port" -> "127.0.0.1:nnnn"
+	listeners []net.Listener
+	servers   []*http.Server
+	dialer    net.Dialer
+}
+
+// NewLoopback returns an empty farm.
+func NewLoopback() *Loopback {
+	return &Loopback{routes: make(map[string]string)}
+}
+
+// ServeProfile binds a real loopback listener serving the profile's
+// content and routes the simulated ip:port to it.
+func (l *Loopback) ServeProfile(ip ipaddr.Addr, port int, profile websim.Profile, revision int) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("netsim: loopback listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	prof := profile // copy for the closures
+	mux.HandleFunc("/robots.txt", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprint(w, prof.RobotsTxt())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		for k, v := range prof.Headers(revision) {
+			w.Header().Set(k, v)
+		}
+		w.WriteHeader(prof.StatusCode)
+		fmt.Fprint(w, prof.RenderPage(revision))
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.routes[fmt.Sprintf("%s:%d", ip, port)] = ln.Addr().String()
+	l.listeners = append(l.listeners, ln)
+	l.servers = append(l.servers, srv)
+	return nil
+}
+
+// ServeRaw routes ip:port to an externally managed listener address.
+func (l *Loopback) ServeRaw(ip ipaddr.Addr, port int, realAddr string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.routes[fmt.Sprintf("%s:%d", ip, port)] = realAddr
+}
+
+// DialContext routes known addresses to their real listeners; unknown
+// addresses behave like dropped SYNs (block until the context
+// expires), so real timeout paths are exercised.
+func (l *Loopback) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	l.mu.Lock()
+	real, ok := l.routes[address]
+	l.mu.Unlock()
+	if !ok {
+		<-ctx.Done()
+		return nil, &timeoutError{addr: address}
+	}
+	return l.dialer.DialContext(ctx, network, real)
+}
+
+// Close shuts every listener down.
+func (l *Loopback) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, s := range l.servers {
+		_ = s.Close()
+	}
+	for _, ln := range l.listeners {
+		_ = ln.Close()
+	}
+	l.servers = nil
+	l.listeners = nil
+	l.routes = make(map[string]string)
+}

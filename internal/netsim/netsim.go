@@ -1,0 +1,395 @@
+// Package netsim is the virtual network between the WhoWas scanner/
+// fetcher and the simulated clouds. It implements the same dial
+// semantics the real Internet gave the paper's probes:
+//
+//   - unbound IPs drop SYNs (the dial times out),
+//   - bound instances answer on their open ports and refuse others,
+//   - a small population of hosts is persistently slow, answering only
+//     probes willing to wait (the §4 2s-vs-8s timeout experiment),
+//   - a small per-probe transient loss makes a first probe fail where
+//     a retry would succeed (the §4 retry experiment),
+//   - open web ports serve real HTTP — and real TLS on 443 — over
+//     in-memory connections, with content from the cloud simulator.
+//
+// The scanner and fetcher consume the network through the Dialer
+// interface, exactly as they would plug a custom DialContext into
+// net.Dialer / http.Transport; swapping in a real dialer (see
+// Loopback in this package) changes nothing else.
+package netsim
+
+import (
+	"bufio"
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whowas/internal/cloudsim"
+	"whowas/internal/ipaddr"
+)
+
+// Dialer is the scanner/fetcher-facing dial interface, matching the
+// signature of net.Dialer.DialContext and http.Transport.DialContext.
+type Dialer interface {
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
+}
+
+// timeoutError reports a dropped SYN, satisfying net.Error so callers
+// can distinguish timeouts from refusals.
+type timeoutError struct{ addr string }
+
+func (e *timeoutError) Error() string   { return fmt.Sprintf("dial tcp %s: i/o timeout", e.addr) }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// refusedError reports an RST from a bound instance with the port
+// closed.
+type refusedError struct{ addr string }
+
+func (e *refusedError) Error() string   { return fmt.Sprintf("dial tcp %s: connection refused", e.addr) }
+func (e *refusedError) Timeout() bool   { return false }
+func (e *refusedError) Temporary() bool { return false }
+
+// Stats counts network activity, for the §7 politeness checks.
+type Stats struct {
+	Dials    atomic.Int64 // dial attempts
+	Accepted atomic.Int64 // successful connections
+	Requests atomic.Int64 // HTTP requests served
+	TLSConns atomic.Int64 // TLS handshakes completed
+}
+
+// Network serves the simulated cloud's IP space. Safe for concurrent
+// use; the measurement day is advanced between rounds with SetDay.
+type Network struct {
+	cloud *cloudsim.Cloud
+	day   atomic.Int64
+
+	// SlowThreshold is the patience a dialer needs for a slow host to
+	// answer (default 5s; the paper compared 2s vs 8s timeouts).
+	SlowThreshold time.Duration
+	// LossPerMille is the per-probe transient failure rate (default 3,
+	// i.e. 0.3%); a retry of a lost probe succeeds.
+	LossPerMille int
+
+	mu       sync.Mutex
+	attempts map[attemptKey]int
+
+	recordProbes  bool
+	probeCounts   map[int]map[ipaddr.Addr]int // day -> ip -> probes
+	requestCounts map[int]map[ipaddr.Addr]int // day -> ip -> HTTP requests
+
+	tlsConf *tls.Config
+	stats   Stats
+}
+
+type attemptKey struct {
+	ip  ipaddr.Addr
+	day int
+}
+
+// New builds a network over the given cloud.
+func New(cloud *cloudsim.Cloud) (*Network, error) {
+	tlsConf, err := selfSignedTLS()
+	if err != nil {
+		return nil, fmt.Errorf("netsim: generating TLS certificate: %w", err)
+	}
+	return &Network{
+		cloud:         cloud,
+		SlowThreshold: 5 * time.Second,
+		LossPerMille:  3,
+		attempts:      make(map[attemptKey]int),
+		tlsConf:       tlsConf,
+	}, nil
+}
+
+// SetDay advances the simulated day. Bookkeeping for the previous day
+// (retry attempts) is dropped.
+func (n *Network) SetDay(d int) {
+	n.day.Store(int64(d))
+	n.mu.Lock()
+	n.attempts = make(map[attemptKey]int)
+	n.mu.Unlock()
+}
+
+// Day returns the current simulated day.
+func (n *Network) Day() int { return int(n.day.Load()) }
+
+// Stats exposes the activity counters.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// RecordProbes enables per-IP probe and HTTP-request counting
+// (politeness tests).
+func (n *Network) RecordProbes(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.recordProbes = on
+	if on && n.probeCounts == nil {
+		n.probeCounts = make(map[int]map[ipaddr.Addr]int)
+		n.requestCounts = make(map[int]map[ipaddr.Addr]int)
+	}
+}
+
+// ProbeCount reports how many dials an IP received on a day (only
+// meaningful when RecordProbes was enabled).
+func (n *Network) ProbeCount(day int, ip ipaddr.Addr) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.probeCounts[day][ip]
+}
+
+// RequestCount reports how many HTTP requests an IP served on a day
+// (only meaningful when RecordProbes was enabled).
+func (n *Network) RequestCount(day int, ip ipaddr.Addr) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.requestCounts[day][ip]
+}
+
+// countRequest records one HTTP request when accounting is on.
+func (n *Network) countRequest(day int, ip ipaddr.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.recordProbes {
+		return
+	}
+	if n.requestCounts[day] == nil {
+		n.requestCounts[day] = make(map[ipaddr.Addr]int)
+	}
+	n.requestCounts[day][ip]++
+}
+
+// DialContext implements Dialer against the simulated cloud.
+func (n *Network) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	if network != "tcp" && network != "tcp4" {
+		return nil, fmt.Errorf("netsim: unsupported network %q", network)
+	}
+	host, portStr, err := net.SplitHostPort(address)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: bad port %q", portStr)
+	}
+	ip, err := ipaddr.ParseAddr(host)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	n.stats.Dials.Add(1)
+	day := n.Day()
+
+	if n.recordProbes {
+		n.mu.Lock()
+		if n.probeCounts[day] == nil {
+			n.probeCounts[day] = make(map[ipaddr.Addr]int)
+		}
+		n.probeCounts[day][ip]++
+		n.mu.Unlock()
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st := n.cloud.StateAt(day, ip)
+	if !st.Bound {
+		return nil, &timeoutError{addr: address}
+	}
+	if !st.Ports.OpensPort(port) {
+		return nil, &refusedError{addr: address}
+	}
+	// Slow hosts answer only patient dialers: if the caller's deadline
+	// arrives before SlowThreshold, the SYN goes unanswered.
+	if st.Slow {
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < n.SlowThreshold {
+			return nil, &timeoutError{addr: address}
+		}
+	}
+	// Transient loss: hash-selected probes fail on their first attempt
+	// and succeed on retry.
+	if n.lossDrop(ip, port, day) {
+		return nil, &timeoutError{addr: address}
+	}
+
+	n.stats.Accepted.Add(1)
+	client, server := net.Pipe()
+	switch port {
+	case 80:
+		go n.serveHTTP(server, ip, false)
+	case 443:
+		go n.serveHTTP(server, ip, true)
+	default: // 22: answer with an SSH banner then close on input.
+		go serveSSHBanner(server)
+	}
+	return client, nil
+}
+
+// lossDrop decides whether this attempt is transiently lost. Loss is
+// correlated per host, as real congestion is: a "lossy" (ip, day)
+// drops its first three connection attempts — a full 80/443/22 scan
+// sequence — and answers retries after that. This is what the §4
+// retry experiment measures: probing the same IP again minutes later
+// recovers a small fraction of non-responders.
+func (n *Network) lossDrop(ip ipaddr.Addr, port, day int) bool {
+	if n.LossPerMille <= 0 {
+		return false
+	}
+	h := uint64(ip)*0x9e3779b97f4a7c15 ^ uint64(day)<<20
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	if h%1000 >= uint64(n.LossPerMille) {
+		return false
+	}
+	k := attemptKey{ip: ip, day: day}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.attempts[k]++
+	return n.attempts[k] <= 3
+}
+
+// serveSSHBanner emulates an OpenSSH identification string; the
+// scanner only needs the connection to succeed.
+func serveSSHBanner(c net.Conn) {
+	defer c.Close()
+	_, _ = io.WriteString(c, "SSH-2.0-OpenSSH_5.9p1 Debian-5ubuntu1.1\r\n")
+	// Wait for the peer to close (read until error), bounded.
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := c.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// serveHTTP answers HTTP requests on one connection with the cloud's
+// content for the network's *current* day — a keep-alive connection
+// held across SetDay serves fresh content, like a long-lived server
+// would. On 443 the connection is wrapped in TLS with a self-signed
+// certificate, as most 2013 cloud HTTPS endpoints were.
+func (n *Network) serveHTTP(c net.Conn, ip ipaddr.Addr, useTLS bool) {
+	defer c.Close()
+	if useTLS {
+		tc := tls.Server(c, n.tlsConf)
+		if err := tc.Handshake(); err != nil {
+			return
+		}
+		n.stats.TLSConns.Add(1)
+		c = tc
+	}
+	br := bufio.NewReader(c)
+	for {
+		req, err := http.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		n.stats.Requests.Add(1)
+		day := n.Day()
+		n.countRequest(day, ip)
+		resp := n.respond(day, ip, req)
+		if resp == nil {
+			// Application-layer failure: the backend dies mid-request,
+			// like the transient failures WhoWas observed — the client
+			// sees a reset, and the IP counts as unavailable.
+			return
+		}
+		if err := resp.Write(c); err != nil {
+			return
+		}
+		if req.Close || resp.Close {
+			return
+		}
+	}
+}
+
+// respond builds the HTTP response for a request to ip on the given
+// day.
+func (n *Network) respond(day int, ip ipaddr.Addr, req *http.Request) *http.Response {
+	profile, revision, ok := n.cloud.PageOn(day, ip)
+	if !ok {
+		// Port open but the application layer is failing today: no
+		// HTTP response at all (nil -> connection closed).
+		return nil
+	}
+	path := req.URL.Path
+	switch {
+	case path == "/robots.txt":
+		return plainResponse(req, 200, "text/plain", profile.RobotsTxt(), nil)
+	case path == "/" || path == "":
+		body := profile.RenderPage(revision)
+		headers := profile.Headers(revision)
+		return plainResponse(req, profile.StatusCode, "", body, headers)
+	default:
+		if body := profile.RenderSubpage(path, revision); body != "" {
+			return plainResponse(req, 200, "text/html", body,
+				map[string]string{"Server": profile.Server})
+		}
+		return plainResponse(req, 404, "text/html",
+			"<html><head><title>404 Not Found</title></head><body><h1>Not Found</h1></body></html>\n",
+			map[string]string{"Server": profile.Server})
+	}
+}
+
+// plainResponse assembles an *http.Response. When headers carries a
+// Content-Type it wins over ctype.
+func plainResponse(req *http.Request, status int, ctype, body string, headers map[string]string) *http.Response {
+	h := http.Header{}
+	for k, v := range headers {
+		h.Set(k, v)
+	}
+	if h.Get("Content-Type") == "" {
+		if ctype == "" {
+			ctype = "text/html; charset=utf-8"
+		}
+		h.Set("Content-Type", ctype)
+	}
+	return &http.Response{
+		StatusCode:    status,
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// selfSignedTLS builds a TLS config with a fresh ECDSA P-256
+// self-signed certificate (fast handshakes; the fetcher, like the
+// paper's, does not validate cloud certificates).
+func selfSignedTLS() (*tls.Config, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "whowas-netsim"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * 365 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IsCA:         true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, err
+	}
+	cert := tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}
+	return &tls.Config{Certificates: []tls.Certificate{cert}}, nil
+}

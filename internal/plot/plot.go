@@ -1,0 +1,121 @@
+// Package plot renders small ASCII charts for the benchmark reports:
+// the paper's figures are time series and CDFs, and a terminal sketch
+// of each makes shape comparisons (growth, dips, crossovers) readable
+// without exporting the CSV series.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Points []float64 // y-values, evenly spaced on x
+	Marker byte      // glyph used for this series ('*', '+', ...)
+}
+
+// Line renders series into a width x height ASCII chart with a
+// y-axis scale and a legend. Series of different lengths are aligned
+// at x=0; missing trailing points simply end a line early.
+func Line(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	maxLen := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+		for _, v := range s.Points {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if maxLen == 0 {
+		return title + ": (no data)\n"
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	// Pad the range slightly so extremes stay visible.
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i, v := range s.Points {
+			x := 0
+			if maxLen > 1 {
+				x = i * (width - 1) / (maxLen - 1)
+			}
+			y := int(math.Round((v - lo) / (hi - lo) * float64(height-1)))
+			row := height - 1 - y
+			if row >= 0 && row < height && x >= 0 && x < width {
+				grid[row][x] = marker
+			}
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	for r, row := range grid {
+		// Label the top, middle and bottom rows with their values.
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.4g ", hi)
+		case height / 2:
+			label = fmt.Sprintf("%9.4g ", lo+(hi-lo)*float64(height-1-r)/float64(height-1))
+		case height - 1:
+			label = fmt.Sprintf("%9.4g ", lo)
+		}
+		sb.WriteString(label + "|" + string(row) + "\n")
+	}
+	sb.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", width) + "\n")
+	var legend []string
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, s.Name))
+	}
+	sb.WriteString(strings.Repeat(" ", 11) + strings.Join(legend, "   ") + "\n")
+	return sb.String()
+}
+
+// CDF renders cumulative-distribution curves: xs are the sorted
+// distinct x-values per series, ys the cumulative fractions (0..1).
+func CDF(title string, series []Series, width, height int) string {
+	// A CDF is just a line chart of y in [0,1]; reuse Line after
+	// clamping.
+	for si := range series {
+		for pi, v := range series[si].Points {
+			if v < 0 {
+				series[si].Points[pi] = 0
+			}
+			if v > 1 {
+				series[si].Points[pi] = 1
+			}
+		}
+	}
+	return Line(title, series, width, height)
+}

@@ -1,0 +1,61 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasics(t *testing.T) {
+	out := Line("test chart", []Series{
+		{Name: "up", Points: []float64{1, 2, 3, 4, 5}, Marker: '*'},
+		{Name: "down", Points: []float64{5, 4, 3, 2, 1}, Marker: '+'},
+	}, 40, 8)
+	if !strings.Contains(out, "test chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "+ down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("missing markers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + legend
+	if len(lines) != 1+8+1+1 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestLineRisingSeriesTopRight(t *testing.T) {
+	out := Line("rise", []Series{{Name: "s", Points: []float64{0, 1, 2, 3, 4, 5, 6, 7}}}, 32, 6)
+	rows := strings.Split(out, "\n")
+	top := rows[1]
+	bottom := rows[6]
+	// The maximum lands on the top row's right side, minimum bottom-left.
+	if !strings.Contains(top, "*") {
+		t.Errorf("top row empty:\n%s", out)
+	}
+	if strings.LastIndexByte(top, '*') < strings.IndexByte(bottom, '*') {
+		t.Errorf("rising series not rising:\n%s", out)
+	}
+}
+
+func TestLineEmptyAndDegenerate(t *testing.T) {
+	if out := Line("empty", nil, 40, 8); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart = %q", out)
+	}
+	// Constant series must not divide by zero.
+	out := Line("flat", []Series{{Name: "c", Points: []float64{2, 2, 2}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat chart missing markers:\n%s", out)
+	}
+	// Tiny dimensions are clamped.
+	_ = Line("tiny", []Series{{Name: "x", Points: []float64{1}}}, 1, 1)
+}
+
+func TestCDFClamps(t *testing.T) {
+	out := CDF("cdf", []Series{{Name: "d", Points: []float64{-0.5, 0.5, 1.5}}}, 20, 5)
+	if !strings.Contains(out, "cdf") {
+		t.Error("missing title")
+	}
+}

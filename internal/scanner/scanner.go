@@ -1,0 +1,232 @@
+// Package scanner implements WhoWas's probing engine (§4). For each
+// target IP it sends lightweight TCP connection probes ("SYNs") first
+// to port 80, then to 443; only if both fail does it probe 22, which
+// identifies live instances without public web services. Probes time
+// out after two seconds and are never retried — the paper measured
+// that longer timeouts and retries change the responsive population by
+// well under one percent (reproduced by the §4 timeout experiment in
+// this repository's bench suite).
+//
+// A token-bucket limiter enforces the global probe budget (250 probes
+// per second by default — deliberately far below Internet-scanner
+// rates, §4/§7) across all workers, and a per-IP opt-out blacklist is
+// honored before any probe is sent.
+package scanner
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whowas/internal/ipaddr"
+	"whowas/internal/netsim"
+	"whowas/internal/ratelimit"
+	"whowas/internal/store"
+)
+
+// Config tunes the scanner. Zero fields take the paper's defaults.
+type Config struct {
+	Rate    float64       // global probes per second (default 250)
+	Timeout time.Duration // per-probe timeout (default 2s)
+	Workers int           // concurrent probing workers (default 64)
+	Clock   ratelimit.Clock
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Rate <= 0 {
+		out.Rate = 250
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 2 * time.Second
+	}
+	if out.Workers <= 0 {
+		out.Workers = 64
+	}
+	return out
+}
+
+// Result reports one responsive IP's open ports. Unresponsive IPs
+// produce no Result.
+type Result struct {
+	IP        ipaddr.Addr
+	OpenPorts uint8 // store.PortSSH / PortHTTP / PortHTTPS bits
+}
+
+// Stats summarizes one scan round.
+type Stats struct {
+	Probed     int64 // IPs probed
+	Skipped    int64 // IPs skipped via the opt-out blacklist
+	Probes     int64 // individual port probes sent
+	Responsive int64 // IPs that answered at least one probe
+}
+
+// Scanner probes cloud address ranges through a Dialer.
+type Scanner struct {
+	dialer  netsim.Dialer
+	cfg     Config
+	limiter *ratelimit.Limiter
+}
+
+// UnlimitedRate disables rate limiting entirely when passed as
+// Config.Rate. Only simulated campaigns use it — probing real networks
+// unthrottled would violate the §7 politeness stance.
+const UnlimitedRate = 1e9
+
+// New builds a scanner over the given dialer.
+func New(dialer netsim.Dialer, cfg Config) (*Scanner, error) {
+	if dialer == nil {
+		return nil, fmt.Errorf("scanner: nil dialer")
+	}
+	c := cfg.withDefaults()
+	s := &Scanner{dialer: dialer, cfg: c}
+	if c.Rate < UnlimitedRate {
+		lim, err := ratelimit.NewWithClock(c.Rate, intMax(1, int(c.Rate/10)), c.Clock)
+		if err != nil {
+			return nil, fmt.Errorf("scanner: %w", err)
+		}
+		s.limiter = lim
+	}
+	return s, nil
+}
+
+// wait blocks for the global probe budget; a nil limiter means the
+// unlimited simulation mode.
+func (s *Scanner) wait(ctx context.Context) error {
+	if s.limiter == nil {
+		return ctx.Err()
+	}
+	return s.limiter.Wait(ctx)
+}
+
+func intMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// probe sends one connection probe, returning whether the port
+// answered. Connection-refused counts as a response from the instance
+// for liveness purposes only at the TCP level; the paper's scanner
+// records a port as open only when the SYN is answered with SYN-ACK,
+// so refusals report false here.
+func (s *Scanner) probe(ctx context.Context, ip ipaddr.Addr, port int, timeout time.Duration) bool {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	conn, err := s.dialer.DialContext(pctx, "tcp", fmt.Sprintf("%s:%d", ip, port))
+	if err != nil {
+		return false
+	}
+	conn.Close()
+	return true
+}
+
+// ProbeOnce exposes a single probe with an explicit timeout, used by
+// the §4 timeout/retry experiment.
+func (s *Scanner) ProbeOnce(ctx context.Context, ip ipaddr.Addr, port int, timeout time.Duration) (bool, error) {
+	if err := s.wait(ctx); err != nil {
+		return false, err
+	}
+	return s.probe(ctx, ip, port, timeout), nil
+}
+
+// scanIP runs the §4 probe sequence for one IP: 80, then 443, then 22
+// only if both web probes failed.
+func (s *Scanner) scanIP(ctx context.Context, ip ipaddr.Addr, stats *Stats) (uint8, error) {
+	var open uint8
+	for _, port := range []int{80, 443} {
+		if err := s.wait(ctx); err != nil {
+			return 0, err
+		}
+		atomic.AddInt64(&stats.Probes, 1)
+		if s.probe(ctx, ip, port, s.cfg.Timeout) {
+			if port == 80 {
+				open |= store.PortHTTP
+			} else {
+				open |= store.PortHTTPS
+			}
+		}
+	}
+	if open == 0 {
+		if err := s.wait(ctx); err != nil {
+			return 0, err
+		}
+		atomic.AddInt64(&stats.Probes, 1)
+		if s.probe(ctx, ip, 22, s.cfg.Timeout) {
+			open |= store.PortSSH
+		}
+	}
+	return open, nil
+}
+
+// ScanRanges probes every address in ranges (minus the blacklist),
+// streaming Results for responsive IPs to the results channel, which
+// is closed when the scan completes. The returned Stats are final only
+// after the channel closes.
+func (s *Scanner) ScanRanges(ctx context.Context, ranges *ipaddr.RangeList, blacklist *ipaddr.Set, results chan<- Result) (*Stats, error) {
+	stats := &Stats{}
+	tasks := make(chan ipaddr.Addr, 4*s.cfg.Workers)
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ip := range tasks {
+				open, err := s.scanIP(ctx, ip, stats)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					// Drain remaining tasks quickly on cancellation.
+					continue
+				}
+				atomic.AddInt64(&stats.Probed, 1)
+				if open != 0 {
+					atomic.AddInt64(&stats.Responsive, 1)
+					select {
+					case results <- Result{IP: ip, OpenPorts: open}:
+					case <-ctx.Done():
+						firstErr.CompareAndSwap(nil, ctx.Err())
+					}
+				}
+			}
+		}()
+	}
+
+feed:
+	for _, prefix := range ranges.Prefixes() {
+		last := prefix.Last()
+		for ip := prefix.First(); ; ip++ {
+			if blacklist.Contains(ip) {
+				atomic.AddInt64(&stats.Skipped, 1)
+			} else {
+				select {
+				case tasks <- ip:
+				case <-ctx.Done():
+					break feed
+				}
+			}
+			if ip == last {
+				break
+			}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	close(results)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return stats, err
+	}
+	return stats, ctx.Err()
+}
+
+// IsTimeout reports whether a dial error was a timeout (dropped SYN)
+// rather than a refusal; exposed for diagnostics and tests.
+func IsTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}

@@ -1,0 +1,319 @@
+package scanner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"whowas/internal/cloudsim"
+	"whowas/internal/ipaddr"
+	"whowas/internal/netsim"
+	"whowas/internal/ratelimit"
+	"whowas/internal/store"
+)
+
+func testSetup(t testing.TB) (*cloudsim.Cloud, *netsim.Network) {
+	t.Helper()
+	cloud, err := cloudsim.New(cloudsim.DefaultEC2Config(1024, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := netsim.New(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cloud, net
+}
+
+func fastScanner(t testing.TB, d netsim.Dialer) *Scanner {
+	t.Helper()
+	clock := ratelimit.NewFakeClock(time.Unix(0, 0))
+	s, err := New(d, Config{Rate: 1e6, Workers: 32, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil dialer accepted")
+	}
+	_, net := testSetup(t)
+	s, err := New(net, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Rate != 250 || s.cfg.Timeout != 2*time.Second || s.cfg.Workers != 64 {
+		t.Errorf("defaults = %+v", s.cfg)
+	}
+}
+
+func collectScan(t testing.TB, s *Scanner, ranges *ipaddr.RangeList, bl *ipaddr.Set) (map[ipaddr.Addr]uint8, *Stats) {
+	t.Helper()
+	results := make(chan Result, 1024)
+	got := map[ipaddr.Addr]uint8{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range results {
+			got[r.IP] = r.OpenPorts
+		}
+	}()
+	stats, err := s.ScanRanges(context.Background(), ranges, bl, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	return got, stats
+}
+
+func TestScanMatchesGroundTruth(t *testing.T) {
+	cloud, net := testSetup(t)
+	s := fastScanner(t, net)
+	got, stats := collectScan(t, s, cloud.Ranges(), nil)
+
+	if stats.Probed != int64(cloud.Ranges().Total()) {
+		t.Errorf("Probed = %d, want %d", stats.Probed, cloud.Ranges().Total())
+	}
+	// Compare against ground truth: every bound, non-slow IP must be
+	// found; transient loss may hide only first probes on lossy picks,
+	// but the scan sends distinct probes per port so misses are rare.
+	var missed, phantom int
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		st := cloud.StateAt(0, a)
+		_, seen := got[a]
+		switch {
+		case st.Bound && !st.Slow && !seen:
+			missed++
+		case !st.Bound && seen:
+			phantom++
+		}
+		return true
+	})
+	if phantom > 0 {
+		t.Errorf("%d unbound IPs reported responsive", phantom)
+	}
+	// Transient loss can drop ~0.3% of first probes; allow < 1%.
+	if float64(missed) > 0.01*float64(stats.Responsive+1) {
+		t.Errorf("missed %d live IPs of %d responsive", missed, stats.Responsive)
+	}
+}
+
+func TestScanPortBits(t *testing.T) {
+	cloud, net := testSetup(t)
+	s := fastScanner(t, net)
+	got, _ := collectScan(t, s, cloud.Ranges(), nil)
+	checked := 0
+	for ip, ports := range got {
+		st := cloud.StateAt(0, ip)
+		if !st.Bound {
+			continue
+		}
+		switch st.Ports {
+		case cloudsim.SSHOnly:
+			if ports&(store.PortHTTP|store.PortHTTPS) != 0 {
+				t.Errorf("%s SSH-only but web bits %b", ip, ports)
+			}
+		case cloudsim.HTTPOnly:
+			if ports&store.PortHTTP == 0 && ports != 0 {
+				// First-probe loss can miss 80; then 443 fails and 22
+				// answers, so PortSSH alone is possible but rare.
+				continue
+			}
+			if ports&store.PortHTTPS != 0 {
+				t.Errorf("%s HTTP-only but HTTPS bit set", ip)
+			}
+		case cloudsim.HTTPBoth:
+			if ports&store.PortSSH != 0 {
+				t.Errorf("%s web instance probed on 22 (got %b)", ip, ports)
+			}
+		}
+		checked++
+		if checked > 3000 {
+			break
+		}
+	}
+}
+
+func TestSSHProbedOnlyWhenWebFails(t *testing.T) {
+	cloud, net := testSetup(t)
+	net.RecordProbes(true)
+	s := fastScanner(t, net)
+	_, _ = collectScan(t, s, cloud.Ranges(), nil)
+	// Politeness (§4/§7): every IP receives at most 3 probes per round.
+	violations := 0
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		if n := net.ProbeCount(0, a); n > 3 {
+			violations++
+		}
+		return true
+	})
+	if violations > 0 {
+		t.Errorf("%d IPs got more than 3 probes", violations)
+	}
+	// Web-answering IPs must get exactly 2 probes (80, 443), no SSH.
+	var twoProbeOK, wrong int
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		st := cloud.StateAt(0, a)
+		if st.Bound && st.Ports == cloudsim.HTTPBoth && !st.Slow {
+			if net.ProbeCount(0, a) == 2 {
+				twoProbeOK++
+			} else {
+				wrong++
+			}
+		}
+		return true
+	})
+	if wrong > twoProbeOK/50 {
+		t.Errorf("probe counts off for web IPs: ok=%d wrong=%d", twoProbeOK, wrong)
+	}
+}
+
+func TestBlacklistSkipped(t *testing.T) {
+	cloud, net := testSetup(t)
+	net.RecordProbes(true)
+	s := fastScanner(t, net)
+	bl := ipaddr.NewSet()
+	// Blacklist the first 50 addresses.
+	for i := int64(0); i < 50; i++ {
+		a, _ := cloud.Ranges().AtIndex(i)
+		bl.Add(a)
+	}
+	got, stats := collectScan(t, s, cloud.Ranges(), bl)
+	if stats.Skipped != 50 {
+		t.Errorf("Skipped = %d, want 50", stats.Skipped)
+	}
+	for i := int64(0); i < 50; i++ {
+		a, _ := cloud.Ranges().AtIndex(i)
+		if net.ProbeCount(0, a) != 0 {
+			t.Errorf("blacklisted %s was probed", a)
+		}
+		if _, seen := got[a]; seen {
+			t.Errorf("blacklisted %s in results", a)
+		}
+	}
+}
+
+func TestScanCancellation(t *testing.T) {
+	cloud, net := testSetup(t)
+	s := fastScanner(t, net)
+	ctx, cancel := context.WithCancel(context.Background())
+	results := make(chan Result, 16)
+	go func() {
+		n := 0
+		for range results {
+			n++
+			if n == 5 {
+				cancel()
+			}
+		}
+	}()
+	_, err := s.ScanRanges(ctx, cloud.Ranges(), nil, results)
+	if err == nil {
+		t.Error("cancelled scan returned nil error")
+	}
+}
+
+func TestRateLimitEnforced(t *testing.T) {
+	cloud, net := testSetup(t)
+	clock := ratelimit.NewFakeClock(time.Unix(0, 0))
+	s, err := New(net, Config{Rate: 250, Workers: 16, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan a small slice of the space and verify virtual elapsed time
+	// implies <= 250 pps.
+	prefixes := cloud.Ranges().Prefixes()[:1]
+	sub, err := ipaddr.NewRangeList(prefixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(chan Result, 1024)
+	go func() {
+		for range results {
+		}
+	}()
+	start := clock.Now()
+	stats, err := s.ScanRanges(context.Background(), sub, nil, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clock.Now().Sub(start).Seconds()
+	rate := float64(stats.Probes) / elapsed
+	if rate > 260 { // small burst tolerance
+		t.Errorf("effective probe rate %.1f pps exceeds 250", rate)
+	}
+}
+
+func TestProbeOnceTimeoutSensitivity(t *testing.T) {
+	cloud, net := testSetup(t)
+	s := fastScanner(t, net)
+	// Find a slow live host: impatient probe fails, patient succeeds.
+	var slow ipaddr.Addr
+	found := false
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		st := cloud.StateAt(0, a)
+		if st.Bound && st.Slow {
+			slow, found = a, true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Skip("no slow host in sample")
+	}
+	ctx := context.Background()
+	ok2, err := s.ProbeOnce(ctx, slow, 22, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok8, err := s.ProbeOnce(ctx, slow, 22, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok2 || !ok8 {
+		t.Errorf("slow host: 2s probe=%v (want false), 8s probe=%v (want true)", ok2, ok8)
+	}
+}
+
+func TestIsTimeout(t *testing.T) {
+	cloud, net := testSetup(t)
+	var unbound, sshOnly ipaddr.Addr
+	var haveU, haveS bool
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		st := cloud.StateAt(0, a)
+		if !st.Bound && !haveU {
+			unbound, haveU = a, true
+		}
+		if st.Bound && st.Ports == cloudsim.SSHOnly && !st.Slow && !haveS {
+			sshOnly, haveS = a, true
+		}
+		return !(haveU && haveS)
+	})
+	_, err := net.DialContext(context.Background(), "tcp", unbound.String()+":80")
+	if !IsTimeout(err) {
+		t.Errorf("unbound dial: IsTimeout = false (%v)", err)
+	}
+	_, err = net.DialContext(context.Background(), "tcp", sshOnly.String()+":80")
+	if IsTimeout(err) {
+		t.Errorf("refused dial: IsTimeout = true (%v)", err)
+	}
+}
+
+func BenchmarkScanRound(b *testing.B) {
+	cloud, net := testSetup(b)
+	s := fastScanner(b, net)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := make(chan Result, 1024)
+		go func() {
+			for range results {
+			}
+		}()
+		if _, err := s.ScanRanges(context.Background(), cloud.Ranges(), nil, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package simhash_test
+
+import (
+	"fmt"
+
+	"whowas/internal/simhash"
+)
+
+// Fingerprint two near-duplicate pages and one unrelated page: the
+// near-duplicates land within a small Hamming distance, the unrelated
+// page far away — the property WhoWas's level-2 clustering builds on.
+func Example() {
+	base := "welcome to the acme widget shop best prices on widgets gadgets and gizmos " +
+		"browse our catalog of premium tools and accessories for every workshop " +
+		"fast delivery friendly support and a thirty day return policy on all orders " +
+		"join our newsletter for weekly deals and seasonal discount announcements"
+	revised := base + " now with free shipping"
+	other := "quarterly financial report with revenue figures and audit statements " +
+		"prepared for the board of directors covering fiscal year twenty thirteen"
+
+	a := simhash.Hash(base)
+	b := simhash.Hash(revised)
+	c := simhash.Hash(other)
+
+	fmt.Println("near-duplicate distance small:", simhash.Distance(a, b) <= 10)
+	fmt.Println("unrelated distance large:", simhash.Distance(a, c) > 20)
+	fmt.Println("identical distance:", simhash.Distance(a, a))
+	// Output:
+	// near-duplicate distance small: true
+	// unrelated distance large: true
+	// identical distance: 0
+}
+
+// Fingerprints survive text round-trips through their hex form, so the
+// store can persist them as strings.
+func ExampleParseFingerprint() {
+	f := simhash.Hash("some page content")
+	parsed, err := simhash.ParseFingerprint(f.String())
+	fmt.Println(err, parsed == f)
+	// Output: <nil> true
+}

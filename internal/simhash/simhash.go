@@ -1,0 +1,246 @@
+// Package simhash implements Charikar's similarity-preserving hash
+// (simhash) over text documents, as used by WhoWas to fingerprint the
+// HTML content returned by cloud-hosted web servers (§4, feature 10).
+//
+// Two near-duplicate documents produce fingerprints at low Hamming
+// distance; WhoWas uses 96-bit fingerprints and a distance threshold
+// chosen with the gap statistic (§5) to group pages into clusters.
+//
+// The implementation is self-contained: tokenization, 64-bit FNV-based
+// feature hashing extended to 96 bits, weighted vector accumulation and
+// sign quantization, plus Hamming-distance helpers.
+package simhash
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+	"unicode"
+)
+
+// Bits is the fingerprint width used throughout WhoWas.
+const Bits = 96
+
+// Fingerprint is a 96-bit simhash value. Hi holds the most significant
+// 32 bits in its low word; Lo holds the least significant 64 bits.
+type Fingerprint struct {
+	Hi uint32
+	Lo uint64
+}
+
+// Zero is the fingerprint of the empty document.
+var Zero = Fingerprint{}
+
+// String renders the fingerprint as 24 lowercase hex digits.
+func (f Fingerprint) String() string {
+	var b [12]byte
+	binary.BigEndian.PutUint32(b[0:4], f.Hi)
+	binary.BigEndian.PutUint64(b[4:12], f.Lo)
+	return hex.EncodeToString(b[:])
+}
+
+// ParseFingerprint parses the hex form produced by String.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	if len(s) != 24 {
+		return Zero, fmt.Errorf("simhash: fingerprint %q: want 24 hex digits, have %d", s, len(s))
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return Zero, fmt.Errorf("simhash: fingerprint %q: %w", s, err)
+	}
+	return Fingerprint{
+		Hi: binary.BigEndian.Uint32(raw[0:4]),
+		Lo: binary.BigEndian.Uint64(raw[4:12]),
+	}, nil
+}
+
+// Distance returns the Hamming distance between f and g, in [0, 96].
+func Distance(f, g Fingerprint) int {
+	return bits.OnesCount32(f.Hi^g.Hi) + bits.OnesCount64(f.Lo^g.Lo)
+}
+
+// Bit reports bit i of the fingerprint, with bit 0 the least
+// significant bit of Lo and bit 95 the most significant bit of Hi.
+func (f Fingerprint) Bit(i int) uint {
+	switch {
+	case i < 0 || i >= Bits:
+		panic(fmt.Sprintf("simhash: bit index %d out of range", i))
+	case i < 64:
+		return uint(f.Lo>>uint(i)) & 1
+	default:
+		return uint(f.Hi>>uint(i-64)) & 1
+	}
+}
+
+// SetBit returns a copy of f with bit i set to v (0 or 1).
+func (f Fingerprint) SetBit(i int, v uint) Fingerprint {
+	if i < 0 || i >= Bits {
+		panic(fmt.Sprintf("simhash: bit index %d out of range", i))
+	}
+	if i < 64 {
+		mask := uint64(1) << uint(i)
+		if v == 0 {
+			f.Lo &^= mask
+		} else {
+			f.Lo |= mask
+		}
+		return f
+	}
+	mask := uint32(1) << uint(i-64)
+	if v == 0 {
+		f.Hi &^= mask
+	} else {
+		f.Hi |= mask
+	}
+	return f
+}
+
+// FlipBits returns a copy of f with the given bit positions flipped.
+// It is used by tests and the cloud simulator to construct documents
+// at a known Hamming distance.
+func (f Fingerprint) FlipBits(positions ...int) Fingerprint {
+	for _, i := range positions {
+		f = f.SetBit(i, 1-f.Bit(i))
+	}
+	return f
+}
+
+// featureHash maps one token to a 96-bit hash. It runs two independent
+// FNV-1a style passes with different offset bases so the two halves are
+// decorrelated.
+func featureHash(token string) Fingerprint {
+	const (
+		prime64   = 1099511628211
+		offset64a = 14695981039346656037
+		offset64b = 0x9e3779b97f4a7c15 // golden-ratio offset for the second stream
+	)
+	a := uint64(offset64a)
+	b := uint64(offset64b)
+	for i := 0; i < len(token); i++ {
+		c := uint64(token[i])
+		a = (a ^ c) * prime64
+		b = (b ^ (c + 0x5b)) * prime64
+	}
+	// Extra avalanche so short tokens spread across all 96 bits.
+	a ^= a >> 33
+	a *= 0xff51afd7ed558ccd
+	a ^= a >> 33
+	b ^= b >> 29
+	b *= 0x94d049bb133111eb
+	b ^= b >> 32
+	return Fingerprint{Hi: uint32(b), Lo: a}
+}
+
+// Hasher accumulates weighted features and quantizes them into a
+// Fingerprint. The zero value is ready to use.
+type Hasher struct {
+	sums [Bits]int64
+	n    int
+}
+
+// Add accumulates one feature with the given positive weight.
+func (h *Hasher) Add(token string, weight int) {
+	if weight <= 0 || token == "" {
+		return
+	}
+	fp := featureHash(token)
+	w := int64(weight)
+	// Branchless accumulation: bit b contributes +w when set, -w when
+	// clear, i.e. (2*bit-1)*w. This loop dominates campaign CPU, so it
+	// avoids per-bit branches.
+	lo := fp.Lo
+	for i := 0; i < 64; i++ {
+		h.sums[i] += (int64(lo&1)<<1 - 1) * w
+		lo >>= 1
+	}
+	hi := fp.Hi
+	for i := 64; i < Bits; i++ {
+		h.sums[i] += (int64(hi&1)<<1 - 1) * w
+		hi >>= 1
+	}
+	h.n++
+}
+
+// Features reports how many features have been added.
+func (h *Hasher) Features() int { return h.n }
+
+// Fingerprint quantizes the accumulated sums: bit i is 1 iff the i-th
+// component is positive. The empty hasher yields Zero.
+func (h *Hasher) Fingerprint() Fingerprint {
+	var f Fingerprint
+	if h.n == 0 {
+		return f
+	}
+	for i := 0; i < 64; i++ {
+		if h.sums[i] > 0 {
+			f.Lo |= uint64(1) << uint(i)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		if h.sums[64+i] > 0 {
+			f.Hi |= uint32(1) << uint(i)
+		}
+	}
+	return f
+}
+
+// Hash computes the simhash of a document using word-shingle features.
+// Tokens are lowercased alphanumeric runs; features are the tokens
+// themselves plus 2-shingles, each with weight 1, which matches the
+// webpage-comparison usage cited by the paper [26-28].
+func Hash(text string) Fingerprint {
+	var h Hasher
+	tokens := Tokenize(text)
+	for _, t := range tokens {
+		h.Add(t, 1)
+	}
+	for i := 0; i+1 < len(tokens); i++ {
+		h.Add(tokens[i]+" "+tokens[i+1], 1)
+	}
+	return h.Fingerprint()
+}
+
+// Tokenize splits text into lowercase alphanumeric tokens. It is
+// exported so callers (feature extraction, tests) share one definition
+// of a "word".
+func Tokenize(text string) []string {
+	var tokens []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() > 0 {
+			tokens = append(tokens, sb.String())
+			sb.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			sb.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// ErrEmpty is returned by HashReaderChunks when no content was supplied.
+var ErrEmpty = errors.New("simhash: empty document")
+
+// HashChunks computes a simhash over a document supplied in chunks,
+// for callers that stream bounded page bodies (the fetcher caps bodies
+// at 512 KB). Chunk boundaries must fall on byte boundaries; tokens
+// spanning chunks are handled by carrying the trailing partial token.
+func HashChunks(chunks [][]byte) (Fingerprint, error) {
+	if len(chunks) == 0 {
+		return Zero, ErrEmpty
+	}
+	var sb strings.Builder
+	for _, c := range chunks {
+		sb.Write(c)
+	}
+	return Hash(sb.String()), nil
+}

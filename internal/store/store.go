@@ -1,0 +1,355 @@
+// Package store is WhoWas's measurement database. The paper used MySQL
+// with one table per round of scanning; this package provides the same
+// organization as an embedded, concurrency-safe, gob-persistable store:
+// rounds of per-IP records, plus the per-IP history lookup ("whowas
+// 1.2.3.4") that gives the platform its name.
+//
+// Unresponsive IPs are not stored — a record's absence for a probed IP
+// means the IP did not answer any probe that round, which keeps the
+// store proportional to the responsive population rather than the
+// address space.
+package store
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"whowas/internal/ipaddr"
+	"whowas/internal/simhash"
+)
+
+// Port bits for Record.OpenPorts.
+const (
+	PortSSH   = 1 << 0 // 22/tcp answered
+	PortHTTP  = 1 << 1 // 80/tcp answered
+	PortHTTPS = 1 << 2 // 443/tcp answered
+)
+
+// Record is one IP's observation in one round: probe results, the HTTP
+// exchange, and the features extracted from the fetched page (§4's ten
+// features plus links and tracker matches).
+type Record struct {
+	IP    ipaddr.Addr
+	Round int // round index, 0-based
+	Day   int // campaign day offset of the round
+
+	OpenPorts uint8 // PortSSH|PortHTTP|PortHTTPS bits
+
+	// HTTP exchange.
+	Fetched      bool   // a fetch was attempted
+	RobotsDenied bool   // robots.txt disallowed "/"; no page GET was made
+	Scheme       string // "http" or "https"
+	HTTPStatus   int    // 0 when no HTTP response was obtained
+	FetchErr     string // error class when the exchange failed
+	ContentType  string
+	BodyLen      int    // feature 4: length of returned body
+	Body         string // raw body; empty if the store drops bodies
+
+	// Extracted features.
+	PoweredBy   string              // feature 1: x-powered-by header
+	Description string              // feature 2: meta description
+	HeaderNames string              // feature 3: sorted header-name string, "#"-joined
+	Title       string              // feature 5
+	Template    string              // feature 6: meta generator (web template)
+	Server      string              // feature 7: Server header
+	Keywords    string              // feature 8
+	AnalyticsID string              // feature 9: Google Analytics ID
+	Simhash     simhash.Fingerprint // feature 10
+
+	Links    []string // absolute URLs found in the page (malicious-URL analysis)
+	Trackers []string // third-party tracker names matched (Table 20)
+	Subpages int      // followed-link pages fetched (§9 deep-crawl extension)
+
+	// Labels joined after collection.
+	VPC     bool  // cloud-cartography label
+	Cluster int64 // final cluster ID; 0 = unassigned
+}
+
+// Responsive reports whether the IP answered any probe (§4).
+func (r *Record) Responsive() bool { return r.OpenPorts != 0 }
+
+// WebOpen reports whether a web port answered.
+func (r *Record) WebOpen() bool { return r.OpenPorts&(PortHTTP|PortHTTPS) != 0 }
+
+// Available reports whether the HTTP(S) request for the URL succeeded
+// (§4: unresponsive IPs are also unavailable).
+func (r *Record) Available() bool { return r.HTTPStatus != 0 }
+
+// Round is one round of scanning: records keyed by IP.
+type Round struct {
+	Index   int
+	Day     int
+	Probed  int64 // how many IPs were probed this round
+	records map[ipaddr.Addr]*Record
+	sorted  []*Record // built on Finalize, ascending by IP
+	final   bool
+}
+
+// Get returns the record for an IP, or nil (unresponsive).
+func (r *Round) Get(ip ipaddr.Addr) *Record { return r.records[ip] }
+
+// Len returns the number of records (responsive IPs).
+func (r *Round) Len() int { return len(r.records) }
+
+// Records returns the round's records sorted by IP. Finalize must have
+// been called (Store.EndRound does).
+func (r *Round) Records() []*Record {
+	if !r.final {
+		panic("store: Records called before round finalized")
+	}
+	return r.sorted
+}
+
+// Each visits records in IP order.
+func (r *Round) Each(fn func(*Record) bool) {
+	for _, rec := range r.Records() {
+		if !fn(rec) {
+			return
+		}
+	}
+}
+
+// finalize sorts the record index.
+func (r *Round) finalize() {
+	r.sorted = make([]*Record, 0, len(r.records))
+	for _, rec := range r.records {
+		r.sorted = append(r.sorted, rec)
+	}
+	sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i].IP < r.sorted[j].IP })
+	r.final = true
+}
+
+// Store holds all rounds of one cloud's campaign.
+type Store struct {
+	mu        sync.RWMutex
+	CloudName string
+	rounds    []*Round
+	open      *Round
+	// KeepBodies controls whether raw bodies survive EndRound. The
+	// paper stored full content (900 GB); campaigns here extract
+	// features first and drop bodies to keep memory proportional to
+	// features, unless a caller opts in.
+	KeepBodies bool
+}
+
+// New creates an empty store for a named cloud.
+func New(cloudName string) *Store {
+	return &Store{CloudName: cloudName}
+}
+
+// BeginRound opens a new round at the given campaign day. Only one
+// round may be open at a time.
+func (s *Store) BeginRound(day int) (*Round, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.open != nil {
+		return nil, fmt.Errorf("store: round %d still open", s.open.Index)
+	}
+	if len(s.rounds) > 0 && s.rounds[len(s.rounds)-1].Day >= day {
+		return nil, fmt.Errorf("store: day %d not after previous round day %d", day, s.rounds[len(s.rounds)-1].Day)
+	}
+	r := &Round{
+		Index:   len(s.rounds),
+		Day:     day,
+		records: make(map[ipaddr.Addr]*Record),
+	}
+	s.open = r
+	return r, nil
+}
+
+// Put inserts a record into the open round. Safe for concurrent use by
+// scanner/fetcher workers.
+func (s *Store) Put(rec *Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.open == nil {
+		return fmt.Errorf("store: no open round")
+	}
+	rec.Round = s.open.Index
+	rec.Day = s.open.Day
+	s.open.records[rec.IP] = rec
+	return nil
+}
+
+// AddProbed counts probed IPs for the open round (the churn
+// denominators of Figure 9 are fractions of all probed IPs).
+func (s *Store) AddProbed(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.open != nil {
+		s.open.Probed += n
+	}
+}
+
+// EndRound finalizes the open round: sorts the index and, unless
+// KeepBodies is set, drops raw bodies (features were extracted by
+// then).
+func (s *Store) EndRound() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.open == nil {
+		return fmt.Errorf("store: no open round")
+	}
+	if !s.KeepBodies {
+		for _, rec := range s.open.records {
+			rec.Body = ""
+		}
+	}
+	s.open.finalize()
+	s.rounds = append(s.rounds, s.open)
+	s.open = nil
+	return nil
+}
+
+// Rounds returns the finalized rounds in order.
+func (s *Store) Rounds() []*Round {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Round(nil), s.rounds...)
+}
+
+// NumRounds returns the finalized round count.
+func (s *Store) NumRounds() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rounds)
+}
+
+// Round returns round i, or nil.
+func (s *Store) Round(i int) *Round {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i < 0 || i >= len(s.rounds) {
+		return nil
+	}
+	return s.rounds[i]
+}
+
+// History returns every record for an IP across rounds, in round
+// order — the platform's core "whowas this IP" lookup.
+func (s *Store) History(ip ipaddr.Addr) []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Record
+	for _, r := range s.rounds {
+		if rec := r.records[ip]; rec != nil {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// persisted is the gob wire form.
+type persisted struct {
+	CloudName string
+	Rounds    []persistedRound
+}
+
+type persistedRound struct {
+	Index   int
+	Day     int
+	Probed  int64
+	Records []Record
+}
+
+// Save writes the store (finalized rounds only) as gob.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p := persisted{CloudName: s.CloudName}
+	for _, r := range s.rounds {
+		pr := persistedRound{Index: r.Index, Day: r.Day, Probed: r.Probed}
+		for _, rec := range r.sorted {
+			pr.Records = append(pr.Records, *rec)
+		}
+		p.Rounds = append(p.Rounds, pr)
+	}
+	return gob.NewEncoder(w).Encode(&p)
+}
+
+// ExportJSON writes one round's records as a JSON array, one object
+// per responsive IP — the interchange format for external analysis
+// tooling (the role the paper's Python library played).
+func (s *Store) ExportJSON(w io.Writer, round int) error {
+	r := s.Round(round)
+	if r == nil {
+		return fmt.Errorf("store: no round %d", round)
+	}
+	enc := json.NewEncoder(w)
+	type jsonRecord struct {
+		IP          string `json:"ip"`
+		Round       int    `json:"round"`
+		Day         int    `json:"day"`
+		OpenPorts   uint8  `json:"open_ports"`
+		Status      int    `json:"status,omitempty"`
+		Scheme      string `json:"scheme,omitempty"`
+		ContentType string `json:"content_type,omitempty"`
+		Title       string `json:"title,omitempty"`
+		Server      string `json:"server,omitempty"`
+		Template    string `json:"template,omitempty"`
+		Keywords    string `json:"keywords,omitempty"`
+		AnalyticsID string `json:"analytics_id,omitempty"`
+		PoweredBy   string `json:"powered_by,omitempty"`
+		Simhash     string `json:"simhash,omitempty"`
+		BodyLen     int    `json:"body_len,omitempty"`
+		Cluster     int64  `json:"cluster,omitempty"`
+		VPC         bool   `json:"vpc,omitempty"`
+	}
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	first := true
+	var encodeErr error
+	r.Each(func(rec *Record) bool {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				encodeErr = err
+				return false
+			}
+		}
+		first = false
+		jr := jsonRecord{
+			IP: rec.IP.String(), Round: rec.Round, Day: rec.Day,
+			OpenPorts: rec.OpenPorts, Status: rec.HTTPStatus, Scheme: rec.Scheme,
+			ContentType: rec.ContentType, Title: rec.Title, Server: rec.Server,
+			Template: rec.Template, Keywords: rec.Keywords, AnalyticsID: rec.AnalyticsID,
+			PoweredBy: rec.PoweredBy, BodyLen: rec.BodyLen, Cluster: rec.Cluster, VPC: rec.VPC,
+		}
+		if rec.Available() {
+			jr.Simhash = rec.Simhash.String()
+		}
+		if err := enc.Encode(&jr); err != nil {
+			encodeErr = err
+			return false
+		}
+		return true
+	})
+	if encodeErr != nil {
+		return encodeErr
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// Load reads a store written by Save.
+func Load(rd io.Reader) (*Store, error) {
+	var p persisted
+	if err := gob.NewDecoder(rd).Decode(&p); err != nil {
+		return nil, fmt.Errorf("store: decoding: %w", err)
+	}
+	s := New(p.CloudName)
+	for _, pr := range p.Rounds {
+		r := &Round{Index: pr.Index, Day: pr.Day, Probed: pr.Probed, records: make(map[ipaddr.Addr]*Record, len(pr.Records))}
+		for i := range pr.Records {
+			rec := pr.Records[i]
+			r.records[rec.IP] = &rec
+		}
+		r.finalize()
+		s.rounds = append(s.rounds, r)
+	}
+	return s, nil
+}

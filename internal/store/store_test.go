@@ -1,0 +1,296 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"whowas/internal/ipaddr"
+	"whowas/internal/simhash"
+)
+
+func mkRecord(ip string, round int) *Record {
+	return &Record{
+		IP:         ipaddr.MustParseAddr(ip),
+		OpenPorts:  PortHTTP,
+		HTTPStatus: 200,
+		Title:      "t" + ip,
+		Simhash:    simhash.Hash("page " + ip),
+		Body:       "<html>" + ip + "</html>",
+	}
+}
+
+func TestRoundLifecycle(t *testing.T) {
+	s := New("ec2")
+	r, err := s.BeginRound(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BeginRound(1); err == nil {
+		t.Error("second BeginRound succeeded with round open")
+	}
+	if err := s.Put(mkRecord("1.2.3.4", 0)); err != nil {
+		t.Fatal(err)
+	}
+	s.AddProbed(100)
+	if err := s.EndRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EndRound(); err == nil {
+		t.Error("EndRound with no open round succeeded")
+	}
+	if s.NumRounds() != 1 {
+		t.Fatalf("NumRounds = %d", s.NumRounds())
+	}
+	if r.Probed != 100 {
+		t.Errorf("Probed = %d", r.Probed)
+	}
+	rec := s.Round(0).Get(ipaddr.MustParseAddr("1.2.3.4"))
+	if rec == nil || rec.Round != 0 || rec.Day != 0 {
+		t.Fatalf("record = %+v", rec)
+	}
+	// Bodies dropped by default.
+	if rec.Body != "" {
+		t.Error("body not dropped at EndRound")
+	}
+}
+
+func TestKeepBodies(t *testing.T) {
+	s := New("ec2")
+	s.KeepBodies = true
+	if _, err := s.BeginRound(0); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Put(mkRecord("1.2.3.4", 0))
+	_ = s.EndRound()
+	if s.Round(0).Records()[0].Body == "" {
+		t.Error("body dropped despite KeepBodies")
+	}
+}
+
+func TestDaysMustAdvance(t *testing.T) {
+	s := New("ec2")
+	_, _ = s.BeginRound(5)
+	_ = s.EndRound()
+	if _, err := s.BeginRound(5); err == nil {
+		t.Error("BeginRound at same day succeeded")
+	}
+	if _, err := s.BeginRound(4); err == nil {
+		t.Error("BeginRound at earlier day succeeded")
+	}
+	if _, err := s.BeginRound(6); err != nil {
+		t.Errorf("BeginRound at later day failed: %v", err)
+	}
+}
+
+func TestPutWithoutRound(t *testing.T) {
+	s := New("ec2")
+	if err := s.Put(mkRecord("1.2.3.4", 0)); err == nil {
+		t.Error("Put without open round succeeded")
+	}
+}
+
+func TestRecordsSortedAndEach(t *testing.T) {
+	s := New("ec2")
+	_, _ = s.BeginRound(0)
+	for _, ip := range []string{"9.9.9.9", "1.1.1.1", "5.5.5.5"} {
+		_ = s.Put(mkRecord(ip, 0))
+	}
+	_ = s.EndRound()
+	recs := s.Round(0).Records()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].IP <= recs[i-1].IP {
+			t.Fatal("records not sorted")
+		}
+	}
+	n := 0
+	s.Round(0).Each(func(r *Record) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("Each early stop visited %d", n)
+	}
+}
+
+func TestHistory(t *testing.T) {
+	s := New("ec2")
+	ip := "2.3.4.5"
+	for round := 0; round < 5; round++ {
+		_, _ = s.BeginRound(round * 3)
+		if round != 2 { // unresponsive in round 2
+			_ = s.Put(mkRecord(ip, round))
+		}
+		_ = s.EndRound()
+	}
+	hist := s.History(ipaddr.MustParseAddr(ip))
+	if len(hist) != 4 {
+		t.Fatalf("history length = %d, want 4", len(hist))
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Round <= hist[i-1].Round {
+			t.Fatal("history not in round order")
+		}
+	}
+	if got := s.History(ipaddr.MustParseAddr("8.8.8.8")); got != nil {
+		t.Errorf("history of never-seen IP = %v", got)
+	}
+}
+
+func TestConcurrentPut(t *testing.T) {
+	s := New("ec2")
+	_, _ = s.BeginRound(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ip := fmt.Sprintf("10.%d.%d.%d", w, i/256, i%256)
+				if err := s.Put(mkRecord(ip, 0)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	_ = s.EndRound()
+	if got := s.Round(0).Len(); got != 1600 {
+		t.Errorf("records = %d, want 1600", got)
+	}
+}
+
+func TestRecordPredicates(t *testing.T) {
+	r := &Record{}
+	if r.Responsive() || r.WebOpen() || r.Available() {
+		t.Error("empty record predicates true")
+	}
+	r.OpenPorts = PortSSH
+	if !r.Responsive() || r.WebOpen() {
+		t.Error("SSH-only predicates wrong")
+	}
+	r.OpenPorts = PortHTTPS
+	if !r.WebOpen() {
+		t.Error("HTTPS-only not web-open")
+	}
+	r.HTTPStatus = 404
+	if !r.Available() {
+		t.Error("404 response not available (any HTTP response counts)")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New("ec2")
+	for round := 0; round < 3; round++ {
+		_, _ = s.BeginRound(round * 2)
+		for i := 0; i < 10; i++ {
+			rec := mkRecord(fmt.Sprintf("3.3.%d.%d", round, i), round)
+			rec.Links = []string{"http://x.example/a"}
+			rec.Trackers = []string{"google-analytics"}
+			rec.Cluster = int64(i)
+			_ = s.Put(rec)
+		}
+		s.AddProbed(50)
+		_ = s.EndRound()
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.CloudName != "ec2" || loaded.NumRounds() != 3 {
+		t.Fatalf("loaded: name=%q rounds=%d", loaded.CloudName, loaded.NumRounds())
+	}
+	for round := 0; round < 3; round++ {
+		orig := s.Round(round)
+		got := loaded.Round(round)
+		if got.Day != orig.Day || got.Probed != orig.Probed || got.Len() != orig.Len() {
+			t.Fatalf("round %d mismatch", round)
+		}
+		for i, rec := range got.Records() {
+			want := orig.Records()[i]
+			if rec.IP != want.IP || rec.Title != want.Title || rec.Simhash != want.Simhash ||
+				rec.Cluster != want.Cluster || len(rec.Links) != len(want.Links) {
+				t.Fatalf("round %d record %d mismatch: %+v vs %+v", round, i, rec, want)
+			}
+		}
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	s := New("ec2")
+	_, _ = s.BeginRound(0)
+	rec := mkRecord("1.2.3.4", 0)
+	rec.Cluster = 7
+	rec.VPC = true
+	_ = s.Put(rec)
+	_ = s.Put(&Record{IP: ipaddr.MustParseAddr("1.2.3.5"), OpenPorts: PortSSH})
+	_ = s.EndRound()
+
+	var buf bytes.Buffer
+	if err := s.ExportJSON(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("records = %d", len(decoded))
+	}
+	first := decoded[0]
+	if first["ip"] != "1.2.3.4" || first["cluster"] != float64(7) || first["vpc"] != true {
+		t.Errorf("first record = %v", first)
+	}
+	if _, has := decoded[1]["simhash"]; has {
+		t.Error("unavailable record carries a simhash")
+	}
+	if err := s.ExportJSON(&buf, 99); err == nil {
+		t.Error("export of missing round succeeded")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Error("Load of garbage succeeded")
+	}
+}
+
+func TestRoundOutOfRange(t *testing.T) {
+	s := New("x")
+	if s.Round(0) != nil || s.Round(-1) != nil {
+		t.Error("out-of-range Round not nil")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := New("bench")
+	_, _ = s.BeginRound(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := &Record{IP: ipaddr.Addr(i), OpenPorts: PortHTTP, HTTPStatus: 200}
+		if err := s.Put(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistory(b *testing.B) {
+	s := New("bench")
+	for round := 0; round < 50; round++ {
+		_, _ = s.BeginRound(round)
+		for i := 0; i < 1000; i++ {
+			_ = s.Put(&Record{IP: ipaddr.Addr(i), OpenPorts: PortHTTP})
+		}
+		_ = s.EndRound()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.History(ipaddr.Addr(i % 1000))
+	}
+}

@@ -1,0 +1,33 @@
+package timeseries_test
+
+import (
+	"fmt"
+
+	"whowas/internal/timeseries"
+)
+
+// Reduce a cluster's size series with PAA and Algorithm 1, exactly as
+// Table 11 derives size-change patterns: a deployment that scales up
+// mid-campaign and back down reads as the paper's "0,1,0,-1,0" bump.
+func ExamplePattern() {
+	var samples []timeseries.Sample
+	for day := 0; day < 93; day++ {
+		size := 2.0
+		if day >= 30 && day < 60 {
+			size = 10 // scaled up for a month
+		}
+		samples = append(samples, timeseries.Sample{Day: day, Value: size})
+	}
+	fmt.Println(timeseries.Pattern(samples, 93))
+	// Output: 0,1,0,-1,0
+}
+
+// Algorithm 1 from the paper, on its own worked example.
+func ExampleTendency() {
+	d := []float64{1, 2, 3, 1, 1, 1}
+	fmt.Println(timeseries.Tendency(d))
+	fmt.Println(timeseries.MergeRuns(timeseries.Tendency(d)))
+	// Output:
+	// [1 1 -1 0 0]
+	// [1 -1 0]
+}
