@@ -1,0 +1,30 @@
+# Convenience targets mirroring .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build vet test race bench metrics-report
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fast loop: skips the full-campaign integration tests.
+test:
+	$(GO) test -short ./...
+
+# What CI runs; the campaign fixtures shrink under -race.
+race:
+	$(GO) test -race -timeout 40m ./...
+
+# Regenerate every paper table/figure benchmark.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Example pipeline-metrics report (README "Observability").
+metrics-report:
+	$(GO) run ./cmd/whowas -cloud ec2 -scale 1024 -rounds 3 -metrics metrics.json
+	@echo "wrote metrics.json"

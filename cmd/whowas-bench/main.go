@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,12 +27,13 @@ import (
 
 func main() {
 	var (
-		ec2Scale   = flag.Int("ec2-scale", 0, "EC2 scale divisor (default 128)")
-		azureScale = flag.Int("azure-scale", 0, "Azure scale divisor (default 32)")
-		seed       = flag.Int64("seed", 0, "simulation seed (default fixed)")
-		only       = flag.String("only", "", "comma-separated experiment IDs to print (default all)")
-		csvDir     = flag.String("csv", "", "also write each figure's data series as CSV into this directory")
-		quiet      = flag.Bool("q", false, "suppress progress logging")
+		ec2Scale    = flag.Int("ec2-scale", 0, "EC2 scale divisor (default 128)")
+		azureScale  = flag.Int("azure-scale", 0, "Azure scale divisor (default 32)")
+		seed        = flag.Int64("seed", 0, "simulation seed (default fixed)")
+		only        = flag.String("only", "", "comma-separated experiment IDs to print (default all)")
+		csvDir      = flag.String("csv", "", "also write each figure's data series as CSV into this directory")
+		quiet       = flag.Bool("q", false, "suppress progress logging")
+		metricsPath = flag.String("metrics", "", "write both campaigns' metrics reports (round reports + registry snapshots) as JSON to this path")
 	)
 	flag.Parse()
 
@@ -68,6 +70,18 @@ func main() {
 			continue
 		}
 		fmt.Printf("==== %s — %s ====\n%s\n", exp.ID, exp.Title, exp.Output)
+	}
+	if *metricsPath != "" {
+		data, err := json.MarshalIndent(suite.CampaignReports(), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whowas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metricsPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "whowas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[bench] wrote %s\n", *metricsPath)
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

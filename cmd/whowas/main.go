@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"whowas/internal/carto"
 	"whowas/internal/cloudsim"
@@ -28,25 +29,26 @@ import (
 
 func main() {
 	var (
-		cloudName = flag.String("cloud", "ec2", "cloud profile: ec2 or azure")
-		scale     = flag.Int("scale", 256, "address-space scale divisor (larger = smaller cloud)")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		out       = flag.String("out", "", "write the collected store (gob) to this path")
-		maxRounds = flag.Int("rounds", 0, "cap the number of rounds (0 = full §6 schedule)")
-		doCluster = flag.Bool("cluster", true, "run the §5 clustering after collection")
-		doCarto   = flag.Bool("carto", true, "run the §5 VPC cartography (EC2 only)")
-		blacklist = flag.String("exclude", "", "comma-separated IPs to exclude from probing (opt-outs)")
-		quiet     = flag.Bool("q", false, "suppress per-round progress")
+		cloudName   = flag.String("cloud", "ec2", "cloud profile: ec2 or azure")
+		scale       = flag.Int("scale", 256, "address-space scale divisor (larger = smaller cloud)")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		out         = flag.String("out", "", "write the collected store (gob) to this path")
+		maxRounds   = flag.Int("rounds", 0, "cap the number of rounds (0 = full §6 schedule)")
+		doCluster   = flag.Bool("cluster", true, "run the §5 clustering after collection")
+		doCarto     = flag.Bool("carto", true, "run the §5 VPC cartography (EC2 only)")
+		blacklist   = flag.String("exclude", "", "comma-separated IPs to exclude from probing (opt-outs)")
+		quiet       = flag.Bool("q", false, "suppress per-round progress")
+		metricsPath = flag.String("metrics", "", "write the campaign metrics report (round reports + registry snapshot) as JSON to this path")
 	)
 	flag.Parse()
 
-	if err := run(*cloudName, *scale, *seed, *out, *maxRounds, *doCluster, *doCarto, *blacklist, *quiet); err != nil {
+	if err := run(*cloudName, *scale, *seed, *out, *maxRounds, *doCluster, *doCarto, *blacklist, *quiet, *metricsPath); err != nil {
 		fmt.Fprintf(os.Stderr, "whowas: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(cloudName string, scale int, seed int64, out string, maxRounds int, doCluster, doCarto bool, exclude string, quiet bool) error {
+func run(cloudName string, scale int, seed int64, out string, maxRounds int, doCluster, doCarto bool, exclude string, quiet bool, metricsPath string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -88,8 +90,9 @@ func run(cloudName string, scale int, seed int64, out string, maxRounds int, doC
 		fmt.Printf("excluding %d opted-out IPs\n", set.Len())
 	}
 	if !quiet {
-		camp.Progress = func(round, day, responsive int) {
-			fmt.Printf("  round %2d (day %2d): %d responsive IPs\n", round, day, responsive)
+		camp.Observer = func(r core.RoundReport) {
+			fmt.Printf("  round %2d (day %2d): %d/%d responsive, %d fetched, %d errors, scan %s\n",
+				r.Round, r.Day, r.Responsive, r.Probed, r.Fetched, r.FetchErrors, r.Scan.Round(time.Millisecond))
 		}
 	}
 
@@ -124,6 +127,17 @@ func run(cloudName string, scale int, seed int64, out string, maxRounds int, doC
 			return err
 		}
 		fmt.Printf("store written to %s\n", out)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := p.WriteMetricsJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("metrics report written to %s\n", metricsPath)
 	}
 	return nil
 }

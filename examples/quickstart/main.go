@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"whowas/internal/cloudsim"
 	"whowas/internal/cluster"
@@ -29,8 +30,9 @@ func main() {
 	// 3, 6, 9, 12, 15), fetching pages from every responsive web IP.
 	cfg := core.FastCampaign()
 	cfg.RoundDays = []int{0, 3, 6, 9, 12, 15}
-	cfg.Progress = func(round, day, responsive int) {
-		fmt.Printf("round %d (day %2d): %5d responsive IPs\n", round, day, responsive)
+	cfg.Observer = func(r core.RoundReport) {
+		fmt.Printf("round %d (day %2d): %5d responsive IPs, %4d fetched, scan %s\n",
+			r.Round, r.Day, r.Responsive, r.Fetched, r.Scan.Round(time.Millisecond))
 	}
 	if err := platform.RunCampaign(context.Background(), cfg); err != nil {
 		log.Fatal(err)

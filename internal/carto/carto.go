@@ -14,9 +14,11 @@ package carto
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"whowas/internal/dnssim"
 	"whowas/internal/ipaddr"
+	"whowas/internal/metrics"
 	"whowas/internal/ratelimit"
 	"whowas/internal/store"
 )
@@ -75,10 +77,17 @@ type Config struct {
 	Rate float64
 	// Clock feeds the rate limiter (nil = wall clock).
 	Clock ratelimit.Clock
+	// Metrics, when non-nil, receives the sweep instrumentation:
+	// carto.* counters and the carto.sweep stage timing.
+	Metrics *metrics.Registry
 }
 
-func (c *Config) withDefaults() Config {
-	out := *c
+// WithDefaults returns the config with zero fields resolved to the
+// paper's defaults (48 samples per /22, 100 qps). Sweep applies it
+// internally; it is exported so callers and tests can observe the
+// resolved values instead of re-stating them.
+func (c Config) WithDefaults() Config {
+	out := c
 	if out.SamplePerPrefix <= 0 {
 		out.SamplePerPrefix = 48
 	}
@@ -91,7 +100,10 @@ func (c *Config) withDefaults() Config {
 // Sweep performs the cartography measurement over every /22 in ranges,
 // querying through the resolver.
 func Sweep(ctx context.Context, resolver *dnssim.Resolver, ranges *ipaddr.RangeList, regionOf func(ipaddr.Addr) string, cfg Config) (*Map, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
+	reg := cfg.Metrics
+	start := time.Now()
+	queries := reg.Counter("carto.dns_queries")
 	limiter, err := ratelimit.NewWithClock(cfg.Rate, 10, cfg.Clock)
 	if err != nil {
 		return nil, fmt.Errorf("carto: %w", err)
@@ -102,7 +114,7 @@ func Sweep(ctx context.Context, resolver *dnssim.Resolver, ranges *ipaddr.RangeL
 		last := prefix.Last() &^ 0x3ff
 		for p22 := first; ; p22 += 1024 {
 			if _, seen := m.vpc[p22]; !seen {
-				vpc, err := sweepPrefix(ctx, resolver, limiter, p22, regionOf, cfg.SamplePerPrefix)
+				vpc, err := sweepPrefix(ctx, resolver, limiter, queries, p22, regionOf, cfg.SamplePerPrefix)
 				if err != nil {
 					return nil, err
 				}
@@ -113,13 +125,16 @@ func Sweep(ctx context.Context, resolver *dnssim.Resolver, ranges *ipaddr.RangeL
 			}
 		}
 	}
+	reg.Stage("carto.sweep").Add(time.Since(start))
+	reg.Counter("carto.prefixes").Add(int64(len(m.vpc)))
+	reg.Counter("carto.vpc_prefixes").Add(int64(m.VPCPrefixCount()))
 	return m, nil
 }
 
 // sweepPrefix samples addresses of one /22 and reports whether any
 // resolves as VPC. Samples spread evenly across the block so clustered
 // allocations are still hit.
-func sweepPrefix(ctx context.Context, resolver *dnssim.Resolver, limiter *ratelimit.Limiter, p22 ipaddr.Addr, regionOf func(ipaddr.Addr) string, samples int) (bool, error) {
+func sweepPrefix(ctx context.Context, resolver *dnssim.Resolver, limiter *ratelimit.Limiter, queries *metrics.Counter, p22 ipaddr.Addr, regionOf func(ipaddr.Addr) string, samples int) (bool, error) {
 	if samples > 1024 {
 		samples = 1024
 	}
@@ -133,6 +148,7 @@ func sweepPrefix(ctx context.Context, resolver *dnssim.Resolver, limiter *rateli
 			return false, err
 		}
 		ip := p22 + ipaddr.Addr(i*step)
+		queries.Inc()
 		resp, err := resolver.LookupPublicName(dnssim.PublicName(ip, region))
 		if err != nil {
 			return false, fmt.Errorf("carto: %w", err)

@@ -25,7 +25,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"whowas/internal/metrics"
 	"whowas/internal/simhash"
 	"whowas/internal/store"
 )
@@ -46,10 +48,17 @@ type Config struct {
 	Workers int
 	// Seed drives the gap statistic's reference draws.
 	Seed int64
+	// Metrics, when non-nil, receives the clustering instrumentation:
+	// cluster.* counters and per-pass stage timings.
+	Metrics *metrics.Registry
 }
 
-func (c *Config) withDefaults() Config {
-	out := *c
+// WithDefaults returns the config with zero fields resolved to the
+// paper's defaults (merge distance 3, clean cutoff 20, 8 workers). Run
+// applies it internally; it is exported so callers and tests can
+// observe the resolved values instead of re-stating them.
+func (c Config) WithDefaults() Config {
+	out := c
 	if out.MergeDistance <= 0 {
 		out.MergeDistance = 3
 	}
@@ -139,9 +148,11 @@ func keyOf(rec *store.Record) l1Key {
 // cluster IDs back into the records' Cluster field (0 = not part of
 // any final cluster).
 func Run(st *store.Store, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
+	reg := cfg.Metrics
 
 	// Collect the records to cluster: those with an HTTP response.
+	level1Start := time.Now()
 	var records []*store.Record
 	for _, round := range st.Rounds() {
 		round.Each(func(rec *store.Record) bool {
@@ -154,6 +165,7 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("cluster: no available records to cluster")
 	}
+	reg.Counter("cluster.records_in").Add(int64(len(records)))
 
 	// Level 1: strict equality on the five features.
 	groups := make(map[l1Key][]*store.Record)
@@ -163,16 +175,20 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 		groups[k] = append(groups[k], rec)
 		hashSet[rec.Simhash] = struct{}{}
 	}
+	reg.Stage("cluster.level1").Add(time.Since(level1Start))
 
 	// Threshold: explicit, or tuned by the gap statistic over the
 	// observed level-1 groups.
+	thresholdStart := time.Now()
 	threshold := cfg.Threshold
 	if threshold <= 0 {
 		threshold = gapThreshold(groups, cfg.Seed)
 	}
+	reg.Stage("cluster.threshold").Add(time.Since(thresholdStart))
 
 	// Level 2: split each level-1 group by simhash distance, in
 	// parallel across groups.
+	level2Start := time.Now()
 	type l2Out struct {
 		key      l1Key
 		clusters [][]*store.Record
@@ -217,11 +233,16 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 			all = append(all, c)
 		}
 	}
+	reg.Stage("cluster.level2").Add(time.Since(level2Start))
 
 	// Merge heuristic across clusters.
-	merged := mergeClusters(all, cfg.MergeDistance)
+	mergeStart := time.Now()
+	merged, nMerges := mergeClusters(all, cfg.MergeDistance)
+	reg.Stage("cluster.merge").Add(time.Since(mergeStart))
+	reg.Counter("cluster.merges").Add(int64(nMerges))
 
 	// Cleaning.
+	cleanStart := time.Now()
 	rounds := st.NumRounds()
 	var final, removed []*Cluster
 	for _, c := range merged {
@@ -233,6 +254,9 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 		}
 		final = append(final, c)
 	}
+	reg.Stage("cluster.clean").Add(time.Since(cleanStart))
+	reg.Counter("cluster.removed").Add(int64(len(removed)))
+	reg.Counter("cluster.final").Add(int64(len(final)))
 
 	// Re-number final clusters and label records.
 	for _, rec := range records {
@@ -311,13 +335,15 @@ func splitBySimhash(records []*store.Record, threshold int) [][]*store.Record {
 
 // mergeClusters applies the §5 merge heuristic: records of the same IP
 // in temporal order, simhash distance <= mergeDist, and at least one
-// matching level-1 feature join their clusters.
-func mergeClusters(clusters []*Cluster, mergeDist int) []*Cluster {
+// matching level-1 feature join their clusters. The second return is
+// the number of cluster pairs actually joined.
+func mergeClusters(clusters []*Cluster, mergeDist int) ([]*Cluster, int) {
 	idx := map[*Cluster]int{}
 	for i, c := range clusters {
 		idx[c] = i
 	}
 	uf := newUnionFind(len(clusters))
+	merges := 0
 
 	// Build per-IP record lists with their cluster index.
 	type obs struct {
@@ -343,7 +369,9 @@ func mergeClusters(clusters []*Cluster, mergeDist int) []*Cluster {
 			if !oneFeatureEqual(a.rec, b.rec) {
 				continue
 			}
-			uf.union(a.ci, b.ci)
+			if uf.union(a.ci, b.ci) {
+				merges++
+			}
 		}
 	}
 
@@ -362,7 +390,7 @@ func mergeClusters(clusters []*Cluster, mergeDist int) []*Cluster {
 	for _, r := range order {
 		out = append(out, byRoot[r])
 	}
-	return out
+	return out, merges
 }
 
 // oneFeatureEqual reports whether at least one of the five level-1

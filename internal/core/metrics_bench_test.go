@@ -1,0 +1,37 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"whowas/internal/cloudsim"
+)
+
+// benchmarkRunCampaign measures a three-round campaign over a small
+// EC2-like cloud. The instrumented/baseline pair quantifies the
+// metrics subsystem's overhead; the acceptance bar is instrumented
+// within 5% of baseline:
+//
+//	go test ./internal/core -bench 'RunCampaign' -benchtime 5x
+func benchmarkRunCampaign(b *testing.B, instrumented bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, err := NewPlatform(cloudsim.DefaultEC2Config(2048, 99))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !instrumented {
+			p.DisableMetrics()
+		}
+		cfg := FastCampaign()
+		cfg.RoundDays = []int{0, 3, 6}
+		b.StartTimer()
+		if err := p.RunCampaign(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunCampaignInstrumented(b *testing.B) { benchmarkRunCampaign(b, true) }
+func BenchmarkRunCampaignBaseline(b *testing.B)     { benchmarkRunCampaign(b, false) }

@@ -14,7 +14,9 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"time"
 
 	"whowas/internal/blacklist"
@@ -25,6 +27,7 @@ import (
 	"whowas/internal/features"
 	"whowas/internal/fetcher"
 	"whowas/internal/ipaddr"
+	"whowas/internal/metrics"
 	"whowas/internal/netsim"
 	"whowas/internal/ratelimit"
 	"whowas/internal/scanner"
@@ -38,8 +41,12 @@ type CampaignConfig struct {
 	// means the paper's schedule (DefaultRoundSchedule).
 	RoundDays []int
 	// Scanner and Fetcher tune the pipeline; zero values take the
-	// paper's defaults (250 pps, 2 s probe timeout, 250 workers, 10 s
-	// HTTP timeout).
+	// paper's defaults (see scanner.Config.WithDefaults and
+	// fetcher.Config.WithDefaults for the resolved values). The
+	// Fetcher.UserAgent is honored as configured — per §7 it must
+	// identify the measurement as research and carry a contact
+	// address; leaving it empty selects fetcher.DefaultUserAgent,
+	// which does.
 	Scanner scanner.Config
 	Fetcher fetcher.Config
 	// Blacklist lists opted-out IPs that are never probed (§4/§7).
@@ -47,8 +54,42 @@ type CampaignConfig struct {
 	// KeepBodies retains raw page bodies in the store (memory-hungry;
 	// features are extracted either way).
 	KeepBodies bool
-	// Progress, when non-nil, receives a line per round.
-	Progress func(round, day, responsive int)
+	// Observer, when non-nil, receives one structured RoundReport as
+	// each round completes. It is called synchronously from
+	// RunCampaign between rounds, so it needs no locking but should
+	// return promptly.
+	Observer func(RoundReport)
+}
+
+// RoundReport is the structured per-round event delivered to
+// CampaignConfig.Observer and accumulated on Platform.Reports. It
+// joins the scanner's counts, the fetch/store pipeline's counts, and
+// the round's stage timings into one flat record; the -metrics CLI
+// flag serializes the whole campaign's reports as JSON.
+type RoundReport struct {
+	Round int `json:"round"` // round index, 0-based
+	Day   int `json:"day"`   // campaign day offset
+
+	// Scanning counts (this round only).
+	Probed     int64 `json:"probed"`     // IPs probed
+	Skipped    int64 `json:"skipped"`    // IPs skipped via the opt-out blacklist
+	Probes     int64 `json:"probes"`     // individual port probes sent
+	Responsive int64 `json:"responsive"` // IPs answering at least one probe
+
+	// Fetching/storing counts (this round only).
+	Fetched      int64 `json:"fetched"`       // pages with an HTTP response
+	RobotsDenied int64 `json:"robots_denied"` // IPs whose robots.txt disallowed "/"
+	FetchErrors  int64 `json:"fetch_errors"`  // transport-level fetch failures
+	Records      int64 `json:"records"`       // records stored
+	BodyBytes    int64 `json:"body_bytes"`    // page body bytes collected
+
+	// Stage durations. Fetching overlaps scanning, so Scan covers the
+	// scan of the whole address space, Drain the tail from scan
+	// completion until the last page was stored, and Total the whole
+	// round including store finalization.
+	Scan  time.Duration `json:"scan_ns"`
+	Drain time.Duration `json:"drain_ns"`
+	Total time.Duration `json:"total_ns"`
 }
 
 // DefaultRoundSchedule reproduces §6: one round every 3 days during
@@ -90,6 +131,15 @@ type Platform struct {
 	CartoMap *carto.Map
 	// Clusters is set by RunClustering.
 	Clusters *cluster.Result
+	// Metrics aggregates instrumentation from every pipeline stage
+	// (scanner, fetcher, store, clustering, cartography). NewPlatform
+	// installs a fresh registry; setting the field to nil before
+	// RunCampaign disables instrumentation entirely (the benchmark
+	// baseline does this).
+	Metrics *metrics.Registry
+	// Reports holds one RoundReport per completed campaign round, in
+	// round order, regardless of whether an Observer was configured.
+	Reports []RoundReport
 }
 
 // NewPlatform builds the cloud, its network, and an empty store.
@@ -102,23 +152,47 @@ func NewPlatform(cloudCfg cloudsim.Config) (*Platform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building network: %w", err)
 	}
+	reg := metrics.NewRegistry()
+	st := store.New(cloudCfg.Name)
+	st.SetMetrics(reg)
 	return &Platform{
-		Cloud: cloud,
-		Net:   net,
-		Store: store.New(cloudCfg.Name),
-		Feeds: blacklist.BuildFeeds(cloud),
+		Cloud:   cloud,
+		Net:     net,
+		Store:   st,
+		Feeds:   blacklist.BuildFeeds(cloud),
+		Metrics: reg,
 	}, nil
+}
+
+// collectTally accumulates the per-round fetch/store counts inside the
+// collection goroutine; the channel hand-off publishes it to the round
+// loop.
+type collectTally struct {
+	fetched      int64
+	robotsDenied int64
+	fetchErrors  int64
+	records      int64
+	bodyBytes    int64
 }
 
 // RunCampaign executes rounds per the config's schedule: each round
 // advances the network day, scans the cloud's ranges, fetches pages
 // for responsive web IPs, extracts features, and stores the records.
+// Each completed round appends a RoundReport to p.Reports and, when
+// configured, invokes cfg.Observer with it.
 func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 	days := cfg.RoundDays
 	if days == nil {
 		days = DefaultRoundSchedule(p.Cloud.Days())
 	}
-	cfg.Fetcher.UserAgent = "" // force the research UA default
+	// Thread the platform registry through the pipeline unless the
+	// caller supplied component-specific registries.
+	if cfg.Scanner.Metrics == nil {
+		cfg.Scanner.Metrics = p.Metrics
+	}
+	if cfg.Fetcher.Metrics == nil {
+		cfg.Fetcher.Metrics = p.Metrics
+	}
 	scn, err := scanner.New(p.Net, cfg.Scanner)
 	if err != nil {
 		return err
@@ -128,6 +202,9 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 		return err
 	}
 	p.Store.KeepBodies = cfg.KeepBodies
+	scanStage := p.Metrics.Stage("core.scan")
+	drainStage := p.Metrics.Stage("core.drain")
+	roundStage := p.Metrics.Stage("core.round")
 
 	for i, day := range days {
 		if err := ctx.Err(); err != nil {
@@ -136,6 +213,7 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 		if day < 0 || day >= p.Cloud.Days() {
 			return fmt.Errorf("core: round day %d outside campaign [0,%d)", day, p.Cloud.Days())
 		}
+		roundStart := time.Now()
 		p.Net.SetDay(day)
 		if _, err := p.Store.BeginRound(day); err != nil {
 			return err
@@ -145,25 +223,46 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 		pages := make(chan fetcher.Page, 1024)
 		go ftc.Run(ctx, results, pages)
 
-		collectErr := make(chan error, 1)
+		type collectResult struct {
+			tally collectTally
+			err   error
+		}
+		collectCh := make(chan collectResult, 1)
 		go func() {
+			var t collectTally
 			for page := range pages {
+				if page.Available() {
+					t.fetched++
+				}
+				if page.RobotsDenied {
+					t.robotsDenied++
+				}
+				if page.Err != nil {
+					t.fetchErrors++
+				}
+				t.bodyBytes += int64(len(page.Body))
 				rec := features.FromPage(&page)
 				if err := p.Store.Put(rec); err != nil {
-					collectErr <- err
+					collectCh <- collectResult{t, err}
 					return
 				}
+				t.records++
 			}
-			collectErr <- nil
+			collectCh <- collectResult{t, nil}
 		}()
 
+		scanStart := time.Now()
 		stats, err := scn.ScanRanges(ctx, p.Cloud.Ranges(), cfg.Blacklist, results)
+		scanDur := time.Since(scanStart)
 		if err != nil {
-			<-collectErr
+			<-collectCh
 			return fmt.Errorf("core: round %d scan: %w", i, err)
 		}
-		if err := <-collectErr; err != nil {
-			return fmt.Errorf("core: round %d collect: %w", i, err)
+		drainStart := time.Now()
+		collected := <-collectCh
+		drainDur := time.Since(drainStart)
+		if collected.err != nil {
+			return fmt.Errorf("core: round %d collect: %w", i, collected.err)
 		}
 		p.Store.AddProbed(stats.Probed)
 		// Drop pooled connections: the next round is days away, and a
@@ -172,11 +271,69 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 		if err := p.Store.EndRound(); err != nil {
 			return err
 		}
-		if cfg.Progress != nil {
-			cfg.Progress(i, day, int(stats.Responsive))
+		totalDur := time.Since(roundStart)
+		scanStage.Add(scanDur)
+		drainStage.Add(drainDur)
+		roundStage.Add(totalDur)
+
+		report := RoundReport{
+			Round:        i,
+			Day:          day,
+			Probed:       stats.Probed,
+			Skipped:      stats.Skipped,
+			Probes:       stats.Probes,
+			Responsive:   stats.Responsive,
+			Fetched:      collected.tally.fetched,
+			RobotsDenied: collected.tally.robotsDenied,
+			FetchErrors:  collected.tally.fetchErrors,
+			Records:      collected.tally.records,
+			BodyBytes:    collected.tally.bodyBytes,
+			Scan:         scanDur,
+			Drain:        drainDur,
+			Total:        totalDur,
+		}
+		p.Reports = append(p.Reports, report)
+		if cfg.Observer != nil {
+			cfg.Observer(report)
 		}
 	}
 	return nil
+}
+
+// DisableMetrics detaches instrumentation from the platform and its
+// store: subsequent campaigns take the uninstrumented fast path (no
+// counter updates, no latency clock reads). The overhead benchmark
+// uses it to measure the instrumented/uninstrumented gap.
+func (p *Platform) DisableMetrics() {
+	p.Metrics = nil
+	p.Store.SetMetrics(nil)
+}
+
+// CampaignReport is the campaign-level observability document the
+// CLIs' -metrics flag serializes: the per-round reports plus a full
+// snapshot of every pipeline instrument.
+type CampaignReport struct {
+	Cloud   string           `json:"cloud"`
+	Rounds  []RoundReport    `json:"rounds"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// Report assembles the platform's campaign report. Call it after the
+// campaign (and any clustering/cartography passes) so every stage's
+// instruments are populated.
+func (p *Platform) Report() CampaignReport {
+	return CampaignReport{
+		Cloud:   p.Store.CloudName,
+		Rounds:  append([]RoundReport(nil), p.Reports...),
+		Metrics: p.Metrics.Snapshot(),
+	}
+}
+
+// WriteMetricsJSON writes the campaign report as indented JSON.
+func (p *Platform) WriteMetricsJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Report())
 }
 
 // RunCartography performs the §5 one-time VPC/classic DNS sweep and
@@ -186,6 +343,9 @@ func (p *Platform) RunCartography(ctx context.Context, cfg carto.Config) error {
 	resolver := dnssim.NewResolver(p.Cloud, 0)
 	if cfg.Clock == nil {
 		cfg.Clock = ratelimit.NewFakeClock(time.Unix(1380499200, 0))
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = p.Metrics
 	}
 	m, err := carto.Sweep(ctx, resolver, p.Cloud.Ranges(), p.Cloud.RegionOf, cfg)
 	if err != nil {
@@ -201,6 +361,9 @@ func (p *Platform) RunCartography(ctx context.Context, cfg carto.Config) error {
 func (p *Platform) RunClustering(cfg cluster.Config) error {
 	if cfg.Seed == 0 {
 		cfg.Seed = p.Cloud.Config().Seed
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = p.Metrics
 	}
 	res, err := cluster.Run(p.Store, cfg)
 	if err != nil {

@@ -1,0 +1,10 @@
+//go:build race
+
+package core
+
+// raceDetectorOn reports whether this test binary was built with
+// -race. The detector effectively serializes the channel-heavy
+// campaign pipeline, so the shared fixture runs a shorter round
+// schedule to keep `go test -race ./internal/core` inside the
+// default test timeout.
+const raceDetectorOn = true

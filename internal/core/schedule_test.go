@@ -1,0 +1,72 @@
+package core
+
+import "testing"
+
+// TestDefaultRoundScheduleEdgeCases pins the §6 schedule's behaviour
+// at the boundaries: campaigns of 30 days or fewer are entirely inside
+// the final daily month, zero-day campaigns have no rounds, and the
+// paper's 93-day EC2 campaign yields exactly its 51 rounds.
+func TestDefaultRoundScheduleEdgeCases(t *testing.T) {
+	t.Run("paper 93 days is 51 rounds", func(t *testing.T) {
+		got := DefaultRoundSchedule(93)
+		if len(got) != 51 {
+			t.Fatalf("93-day schedule = %d rounds, want the paper's 51", len(got))
+		}
+		// 63 days of every-3-days (21 rounds) then 30 daily rounds.
+		if got[20] != 60 || got[21] != 63 || got[22] != 64 {
+			t.Errorf("phase boundary = ...%d, %d, %d...", got[20], got[21], got[22])
+		}
+	})
+
+	t.Run("under 30 days is all daily", func(t *testing.T) {
+		for _, days := range []int{1, 7, 29, 30} {
+			got := DefaultRoundSchedule(days)
+			if len(got) != days {
+				t.Errorf("%d-day schedule = %d rounds, want daily (%d)", days, len(got), days)
+				continue
+			}
+			for i, d := range got {
+				if d != i {
+					t.Errorf("%d-day schedule round %d on day %d, want %d", days, i, d, i)
+					break
+				}
+			}
+		}
+	})
+
+	t.Run("zero days is empty", func(t *testing.T) {
+		if got := DefaultRoundSchedule(0); len(got) != 0 {
+			t.Errorf("0-day schedule = %v, want empty", got)
+		}
+	})
+
+	t.Run("negative days is empty", func(t *testing.T) {
+		if got := DefaultRoundSchedule(-5); len(got) != 0 {
+			t.Errorf("negative-day schedule = %v, want empty", got)
+		}
+	})
+
+	t.Run("31 days has one 3-day round then dailies", func(t *testing.T) {
+		got := DefaultRoundSchedule(31)
+		if len(got) != 31 {
+			t.Fatalf("31-day schedule = %d rounds", len(got))
+		}
+		if got[0] != 0 || got[1] != 1 {
+			t.Errorf("31-day schedule starts %d, %d", got[0], got[1])
+		}
+	})
+
+	t.Run("every schedule is strictly increasing and in range", func(t *testing.T) {
+		for _, days := range []int{0, 1, 2, 29, 30, 31, 33, 62, 93, 365} {
+			got := DefaultRoundSchedule(days)
+			for i, d := range got {
+				if d < 0 || d >= days {
+					t.Errorf("days=%d: round day %d out of [0,%d)", days, d, days)
+				}
+				if i > 0 && d <= got[i-1] {
+					t.Errorf("days=%d: schedule not strictly increasing at %d", days, i)
+				}
+			}
+		}
+	})
+}

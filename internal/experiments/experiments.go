@@ -89,8 +89,9 @@ func Run(ctx context.Context, opts Options) (*Suite, error) {
 			return nil, fmt.Errorf("experiments: %s platform: %w", name, err)
 		}
 		camp := core.FastCampaign()
-		camp.Progress = func(round, day, responsive int) {
-			opts.logf("%s round %d (day %d): %d responsive", name, round, day, responsive)
+		camp.Observer = func(r core.RoundReport) {
+			opts.logf("%s round %d (day %d): %d responsive, %d fetched, scan %s",
+				name, r.Round, r.Day, r.Responsive, r.Fetched, r.Scan.Round(time.Millisecond))
 		}
 		if err := p.RunCampaign(ctx, camp); err != nil {
 			return nil, fmt.Errorf("experiments: %s campaign: %w", name, err)
@@ -146,6 +147,16 @@ func Shared() (*Suite, error) {
 // both runs an analysis for each cloud and joins the outputs.
 func (s *Suite) both(fn func(p *core.Platform, cloud string) string) string {
 	return fn(s.EC2, "ec2") + "\n" + fn(s.Azure, "azure")
+}
+
+// CampaignReports returns the per-cloud observability documents (round
+// reports plus registry snapshots) for the suite's two campaigns; the
+// whowas-bench -metrics flag serializes this map.
+func (s *Suite) CampaignReports() map[string]core.CampaignReport {
+	return map[string]core.CampaignReport{
+		"ec2":   s.EC2.Report(),
+		"azure": s.Azure.Report(),
+	}
 }
 
 // Table2 regenerates the VPC prefix breakdown via the cartography map.

@@ -24,6 +24,7 @@ import (
 
 	"whowas/internal/htmlparse"
 	"whowas/internal/ipaddr"
+	"whowas/internal/metrics"
 	"whowas/internal/netsim"
 	"whowas/internal/scanner"
 	"whowas/internal/store"
@@ -38,19 +39,32 @@ const MaxBodyBytes = 512 * 1024
 // Config tunes the fetcher. Zero fields take the paper's defaults
 // (250 workers, 10 s HTTP timeout).
 type Config struct {
-	Workers   int
-	Timeout   time.Duration
-	MaxBody   int
+	Workers int
+	Timeout time.Duration
+	MaxBody int
+	// UserAgent identifies the fetcher. Per the §7 ethics stance it
+	// must name the measurement as research and carry a contact
+	// address that honors opt-outs; the empty string resolves to
+	// DefaultUserAgent, which does. Callers overriding it must keep
+	// those properties.
 	UserAgent string
 	// FollowLinks enables the §9 future-work extension: after the
 	// top-level GET of a 200 HTML page, follow up to this many
 	// same-site links (fetched by path on the same IP). 0 preserves
 	// the paper's behaviour — "the fetcher does not follow links".
 	FollowLinks int
+	// Metrics, when non-nil, receives the fetcher's instrumentation:
+	// the fetcher.* counters and the get/fetch latency histograms.
+	Metrics *metrics.Registry
 }
 
-func (c *Config) withDefaults() Config {
-	out := *c
+// WithDefaults returns the config with zero fields resolved to the
+// paper's defaults (250 workers, 10 s timeout, 512 KB body cap, the
+// research UA). New applies it internally; it is exported so callers
+// and tests can observe the resolved values instead of re-stating
+// them.
+func (c Config) WithDefaults() Config {
+	out := c
 	if out.Workers <= 0 {
 		out.Workers = 250
 	}
@@ -97,6 +111,15 @@ type Fetcher struct {
 	cfg       Config
 	client    *http.Client
 	transport *http.Transport
+
+	// Instrumentation handles; all nil (no-op) without a registry.
+	mGets         *metrics.Counter   // HTTP GETs issued (robots + pages)
+	mRobotsDenied *metrics.Counter   // IPs whose robots.txt disallowed "/"
+	mErrors       *metrics.Counter   // transport-level failures
+	mBodyBytes    *metrics.Counter   // body bytes downloaded (post-truncation)
+	mPages        *metrics.Counter   // per-IP exchanges completed
+	mGetLat       *metrics.Histogram // per-GET latency
+	mFetchLat     *metrics.Histogram // per-IP exchange latency
 }
 
 // CloseIdle drops pooled keep-alive connections. The platform calls it
@@ -110,14 +133,14 @@ func New(dialer netsim.Dialer, cfg Config) (*Fetcher, error) {
 	if dialer == nil {
 		return nil, fmt.Errorf("fetcher: nil dialer")
 	}
-	c := cfg.withDefaults()
+	c := cfg.WithDefaults()
 	transport := &http.Transport{
 		DialContext:         dialer.DialContext,
 		TLSClientConfig:     &tls.Config{InsecureSkipVerify: true}, // cloud IPs serve self-signed certs
 		MaxIdleConnsPerHost: 1,
 		DisableCompression:  true,
 	}
-	return &Fetcher{
+	f := &Fetcher{
 		cfg:       c,
 		transport: transport,
 		client: &http.Client{
@@ -129,7 +152,17 @@ func New(dialer netsim.Dialer, cfg Config) (*Fetcher, error) {
 				return http.ErrUseLastResponse
 			},
 		},
-	}, nil
+	}
+	if r := c.Metrics; r != nil {
+		f.mGets = r.Counter("fetcher.gets")
+		f.mRobotsDenied = r.Counter("fetcher.robots_denied")
+		f.mErrors = r.Counter("fetcher.transport_errors")
+		f.mBodyBytes = r.Counter("fetcher.body_bytes")
+		f.mPages = r.Counter("fetcher.pages")
+		f.mGetLat = r.Histogram("fetcher.get_latency")
+		f.mFetchLat = r.Histogram("fetcher.fetch_latency")
+	}
+	return f, nil
 }
 
 // textualType reports whether a content type's body is stored. The
@@ -155,8 +188,17 @@ func (f *Fetcher) get(ctx context.Context, url string) (*Page, error) {
 		return nil, err
 	}
 	req.Header.Set("User-Agent", f.cfg.UserAgent)
+	f.mGets.Inc()
+	var start time.Time
+	if f.mGetLat != nil {
+		start = time.Now()
+	}
 	resp, err := f.client.Do(req)
+	if f.mGetLat != nil {
+		f.mGetLat.Observe(time.Since(start))
+	}
 	if err != nil {
+		f.mErrors.Inc()
 		return nil, err
 	}
 	defer resp.Body.Close()
@@ -166,13 +208,11 @@ func (f *Fetcher) get(ctx context.Context, url string) (*Page, error) {
 		ContentType: resp.Header.Get("Content-Type"),
 	}
 	if textualType(page.ContentType) {
-		body, err := io.ReadAll(io.LimitReader(resp.Body, int64(f.cfg.MaxBody)))
-		if err != nil {
-			// Keep what arrived; the response itself succeeded.
-			page.Body = body
-			return page, nil
-		}
+		// A read error mid-body keeps what arrived; the response
+		// itself succeeded.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, int64(f.cfg.MaxBody)))
 		page.Body = body
+		f.mBodyBytes.Add(int64(len(body)))
 	} else {
 		page.BodySkipped = true
 	}
@@ -182,6 +222,11 @@ func (f *Fetcher) get(ctx context.Context, url string) (*Page, error) {
 // FetchIP runs the §4 exchange for one responsive IP: robots.txt
 // first, then at most one GET for "/".
 func (f *Fetcher) FetchIP(ctx context.Context, res scanner.Result) Page {
+	if f.mFetchLat != nil {
+		start := time.Now()
+		defer func() { f.mFetchLat.Observe(time.Since(start)) }()
+	}
+	f.mPages.Inc()
 	scheme := "http"
 	if res.OpenPorts&store.PortHTTP == 0 {
 		scheme = "https"
@@ -193,6 +238,7 @@ func (f *Fetcher) FetchIP(ctx context.Context, res scanner.Result) Page {
 	if err == nil && robots.Status == 200 && len(robots.Body) > 0 {
 		if RobotsDisallowsRoot(string(robots.Body), f.cfg.UserAgent) {
 			out.RobotsDenied = true
+			f.mRobotsDenied.Inc()
 			return out
 		}
 	}

@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("x") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	g := r.Gauge("y")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	s := r.Stage("w")
+	if c != nil || g != nil || h != nil || s != nil {
+		t.Fatal("nil registry handed out non-nil handles")
+	}
+	// None of these may panic.
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(time.Second)
+	s.Add(time.Second)
+	s.Time()()
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || s.Passes() != 0 {
+		t.Error("nil handles accumulated state")
+	}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("nil histogram reported non-zero stats")
+	}
+	snap := r.Snapshot()
+	if snap.Counters != nil || snap.Histograms != nil {
+		t.Error("nil registry snapshot not empty")
+	}
+	if r.Names() != nil {
+		t.Error("nil registry has names")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	// 1..1000 ms, uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Mean(), 500500*time.Microsecond; got != want {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	if h.Min() != time.Millisecond || h.Max() != time.Second {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	// Power-of-two buckets bound the relative error of a quantile
+	// estimate by 2x; check p50/p95/p99 land within that envelope.
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.95, 950 * time.Millisecond}, {0.99, 990 * time.Millisecond}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo, hi := c.want/2, c.want*2
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", c.q, got, lo, hi)
+		}
+	}
+	// Quantiles are clamped to the observed range.
+	if h.Quantile(1.0) > h.Max() {
+		t.Errorf("q1.0 = %v beyond max %v", h.Quantile(1.0), h.Max())
+	}
+	if h.Quantile(0.0001) < h.Min() {
+		t.Errorf("q0.0001 = %v below min %v", h.Quantile(0.0001), h.Min())
+	}
+}
+
+func TestHistogramEdgeObservations(t *testing.T) {
+	h := newHistogram()
+	h.Observe(-time.Second) // clamps to 0
+	h.Observe(0)
+	h.Observe(100 * time.Hour) // clamps into the top bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 0 {
+		t.Errorf("min = %v, want 0", h.Min())
+	}
+	if h.Max() != 100*time.Hour {
+		t.Errorf("max = %v", h.Max())
+	}
+	if q := h.Quantile(1.0); q != 100*time.Hour {
+		t.Errorf("q1.0 = %v, want clamp to max", q)
+	}
+}
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{
+		0, time.Nanosecond, time.Microsecond, 10 * time.Microsecond,
+		time.Millisecond, 100 * time.Millisecond, time.Second, time.Minute,
+		time.Hour, 1000 * time.Hour,
+	} {
+		i := bucketIndex(d)
+		if i < prev {
+			t.Fatalf("bucketIndex(%v) = %d < previous %d", d, i, prev)
+		}
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%v) = %d out of range", d, i)
+		}
+		prev = i
+	}
+}
+
+func TestStage(t *testing.T) {
+	r := NewRegistry()
+	s := r.Stage("scan")
+	s.Add(2 * time.Second)
+	s.Add(3 * time.Second)
+	if s.Passes() != 2 || s.Total() != 5*time.Second {
+		t.Errorf("stage = %d passes / %v", s.Passes(), s.Total())
+	}
+	stop := s.Time()
+	stop()
+	if s.Passes() != 3 {
+		t.Errorf("Time() did not record a pass")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scanner.probes").Add(42)
+	r.Gauge("store.open_rounds").Set(1)
+	r.Histogram("fetcher.get_latency").Observe(30 * time.Millisecond)
+	r.Stage("core.scan").Add(time.Second)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v\n%s", err, buf.String())
+	}
+	if snap.Counters["scanner.probes"] != 42 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.Gauges["store.open_rounds"] != 1 {
+		t.Errorf("gauges = %v", snap.Gauges)
+	}
+	hs := snap.Histograms["fetcher.get_latency"]
+	if hs.Count != 1 || hs.MaxMS != 30 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+	if math.Abs(hs.MeanMS-30) > 1e-9 {
+		t.Errorf("mean_ms = %v", hs.MeanMS)
+	}
+	ss := snap.Stages["core.scan"]
+	if ss.Passes != 1 || ss.TotalMS != 1000 {
+		t.Errorf("stage snapshot = %+v", ss)
+	}
+
+	names := r.Names()
+	want := []string{"core.scan", "fetcher.get_latency", "scanner.probes", "store.open_rounds"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+// TestConcurrentUpdates exercises every instrument from many
+// goroutines; run with -race to validate the lock-free hot paths.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			h := r.Histogram("h")
+			s := r.Stage("s")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(w*perWorker+i) * time.Microsecond)
+				s.Add(time.Microsecond)
+				if i%500 == 0 {
+					_ = r.Snapshot() // concurrent readers are allowed
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Load(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Stage("s").Passes(); got != workers*perWorker {
+		t.Errorf("stage passes = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h")
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Microsecond
+		for pb.Next() {
+			h.Observe(d)
+			d += time.Microsecond
+		}
+	})
+}

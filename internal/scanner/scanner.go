@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"whowas/internal/ipaddr"
+	"whowas/internal/metrics"
 	"whowas/internal/netsim"
 	"whowas/internal/ratelimit"
 	"whowas/internal/store"
@@ -33,10 +34,19 @@ type Config struct {
 	Timeout time.Duration // per-probe timeout (default 2s)
 	Workers int           // concurrent probing workers (default 64)
 	Clock   ratelimit.Clock
+	// Metrics, when non-nil, receives the scanner's instrumentation:
+	// the scanner.* counters, the scanner.probe_latency histogram and
+	// the scanner.limiter_wait stage. Nil disables instrumentation
+	// (including the per-probe clock reads).
+	Metrics *metrics.Registry
 }
 
-func (c *Config) withDefaults() Config {
-	out := *c
+// WithDefaults returns the config with zero fields resolved to the
+// paper's defaults (250 pps, 2 s probe timeout, 64 workers). New
+// applies it internally; it is exported so callers and tests can
+// observe the resolved values instead of re-stating them.
+func (c Config) WithDefaults() Config {
+	out := c
 	if out.Rate <= 0 {
 		out.Rate = 250
 	}
@@ -69,6 +79,14 @@ type Scanner struct {
 	dialer  netsim.Dialer
 	cfg     Config
 	limiter *ratelimit.Limiter
+
+	// Instrumentation handles; all nil (no-op) without a registry.
+	mProbes      *metrics.Counter   // individual port probes sent
+	mProbedIPs   *metrics.Counter   // IPs fully probed
+	mSkipped     *metrics.Counter   // IPs skipped via the blacklist
+	mResponsive  *metrics.Counter   // IPs that answered a probe
+	mProbeLat    *metrics.Histogram // per-probe dial latency
+	mLimiterWait *metrics.Stage     // time blocked on the rate limiter
 }
 
 // UnlimitedRate disables rate limiting entirely when passed as
@@ -81,8 +99,16 @@ func New(dialer netsim.Dialer, cfg Config) (*Scanner, error) {
 	if dialer == nil {
 		return nil, fmt.Errorf("scanner: nil dialer")
 	}
-	c := cfg.withDefaults()
+	c := cfg.WithDefaults()
 	s := &Scanner{dialer: dialer, cfg: c}
+	if r := c.Metrics; r != nil {
+		s.mProbes = r.Counter("scanner.probes")
+		s.mProbedIPs = r.Counter("scanner.probed_ips")
+		s.mSkipped = r.Counter("scanner.skipped_ips")
+		s.mResponsive = r.Counter("scanner.responsive_ips")
+		s.mProbeLat = r.Histogram("scanner.probe_latency")
+		s.mLimiterWait = r.Stage("scanner.limiter_wait")
+	}
 	if c.Rate < UnlimitedRate {
 		lim, err := ratelimit.NewWithClock(c.Rate, intMax(1, int(c.Rate/10)), c.Clock)
 		if err != nil {
@@ -99,7 +125,25 @@ func (s *Scanner) wait(ctx context.Context) error {
 	if s.limiter == nil {
 		return ctx.Err()
 	}
-	return s.limiter.Wait(ctx)
+	if s.mLimiterWait == nil {
+		return s.limiter.Wait(ctx)
+	}
+	start := time.Now()
+	err := s.limiter.Wait(ctx)
+	s.mLimiterWait.Add(time.Since(start))
+	return err
+}
+
+// timedProbe wraps probe with the latency histogram, skipping the
+// clock reads when instrumentation is off.
+func (s *Scanner) timedProbe(ctx context.Context, ip ipaddr.Addr, port int, timeout time.Duration) bool {
+	if s.mProbeLat == nil {
+		return s.probe(ctx, ip, port, timeout)
+	}
+	start := time.Now()
+	ok := s.probe(ctx, ip, port, timeout)
+	s.mProbeLat.Observe(time.Since(start))
+	return ok
 }
 
 func intMax(a, b int) int {
@@ -131,7 +175,8 @@ func (s *Scanner) ProbeOnce(ctx context.Context, ip ipaddr.Addr, port int, timeo
 	if err := s.wait(ctx); err != nil {
 		return false, err
 	}
-	return s.probe(ctx, ip, port, timeout), nil
+	s.mProbes.Inc()
+	return s.timedProbe(ctx, ip, port, timeout), nil
 }
 
 // scanIP runs the §4 probe sequence for one IP: 80, then 443, then 22
@@ -143,7 +188,8 @@ func (s *Scanner) scanIP(ctx context.Context, ip ipaddr.Addr, stats *Stats) (uin
 			return 0, err
 		}
 		atomic.AddInt64(&stats.Probes, 1)
-		if s.probe(ctx, ip, port, s.cfg.Timeout) {
+		s.mProbes.Inc()
+		if s.timedProbe(ctx, ip, port, s.cfg.Timeout) {
 			if port == 80 {
 				open |= store.PortHTTP
 			} else {
@@ -156,7 +202,8 @@ func (s *Scanner) scanIP(ctx context.Context, ip ipaddr.Addr, stats *Stats) (uin
 			return 0, err
 		}
 		atomic.AddInt64(&stats.Probes, 1)
-		if s.probe(ctx, ip, 22, s.cfg.Timeout) {
+		s.mProbes.Inc()
+		if s.timedProbe(ctx, ip, 22, s.cfg.Timeout) {
 			open |= store.PortSSH
 		}
 	}
@@ -185,8 +232,10 @@ func (s *Scanner) ScanRanges(ctx context.Context, ranges *ipaddr.RangeList, blac
 					continue
 				}
 				atomic.AddInt64(&stats.Probed, 1)
+				s.mProbedIPs.Inc()
 				if open != 0 {
 					atomic.AddInt64(&stats.Responsive, 1)
+					s.mResponsive.Inc()
 					select {
 					case results <- Result{IP: ip, OpenPorts: open}:
 					case <-ctx.Done():
@@ -203,6 +252,7 @@ feed:
 		for ip := prefix.First(); ; ip++ {
 			if blacklist.Contains(ip) {
 				atomic.AddInt64(&stats.Skipped, 1)
+				s.mSkipped.Inc()
 			} else {
 				select {
 				case tasks <- ip:

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"whowas/internal/ipaddr"
+	"whowas/internal/metrics"
 	"whowas/internal/simhash"
 )
 
@@ -134,6 +135,22 @@ type Store struct {
 	// features first and drop bodies to keep memory proportional to
 	// features, unless a caller opts in.
 	KeepBodies bool
+
+	// Instrumentation handles (SetMetrics); nil (no-op) by default.
+	mRecords  *metrics.Counter // records inserted
+	mRounds   *metrics.Counter // rounds finalized
+	mRetained *metrics.Counter // body bytes retained past EndRound
+}
+
+// SetMetrics attaches an instrumentation registry: store.records,
+// store.rounds and store.body_bytes_retained. Call before the campaign
+// starts; a nil registry detaches.
+func (s *Store) SetMetrics(r *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mRecords = r.Counter("store.records")
+	s.mRounds = r.Counter("store.rounds")
+	s.mRetained = r.Counter("store.body_bytes_retained")
 }
 
 // New creates an empty store for a named cloud.
@@ -172,6 +189,7 @@ func (s *Store) Put(rec *Record) error {
 	rec.Round = s.open.Index
 	rec.Day = s.open.Day
 	s.open.records[rec.IP] = rec
+	s.mRecords.Inc()
 	return nil
 }
 
@@ -194,14 +212,18 @@ func (s *Store) EndRound() error {
 	if s.open == nil {
 		return fmt.Errorf("store: no open round")
 	}
-	if !s.KeepBodies {
-		for _, rec := range s.open.records {
+	var retained int64
+	for _, rec := range s.open.records {
+		if !s.KeepBodies {
 			rec.Body = ""
 		}
+		retained += int64(len(rec.Body))
 	}
 	s.open.finalize()
 	s.rounds = append(s.rounds, s.open)
 	s.open = nil
+	s.mRounds.Inc()
+	s.mRetained.Add(retained)
 	return nil
 }
 
