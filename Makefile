@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench metrics-report
+.PHONY: all build vet test race chaos bench metrics-report
 
 all: build vet test
 
@@ -19,6 +19,18 @@ test:
 # What CI runs; the campaign fixtures shrink under -race.
 race:
 	$(GO) test -race -timeout 40m ./...
+
+# Fault-injection + resilience suites (what the CI chaos job runs):
+# -count=2 replays every deterministic campaign against its first
+# digest.
+chaos:
+	$(GO) test -race -count=2 -timeout 40m \
+		./internal/faults/ ./internal/scanner/ ./internal/fetcher/ ./internal/store/
+	$(GO) test -race -count=2 -timeout 40m -run TestChaos ./internal/core/
+	$(GO) run ./cmd/whowas -scale 4096 -rounds 3 -q \
+		-faults scenarios/chaos.json -retries 3 -round-timeout 2m \
+		-cluster=false -carto=false -metrics chaos-metrics.json
+	@echo "wrote chaos-metrics.json"
 
 # Regenerate every paper table/figure benchmark.
 bench:

@@ -8,6 +8,7 @@
 //	whowas-bench                 # full suite at default scale
 //	whowas-bench -ec2-scale 256 -azure-scale 64
 //	whowas-bench -only table7,figure9
+//	whowas-bench -faults scenarios/chaos.json  # evaluation over a degraded network
 //	WHOWAS_SCALE=4 whowas-bench  # shrink everything 4x
 package main
 
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"whowas/internal/experiments"
+	"whowas/internal/faults"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func main() {
 		csvDir      = flag.String("csv", "", "also write each figure's data series as CSV into this directory")
 		quiet       = flag.Bool("q", false, "suppress progress logging")
 		metricsPath = flag.String("metrics", "", "write both campaigns' metrics reports (round reports + registry snapshots) as JSON to this path")
+		faultsPath  = flag.String("faults", "", "run both campaigns through this JSON fault scenario (see internal/faults)")
 	)
 	flag.Parse()
 
@@ -41,6 +44,14 @@ func main() {
 	defer stop()
 
 	opts := experiments.Options{EC2Scale: *ec2Scale, AzureScale: *azureScale, Seed: *seed}
+	if *faultsPath != "" {
+		sc, err := faults.LoadFile(*faultsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whowas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Faults = sc
+	}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "[bench] "+format+"\n", args...)

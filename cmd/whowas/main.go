@@ -7,9 +7,14 @@
 //
 //	whowas -cloud ec2 -scale 256 -out ec2.whowas
 //	whowas -cloud azure -scale 64 -rounds 10 -cluster=false
+//	whowas -faults scenarios/chaos.json -retries 3 -round-timeout 30s
 //
 // The campaign follows the paper's §6 schedule (a round every 3 days,
 // then daily for the final month) unless -rounds caps the round count.
+// -faults replays the campaign through the deterministic
+// fault-injection layer (internal/faults); pair it with -retries and
+// -round-timeout to exercise the pipeline's resilience, and -metrics
+// to see the faults.* injection counters next to what was recovered.
 package main
 
 import (
@@ -24,62 +29,95 @@ import (
 	"whowas/internal/cloudsim"
 	"whowas/internal/cluster"
 	"whowas/internal/core"
+	"whowas/internal/faults"
 	"whowas/internal/ipaddr"
 )
 
+// options collects every flag-driven knob of one CLI invocation.
+type options struct {
+	cloudName    string
+	scale        int
+	seed         int64
+	out          string
+	maxRounds    int
+	doCluster    bool
+	doCarto      bool
+	exclude      string
+	quiet        bool
+	metricsPath  string
+	faultsPath   string
+	retries      int
+	roundTimeout time.Duration
+}
+
 func main() {
-	var (
-		cloudName   = flag.String("cloud", "ec2", "cloud profile: ec2 or azure")
-		scale       = flag.Int("scale", 256, "address-space scale divisor (larger = smaller cloud)")
-		seed        = flag.Int64("seed", 1, "simulation seed")
-		out         = flag.String("out", "", "write the collected store (gob) to this path")
-		maxRounds   = flag.Int("rounds", 0, "cap the number of rounds (0 = full §6 schedule)")
-		doCluster   = flag.Bool("cluster", true, "run the §5 clustering after collection")
-		doCarto     = flag.Bool("carto", true, "run the §5 VPC cartography (EC2 only)")
-		blacklist   = flag.String("exclude", "", "comma-separated IPs to exclude from probing (opt-outs)")
-		quiet       = flag.Bool("q", false, "suppress per-round progress")
-		metricsPath = flag.String("metrics", "", "write the campaign metrics report (round reports + registry snapshot) as JSON to this path")
-	)
+	var o options
+	flag.StringVar(&o.cloudName, "cloud", "ec2", "cloud profile: ec2 or azure")
+	flag.IntVar(&o.scale, "scale", 256, "address-space scale divisor (larger = smaller cloud)")
+	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.StringVar(&o.out, "out", "", "write the collected store (gob) to this path")
+	flag.IntVar(&o.maxRounds, "rounds", 0, "cap the number of rounds (0 = full §6 schedule)")
+	flag.BoolVar(&o.doCluster, "cluster", true, "run the §5 clustering after collection")
+	flag.BoolVar(&o.doCarto, "carto", true, "run the §5 VPC cartography (EC2 only)")
+	flag.StringVar(&o.exclude, "exclude", "", "comma-separated IPs to exclude from probing (opt-outs)")
+	flag.BoolVar(&o.quiet, "q", false, "suppress per-round progress")
+	flag.StringVar(&o.metricsPath, "metrics", "", "write the campaign metrics report (round reports + registry snapshot) as JSON to this path")
+	flag.StringVar(&o.faultsPath, "faults", "", "inject faults from this JSON scenario (see internal/faults)")
+	flag.IntVar(&o.retries, "retries", 0, "probe/fetch attempts per target (0 = single attempt)")
+	flag.DurationVar(&o.roundTimeout, "round-timeout", 0, "per-round deadline; an exceeded round finalizes degraded with partial records (0 = none)")
 	flag.Parse()
 
-	if err := run(*cloudName, *scale, *seed, *out, *maxRounds, *doCluster, *doCarto, *blacklist, *quiet, *metricsPath); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "whowas: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(cloudName string, scale int, seed int64, out string, maxRounds int, doCluster, doCarto bool, exclude string, quiet bool, metricsPath string) error {
+func run(o options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	var cfg cloudsim.Config
-	switch cloudName {
+	switch o.cloudName {
 	case "ec2":
-		cfg = cloudsim.DefaultEC2Config(scale, seed)
+		cfg = cloudsim.DefaultEC2Config(o.scale, o.seed)
 	case "azure":
-		cfg = cloudsim.DefaultAzureConfig(scale, seed)
+		cfg = cloudsim.DefaultAzureConfig(o.scale, o.seed)
 	default:
-		return fmt.Errorf("unknown cloud %q (want ec2 or azure)", cloudName)
+		return fmt.Errorf("unknown cloud %q (want ec2 or azure)", o.cloudName)
 	}
 
 	fmt.Printf("building %s-like cloud (%d probed IPs, %d-day campaign)...\n",
-		cloudName, totalIPs(cfg), cfg.Days)
+		o.cloudName, totalIPs(cfg), cfg.Days)
 	p, err := core.NewPlatform(cfg)
 	if err != nil {
 		return err
 	}
 
 	camp := core.FastCampaign()
-	if maxRounds > 0 {
+	if o.maxRounds > 0 {
 		days := core.DefaultRoundSchedule(cfg.Days)
-		if maxRounds < len(days) {
-			days = days[:maxRounds]
+		if o.maxRounds < len(days) {
+			days = days[:o.maxRounds]
 		}
 		camp.RoundDays = days
 	}
-	if exclude != "" {
+	if o.faultsPath != "" {
+		sc, err := faults.LoadFile(o.faultsPath)
+		if err != nil {
+			return err
+		}
+		camp.Faults = sc
+		fmt.Printf("injecting faults from %s (scenario %q, seed %d)\n", o.faultsPath, sc.Name, sc.Seed)
+	}
+	if o.retries > 0 {
+		camp.Scanner.Attempts = o.retries
+		camp.Fetcher.Attempts = o.retries
+	}
+	camp.RoundTimeout = o.roundTimeout
+	if o.exclude != "" {
 		set := ipaddr.NewSet()
-		for _, s := range splitComma(exclude) {
+		for _, s := range splitComma(o.exclude) {
 			a, err := ipaddr.ParseAddr(s)
 			if err != nil {
 				return fmt.Errorf("bad -exclude entry: %w", err)
@@ -89,10 +127,17 @@ func run(cloudName string, scale int, seed int64, out string, maxRounds int, doC
 		camp.Blacklist = set
 		fmt.Printf("excluding %d opted-out IPs\n", set.Len())
 	}
-	if !quiet {
+	if !o.quiet {
 		camp.Observer = func(r core.RoundReport) {
-			fmt.Printf("  round %2d (day %2d): %d/%d responsive, %d fetched, %d errors, scan %s\n",
+			line := fmt.Sprintf("  round %2d (day %2d): %d/%d responsive, %d fetched, %d errors, scan %s",
 				r.Round, r.Day, r.Responsive, r.Probed, r.Fetched, r.FetchErrors, r.Scan.Round(time.Millisecond))
+			if r.Retries > 0 {
+				line += fmt.Sprintf(", %d retries", r.Retries)
+			}
+			if r.Degraded {
+				line += " [degraded]"
+			}
+			fmt.Println(line)
 		}
 	}
 
@@ -101,14 +146,14 @@ func run(cloudName string, scale int, seed int64, out string, maxRounds int, doC
 	}
 	fmt.Printf("campaign complete: %d rounds collected\n", p.Store.NumRounds())
 
-	if doCarto && p.IsEC2Like() {
+	if o.doCarto && p.IsEC2Like() {
 		fmt.Println("running VPC cartography sweep...")
 		if err := p.RunCartography(ctx, carto.Config{Rate: 1e6}); err != nil {
 			return err
 		}
 		fmt.Printf("cartography: %d VPC /22 prefixes\n", p.CartoMap.VPCPrefixCount())
 	}
-	if doCluster {
+	if o.doCluster {
 		fmt.Println("clustering <IP, round> records...")
 		if err := p.RunClustering(cluster.Config{}); err != nil {
 			return err
@@ -117,8 +162,8 @@ func run(cloudName string, scale int, seed int64, out string, maxRounds int, doC
 			p.Clusters.TopLevel, p.Clusters.SecondLevel, p.Clusters.Final, p.Clusters.Threshold)
 	}
 
-	if out != "" {
-		f, err := os.Create(out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
@@ -126,10 +171,10 @@ func run(cloudName string, scale int, seed int64, out string, maxRounds int, doC
 		if err := p.Store.Save(f); err != nil {
 			return err
 		}
-		fmt.Printf("store written to %s\n", out)
+		fmt.Printf("store written to %s\n", o.out)
 	}
-	if metricsPath != "" {
-		f, err := os.Create(metricsPath)
+	if o.metricsPath != "" {
+		f, err := os.Create(o.metricsPath)
 		if err != nil {
 			return err
 		}
@@ -137,7 +182,7 @@ func run(cloudName string, scale int, seed int64, out string, maxRounds int, doC
 		if err := p.WriteMetricsJSON(f); err != nil {
 			return err
 		}
-		fmt.Printf("metrics report written to %s\n", metricsPath)
+		fmt.Printf("metrics report written to %s\n", o.metricsPath)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"whowas/internal/cloudsim"
 	"whowas/internal/cluster"
 	"whowas/internal/dnssim"
+	"whowas/internal/faults"
 	"whowas/internal/features"
 	"whowas/internal/fetcher"
 	"whowas/internal/ipaddr"
@@ -51,6 +53,17 @@ type CampaignConfig struct {
 	Fetcher fetcher.Config
 	// Blacklist lists opted-out IPs that are never probed (§4/§7).
 	Blacklist *ipaddr.Set
+	// Faults, when non-nil, wraps the platform's network with the
+	// deterministic fault-injection layer (internal/faults) for chaos
+	// campaigns: every scanner probe and fetcher GET dials through the
+	// scenario's seeded faults, and the faults.* injection counters
+	// land in the platform registry.
+	Faults *faults.Scenario
+	// RoundTimeout bounds each round's wall-clock time. A round that
+	// exceeds it degrades gracefully — it finalizes with the records
+	// collected so far and RoundReport.Degraded set — instead of
+	// wedging the campaign. 0 means no deadline (the default).
+	RoundTimeout time.Duration
 	// KeepBodies retains raw page bodies in the store (memory-hungry;
 	// features are extracted either way).
 	KeepBodies bool
@@ -82,6 +95,10 @@ type RoundReport struct {
 	FetchErrors  int64 `json:"fetch_errors"`  // transport-level fetch failures
 	Records      int64 `json:"records"`       // records stored
 	BodyBytes    int64 `json:"body_bytes"`    // page body bytes collected
+
+	// Resilience (faulty-network campaigns).
+	Retries  int64 `json:"retries"`  // scan probes retried after timeouts
+	Degraded bool  `json:"degraded"` // round hit RoundTimeout; records are partial
 
 	// Stage durations. Fetching overlaps scanning, so Scan covers the
 	// scan of the whole address space, Drain the tail from scan
@@ -193,11 +210,26 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 	if cfg.Fetcher.Metrics == nil {
 		cfg.Fetcher.Metrics = p.Metrics
 	}
-	scn, err := scanner.New(p.Net, cfg.Scanner)
+	// Chaos campaigns dial through the fault injector; its decisions
+	// are deterministic per (ip, port, day, attempt), so the same
+	// scenario reproduces the same campaign byte for byte.
+	var dialer netsim.Dialer = p.Net
+	if cfg.Faults != nil {
+		inj, err := faults.Wrap(p.Net, *cfg.Faults, faults.Options{
+			Day:      p.Net.Day,
+			RegionOf: p.Cloud.RegionOf,
+			Metrics:  p.Metrics,
+		})
+		if err != nil {
+			return err
+		}
+		dialer = inj
+	}
+	scn, err := scanner.New(dialer, cfg.Scanner)
 	if err != nil {
 		return err
 	}
-	ftc, err := fetcher.New(p.Net, cfg.Fetcher)
+	ftc, err := fetcher.New(dialer, cfg.Fetcher)
 	if err != nil {
 		return err
 	}
@@ -205,6 +237,7 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 	scanStage := p.Metrics.Stage("core.scan")
 	drainStage := p.Metrics.Stage("core.drain")
 	roundStage := p.Metrics.Stage("core.round")
+	degradedRounds := p.Metrics.Counter("core.degraded_rounds")
 
 	for i, day := range days {
 		if err := ctx.Err(); err != nil {
@@ -219,9 +252,17 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 			return err
 		}
 
+		// The round deadline, when configured, drives graceful
+		// degradation: the scanner and fetcher abort where they are,
+		// and the round finalizes with whatever was collected.
+		roundCtx, cancelRound := ctx, context.CancelFunc(func() {})
+		if cfg.RoundTimeout > 0 {
+			roundCtx, cancelRound = context.WithTimeout(ctx, cfg.RoundTimeout)
+		}
+
 		results := make(chan scanner.Result, 1024)
 		pages := make(chan fetcher.Page, 1024)
-		go ftc.Run(ctx, results, pages)
+		go ftc.Run(roundCtx, results, pages)
 
 		type collectResult struct {
 			tally collectTally
@@ -252,17 +293,31 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 		}()
 
 		scanStart := time.Now()
-		stats, err := scn.ScanRanges(ctx, p.Cloud.Ranges(), cfg.Blacklist, results)
+		stats, scanErr := scn.ScanRanges(roundCtx, p.Cloud.Ranges(), cfg.Blacklist, results)
 		scanDur := time.Since(scanStart)
-		if err != nil {
+		// A round deadline is degradation, not failure: the blame test
+		// is that the round context expired while the campaign context
+		// is still live. Capture it before cancelRound overwrites the
+		// round context's error with Canceled.
+		degraded := scanErr != nil && cfg.RoundTimeout > 0 &&
+			ctx.Err() == nil && errors.Is(roundCtx.Err(), context.DeadlineExceeded)
+		if scanErr != nil && !degraded {
 			<-collectCh
-			return fmt.Errorf("core: round %d scan: %w", i, err)
+			cancelRound()
+			return fmt.Errorf("core: round %d scan: %w", i, scanErr)
 		}
 		drainStart := time.Now()
 		collected := <-collectCh
 		drainDur := time.Since(drainStart)
+		cancelRound()
 		if collected.err != nil {
 			return fmt.Errorf("core: round %d collect: %w", i, collected.err)
+		}
+		if degraded {
+			if err := p.Store.MarkDegraded(); err != nil {
+				return err
+			}
+			degradedRounds.Inc()
 		}
 		p.Store.AddProbed(stats.Probed)
 		// Drop pooled connections: the next round is days away, and a
@@ -288,6 +343,8 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 			FetchErrors:  collected.tally.fetchErrors,
 			Records:      collected.tally.records,
 			BodyBytes:    collected.tally.bodyBytes,
+			Retries:      stats.Retries,
+			Degraded:     degraded,
 			Scan:         scanDur,
 			Drain:        drainDur,
 			Total:        totalDur,

@@ -25,6 +25,7 @@ import (
 	"whowas/internal/cluster"
 	"whowas/internal/core"
 	"whowas/internal/dnssim"
+	"whowas/internal/faults"
 	"whowas/internal/ipaddr"
 	"whowas/internal/plot"
 	"whowas/internal/ratelimit"
@@ -40,6 +41,14 @@ type Options struct {
 	// variable multiplies both (e.g. WHOWAS_SCALE=4 shrinks 4x).
 	EC2Scale, AzureScale int
 	Seed                 int64
+	// Faults, when non-nil, replays both campaigns through the
+	// deterministic fault-injection layer (the whowas-bench -faults
+	// flag): the evaluation then reports what the paper's analyses look
+	// like when collected over a degraded network.
+	Faults *faults.Scenario
+	// RoundTimeout bounds each campaign round when positive; rounds
+	// that exceed it finalize degraded instead of wedging the suite.
+	RoundTimeout time.Duration
 	// Progress receives per-round log lines when non-nil.
 	Progress func(format string, args ...any)
 }
@@ -89,9 +98,21 @@ func Run(ctx context.Context, opts Options) (*Suite, error) {
 			return nil, fmt.Errorf("experiments: %s platform: %w", name, err)
 		}
 		camp := core.FastCampaign()
+		camp.Faults = opts.Faults
+		camp.RoundTimeout = opts.RoundTimeout
+		if opts.Faults != nil {
+			// Resilience defaults for faulty runs; a clean network keeps
+			// the single-attempt fast path.
+			camp.Scanner.Attempts = 3
+			camp.Fetcher.Attempts = 3
+		}
 		camp.Observer = func(r core.RoundReport) {
-			opts.logf("%s round %d (day %d): %d responsive, %d fetched, scan %s",
-				name, r.Round, r.Day, r.Responsive, r.Fetched, r.Scan.Round(time.Millisecond))
+			suffix := ""
+			if r.Degraded {
+				suffix = " [degraded]"
+			}
+			opts.logf("%s round %d (day %d): %d responsive, %d fetched, scan %s%s",
+				name, r.Round, r.Day, r.Responsive, r.Fetched, r.Scan.Round(time.Millisecond), suffix)
 		}
 		if err := p.RunCampaign(ctx, camp); err != nil {
 			return nil, fmt.Errorf("experiments: %s campaign: %w", name, err)

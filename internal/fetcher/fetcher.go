@@ -13,8 +13,10 @@ package fetcher
 import (
 	"context"
 	"crypto/tls"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -48,6 +50,22 @@ type Config struct {
 	// DefaultUserAgent, which does. Callers overriding it must keep
 	// those properties.
 	UserAgent string
+	// Attempts is the maximum tries per GET. Transient transport
+	// errors — timeouts, mid-stream resets, truncated responses — are
+	// retried with a fresh per-attempt deadline of Timeout; refusals
+	// (a definitive answer from the instance) and cancellations are
+	// not. Default 1, the paper's single-shot exchange.
+	Attempts int
+	// RetryBackoff is the delay before the first retry, doubling on
+	// each further attempt. Default 100ms when Attempts > 1.
+	RetryBackoff time.Duration
+	// DisableKeepAlives turns off connection reuse across the GETs of
+	// one exchange. Determinism-sensitive chaos campaigns set it: the
+	// transport returns idle connections to its pool asynchronously,
+	// so whether the next GET reuses or redials is a race — with reuse
+	// off, every GET is exactly one dial and the fault layer's
+	// per-attempt decisions replay identically run to run.
+	DisableKeepAlives bool
 	// FollowLinks enables the §9 future-work extension: after the
 	// top-level GET of a 200 HTML page, follow up to this many
 	// same-site links (fetched by path on the same IP). 0 preserves
@@ -76,6 +94,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if out.UserAgent == "" {
 		out.UserAgent = DefaultUserAgent
+	}
+	if out.Attempts <= 0 {
+		out.Attempts = 1
+	}
+	if out.RetryBackoff <= 0 {
+		out.RetryBackoff = 100 * time.Millisecond
 	}
 	return out
 }
@@ -116,6 +140,7 @@ type Fetcher struct {
 	mGets         *metrics.Counter   // HTTP GETs issued (robots + pages)
 	mRobotsDenied *metrics.Counter   // IPs whose robots.txt disallowed "/"
 	mErrors       *metrics.Counter   // transport-level failures
+	mRetries      *metrics.Counter   // GETs retried after transient errors
 	mBodyBytes    *metrics.Counter   // body bytes downloaded (post-truncation)
 	mPages        *metrics.Counter   // per-IP exchanges completed
 	mGetLat       *metrics.Histogram // per-GET latency
@@ -139,6 +164,7 @@ func New(dialer netsim.Dialer, cfg Config) (*Fetcher, error) {
 		TLSClientConfig:     &tls.Config{InsecureSkipVerify: true}, // cloud IPs serve self-signed certs
 		MaxIdleConnsPerHost: 1,
 		DisableCompression:  true,
+		DisableKeepAlives:   c.DisableKeepAlives,
 	}
 	f := &Fetcher{
 		cfg:       c,
@@ -157,6 +183,7 @@ func New(dialer netsim.Dialer, cfg Config) (*Fetcher, error) {
 		f.mGets = r.Counter("fetcher.gets")
 		f.mRobotsDenied = r.Counter("fetcher.robots_denied")
 		f.mErrors = r.Counter("fetcher.transport_errors")
+		f.mRetries = r.Counter("fetcher.retries")
 		f.mBodyBytes = r.Counter("fetcher.body_bytes")
 		f.mPages = r.Counter("fetcher.pages")
 		f.mGetLat = r.Histogram("fetcher.get_latency")
@@ -219,8 +246,75 @@ func (f *Fetcher) get(ctx context.Context, url string) (*Page, error) {
 	return page, nil
 }
 
+// IsTransient reports whether a transport error is worth retrying:
+// timeouts (dropped SYNs, stalled reads), mid-stream resets, and
+// truncated responses are; refusals — a definitive answer from the
+// instance — and cancellations are not.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	// Walk the whole chain rather than stopping at the first net.Error:
+	// the HTTP transport wraps a mid-stream reset as
+	// url.Error > transport error > net.Error, and the outer url.Error
+	// reports Timeout/Temporary false without consulting the cause.
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if ne, ok := e.(net.Error); ok && (ne.Timeout() || ne.Temporary()) { //nolint:staticcheck // simulated errors define Temporary meaningfully
+			return true
+		}
+	}
+	// Transport errors that flatten the cause into the message.
+	return strings.Contains(err.Error(), "connection reset")
+}
+
+// sleepCtx sleeps for d or until the context ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// getRetry runs the bounded retry schedule for one URL: up to
+// Config.Attempts GETs, each under its own Timeout deadline, retrying
+// only transient transport errors with exponential backoff.
+func (f *Fetcher) getRetry(ctx context.Context, url string) (*Page, error) {
+	var page *Page
+	var err error
+	for attempt := 0; attempt < f.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			f.mRetries.Inc()
+			if serr := sleepCtx(ctx, f.cfg.RetryBackoff<<uint(attempt-1)); serr != nil {
+				return nil, err
+			}
+		}
+		actx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+		page, err = f.get(actx, url)
+		cancel()
+		if err == nil {
+			return page, nil
+		}
+		if !IsTransient(err) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
 // FetchIP runs the §4 exchange for one responsive IP: robots.txt
-// first, then at most one GET for "/".
+// first, then at most one GET for "/". With Config.Attempts > 1 each
+// GET gets the bounded retry schedule; "at most one GET" still holds
+// in the §7 sense — one successful page exchange per IP per round.
 func (f *Fetcher) FetchIP(ctx context.Context, res scanner.Result) Page {
 	if f.mFetchLat != nil {
 		start := time.Now()
@@ -234,7 +328,7 @@ func (f *Fetcher) FetchIP(ctx context.Context, res scanner.Result) Page {
 	out := Page{IP: res.IP, OpenPorts: res.OpenPorts, Scheme: scheme}
 	base := fmt.Sprintf("%s://%s", scheme, res.IP)
 
-	robots, err := f.get(ctx, base+"/robots.txt")
+	robots, err := f.getRetry(ctx, base+"/robots.txt")
 	if err == nil && robots.Status == 200 && len(robots.Body) > 0 {
 		if RobotsDisallowsRoot(string(robots.Body), f.cfg.UserAgent) {
 			out.RobotsDenied = true
@@ -243,7 +337,7 @@ func (f *Fetcher) FetchIP(ctx context.Context, res scanner.Result) Page {
 		}
 	}
 
-	page, err := f.get(ctx, base+"/")
+	page, err := f.getRetry(ctx, base+"/")
 	if err != nil {
 		out.Err = err
 		return out
@@ -258,7 +352,7 @@ func (f *Fetcher) FetchIP(ctx context.Context, res scanner.Result) Page {
 	if f.cfg.FollowLinks > 0 && out.Status == 200 && len(out.Body) > 0 &&
 		strings.HasPrefix(strings.ToLower(out.ContentType), "text/html") {
 		for _, path := range SameSitePaths(string(out.Body), f.cfg.FollowLinks) {
-			sub, err := f.get(ctx, base+path)
+			sub, err := f.getRetry(ctx, base+path)
 			if err != nil {
 				continue
 			}

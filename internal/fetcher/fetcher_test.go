@@ -2,12 +2,17 @@ package fetcher
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
 
 	"whowas/internal/cloudsim"
+	"whowas/internal/faults"
 	"whowas/internal/ipaddr"
+	"whowas/internal/metrics"
 	"whowas/internal/netsim"
 	"whowas/internal/scanner"
 	"whowas/internal/store"
@@ -289,5 +294,194 @@ func BenchmarkFetchIP(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.FetchIP(context.Background(), res)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	timeout := netsim.NewTimeoutError("54.0.0.1:80")
+	refused := netsim.NewRefusedError("54.0.0.1:80")
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"timeout", timeout, true},
+		{"refused", refused, false},
+		{"url-wrapped timeout", &url.Error{Op: "Get", URL: "http://x/", Err: timeout}, true},
+		{"url-wrapped refusal", &url.Error{Op: "Get", URL: "http://x/", Err: refused}, false},
+		{"unexpected EOF", io.ErrUnexpectedEOF, true},
+		{"wrapped unexpected EOF", fmt.Errorf("read body: %w", io.ErrUnexpectedEOF), true},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, true},
+		{"plain error", fmt.Errorf("parse failure"), false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// faultedWebIPs returns up to max clean HTTP web IPs for chaos tests.
+func faultedWebIPs(cloud *cloudsim.Cloud, max int) []ipaddr.Addr {
+	var out []ipaddr.Addr
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		st := cloud.StateAt(0, a)
+		if st.Bound && st.Web && st.Ports == cloudsim.HTTPBoth && !st.Slow && !st.HTTPFail && !st.Down {
+			out = append(out, a)
+		}
+		return len(out) < max
+	})
+	return out
+}
+
+func TestRetriesRecoverResets(t *testing.T) {
+	cloud, net, _ := testSetup(t)
+	ips := faultedWebIPs(cloud, 40)
+	if len(ips) < 20 {
+		t.Skip("not enough clean web IPs")
+	}
+	sc := faults.Scenario{Seed: 23, ResetPerMille: 500, ResetAfterBytes: 32}
+
+	run := func(attempts int) (errs int, retries int64) {
+		inj, err := faults.Wrap(net, sc, faults.Options{Day: net.Day})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := metrics.NewRegistry()
+		f, err := New(inj, Config{
+			Workers: 1, Timeout: 5 * time.Second,
+			Attempts: attempts, RetryBackoff: time.Microsecond,
+			Metrics: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ip := range ips {
+			page := f.FetchIP(context.Background(), scanner.Result{IP: ip, OpenPorts: store.PortHTTP})
+			if page.Err != nil {
+				errs++
+			}
+		}
+		return errs, reg.Snapshot().Counters["fetcher.retries"]
+	}
+
+	errs1, retries1 := run(1)
+	errs4, retries4 := run(4)
+	if retries1 != 0 {
+		t.Errorf("single-attempt fetcher recorded %d retries", retries1)
+	}
+	if retries4 == 0 {
+		t.Error("retrying fetcher recorded zero retries under 50% resets")
+	}
+	// Half the connections are armed with a reset. A page is lost when
+	// the robots conn resets (forcing a fresh dial for the root GET)
+	// and that second conn resets too — ~25% single-attempt; retries
+	// drive it toward zero.
+	if errs1 < len(ips)/8 {
+		t.Errorf("single-attempt errors = %d of %d; expected heavy reset loss", errs1, len(ips))
+	}
+	if errs4 >= errs1 {
+		t.Errorf("retries did not reduce errors: %d -> %d", errs1, errs4)
+	}
+	if float64(errs4) > 0.15*float64(len(ips)) {
+		t.Errorf("retried errors = %d of %d, want under 15%%", errs4, len(ips))
+	}
+}
+
+func TestPerAttemptDeadlineBoundsStalls(t *testing.T) {
+	cloud, net, _ := testSetup(t)
+	ips := faultedWebIPs(cloud, 1)
+	if len(ips) == 0 {
+		t.Skip("no clean web IP")
+	}
+	// Every connection stalls for 5s on its first read; the fetcher's
+	// 60ms per-attempt deadline must cut each attempt short so the
+	// whole exchange (robots + root, 2 attempts each) stays bounded.
+	inj, err := faults.Wrap(net, faults.Scenario{Seed: 7, StallPerMille: 1000, StallMS: 5000}, faults.Options{Day: net.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(inj, Config{
+		Workers: 1, Timeout: 60 * time.Millisecond,
+		Attempts: 2, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	page := f.FetchIP(context.Background(), scanner.Result{IP: ips[0], OpenPorts: store.PortHTTP})
+	elapsed := time.Since(start)
+	if page.Err == nil {
+		t.Error("fully stalled IP produced a page")
+	}
+	if !IsTransient(page.Err) {
+		t.Errorf("stall error %v not classified transient", page.Err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("stalled exchange took %v; per-attempt deadlines not enforced", elapsed)
+	}
+}
+
+func TestSameSitePathsEdgeCases(t *testing.T) {
+	body := `<html><body>
+	<a href="http://site.example/about#team">About</a>
+	<a href="http://site.example/#top">Top</a>
+	<a href="http://site.example/about">About again</a>
+	<a href="http://site.example/">Home</a>
+	<a href="https://www.google-analytics.com/collect?v=1">tracker</a>
+	<a href="docs/guide#install">relative, not extracted</a>
+	<a href="http://site.example/a">A</a>
+	<a href="http://site.example/b">B</a>
+	<a href="http://site.example/c">C</a>
+	</body></html>`
+	got := SameSitePaths(body, 10)
+	// "/about#team" and "/about" are one path (the fragment is not part
+	// of the path), "#top" and "/" resolve to the root and are dropped,
+	// the tracker host is skipped, and the relative href never leaves
+	// the parser (WhoWas follows absolute links by path, on the IP).
+	want := []string{"/about", "/a", "/b", "/c"}
+	if len(got) != len(want) {
+		t.Fatalf("paths = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("path[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, p := range got {
+		if strings.Contains(p, "#") {
+			t.Errorf("path %q retains fragment", p)
+		}
+	}
+	// The cap truncates, keeping document order.
+	if capped := SameSitePaths(body, 2); len(capped) != 2 || capped[0] != "/about" || capped[1] != "/a" {
+		t.Errorf("capped paths = %q", capped)
+	}
+	if got := SameSitePaths("", 5); len(got) != 0 {
+		t.Errorf("empty body yielded paths %q", got)
+	}
+}
+
+func TestRobotsDisallowsRootEdgeCases(t *testing.T) {
+	ua := DefaultUserAgent
+	cases := []struct {
+		name, body string
+		want       bool
+	}{
+		{"whitespace-only body", "  \n\t\n", false},
+		{"CRLF line endings", "User-agent: *\r\nDisallow: /\r\n", true},
+		{"mixed-case user-agent field", "uSeR-aGeNt: *\nDiSaLlOw: /\n", true},
+		{"mixed-case agent value", "User-agent: WHOWAS-RESEARCH-SCANNER\nDisallow: /\n", true},
+		{"no trailing newline", "User-agent: *\nDisallow: /", true},
+		{"disallow before any group", "Disallow: /\n", false},
+		{"rule split by blank line stays in group", "User-agent: *\n\nDisallow: /\n", true},
+		{"trailing spaces on values", "User-agent: *   \nDisallow: /   \n", true},
+	}
+	for _, c := range cases {
+		if got := RobotsDisallowsRoot(c.body, ua); got != c.want {
+			t.Errorf("%s: RobotsDisallowsRoot = %v, want %v", c.name, got, c.want)
+		}
 	}
 }

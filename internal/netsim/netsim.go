@@ -63,6 +63,16 @@ func (e *refusedError) Error() string   { return fmt.Sprintf("dial tcp %s: conne
 func (e *refusedError) Timeout() bool   { return false }
 func (e *refusedError) Temporary() bool { return false }
 
+// NewTimeoutError returns the dial-timeout error this network produces
+// for a dropped SYN. Fault layers wrapping a Dialer (internal/faults)
+// reuse it so injected failures are indistinguishable from organic
+// ones to the scanner's timeout classification.
+func NewTimeoutError(addr string) net.Error { return &timeoutError{addr: addr} }
+
+// NewRefusedError returns the connection-refused error this network
+// produces for a closed port on a bound instance.
+func NewRefusedError(addr string) net.Error { return &refusedError{addr: addr} }
+
 // Stats counts network activity, for the §7 politeness checks.
 type Stats struct {
 	Dials    atomic.Int64 // dial attempts

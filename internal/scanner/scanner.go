@@ -2,10 +2,14 @@
 // target IP it sends lightweight TCP connection probes ("SYNs") first
 // to port 80, then to 443; only if both fail does it probe 22, which
 // identifies live instances without public web services. Probes time
-// out after two seconds and are never retried — the paper measured
-// that longer timeouts and retries change the responsive population by
-// well under one percent (reproduced by the §4 timeout experiment in
-// this repository's bench suite).
+// out after two seconds and by default are never retried — the paper
+// measured that longer timeouts and retries change the responsive
+// population by well under one percent (reproduced by the §4 timeout
+// experiment in this repository's bench suite). Config.Attempts turns
+// on the paper's calibration schedule for faulty-network runs: a
+// timed-out probe is retried with exponential backoff and
+// deterministic jitter, while a refusal — a definitive answer from the
+// instance — never is.
 //
 // A token-bucket limiter enforces the global probe budget (250 probes
 // per second by default — deliberately far below Internet-scanner
@@ -15,6 +19,7 @@ package scanner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -34,6 +39,19 @@ type Config struct {
 	Timeout time.Duration // per-probe timeout (default 2s)
 	Workers int           // concurrent probing workers (default 64)
 	Clock   ratelimit.Clock
+
+	// Attempts is the maximum dial attempts per port probe. The default
+	// of 1 is the paper's production schedule (no retries); chaos and
+	// calibration runs raise it. Only timeouts are retried — a refusal
+	// is a definitive answer from the instance.
+	Attempts int
+	// RetryBackoff is the delay before the first retry; it doubles on
+	// each further attempt. Default 100ms when Attempts > 1.
+	RetryBackoff time.Duration
+	// RetryJitter bounds the ± adjustment applied to each backoff
+	// delay. The jitter is derived from (ip, port, attempt), never from
+	// a shared RNG, so identical scans sleep identically. Default 0.
+	RetryJitter time.Duration
 	// Metrics, when non-nil, receives the scanner's instrumentation:
 	// the scanner.* counters, the scanner.probe_latency histogram and
 	// the scanner.limiter_wait stage. Nil disables instrumentation
@@ -56,6 +74,12 @@ func (c Config) WithDefaults() Config {
 	if out.Workers <= 0 {
 		out.Workers = 64
 	}
+	if out.Attempts <= 0 {
+		out.Attempts = 1
+	}
+	if out.RetryBackoff <= 0 {
+		out.RetryBackoff = 100 * time.Millisecond
+	}
 	return out
 }
 
@@ -70,7 +94,8 @@ type Result struct {
 type Stats struct {
 	Probed     int64 // IPs probed
 	Skipped    int64 // IPs skipped via the opt-out blacklist
-	Probes     int64 // individual port probes sent
+	Probes     int64 // individual port probes sent (retries included)
+	Retries    int64 // probes that were retries of a timed-out attempt
 	Responsive int64 // IPs that answered at least one probe
 }
 
@@ -85,6 +110,7 @@ type Scanner struct {
 	mProbedIPs   *metrics.Counter   // IPs fully probed
 	mSkipped     *metrics.Counter   // IPs skipped via the blacklist
 	mResponsive  *metrics.Counter   // IPs that answered a probe
+	mRetries     *metrics.Counter   // retry probes after timeouts
 	mProbeLat    *metrics.Histogram // per-probe dial latency
 	mLimiterWait *metrics.Stage     // time blocked on the rate limiter
 }
@@ -106,6 +132,7 @@ func New(dialer netsim.Dialer, cfg Config) (*Scanner, error) {
 		s.mProbedIPs = r.Counter("scanner.probed_ips")
 		s.mSkipped = r.Counter("scanner.skipped_ips")
 		s.mResponsive = r.Counter("scanner.responsive_ips")
+		s.mRetries = r.Counter("scanner.retries")
 		s.mProbeLat = r.Histogram("scanner.probe_latency")
 		s.mLimiterWait = r.Stage("scanner.limiter_wait")
 	}
@@ -136,14 +163,14 @@ func (s *Scanner) wait(ctx context.Context) error {
 
 // timedProbe wraps probe with the latency histogram, skipping the
 // clock reads when instrumentation is off.
-func (s *Scanner) timedProbe(ctx context.Context, ip ipaddr.Addr, port int, timeout time.Duration) bool {
+func (s *Scanner) timedProbe(ctx context.Context, ip ipaddr.Addr, port int, timeout time.Duration) (bool, error) {
 	if s.mProbeLat == nil {
 		return s.probe(ctx, ip, port, timeout)
 	}
 	start := time.Now()
-	ok := s.probe(ctx, ip, port, timeout)
+	ok, err := s.probe(ctx, ip, port, timeout)
 	s.mProbeLat.Observe(time.Since(start))
-	return ok
+	return ok, err
 }
 
 func intMax(a, b int) int {
@@ -154,19 +181,89 @@ func intMax(a, b int) int {
 }
 
 // probe sends one connection probe, returning whether the port
-// answered. Connection-refused counts as a response from the instance
-// for liveness purposes only at the TCP level; the paper's scanner
-// records a port as open only when the SYN is answered with SYN-ACK,
-// so refusals report false here.
-func (s *Scanner) probe(ctx context.Context, ip ipaddr.Addr, port int, timeout time.Duration) bool {
+// answered and, when it did not, the dial error so callers can tell a
+// timeout (retryable) from a refusal. Connection-refused counts as a
+// response from the instance for liveness purposes only at the TCP
+// level; the paper's scanner records a port as open only when the SYN
+// is answered with SYN-ACK, so refusals report false here.
+func (s *Scanner) probe(ctx context.Context, ip ipaddr.Addr, port int, timeout time.Duration) (bool, error) {
 	pctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	conn, err := s.dialer.DialContext(pctx, "tcp", fmt.Sprintf("%s:%d", ip, port))
 	if err != nil {
-		return false
+		return false, err
 	}
 	conn.Close()
-	return true
+	return true, nil
+}
+
+// probePort runs the full retry schedule for one (ip, port): up to
+// Config.Attempts probes, retrying only on timeouts, with exponential
+// backoff and deterministic jitter between attempts. Every attempt
+// pays the rate-limiter toll and counts as a probe.
+func (s *Scanner) probePort(ctx context.Context, ip ipaddr.Addr, port int, stats *Stats) (bool, error) {
+	for attempt := 0; ; attempt++ {
+		if err := s.wait(ctx); err != nil {
+			return false, err
+		}
+		atomic.AddInt64(&stats.Probes, 1)
+		s.mProbes.Inc()
+		ok, perr := s.timedProbe(ctx, ip, port, s.cfg.Timeout)
+		if ok {
+			return true, nil
+		}
+		if attempt+1 >= s.cfg.Attempts || !IsTimeout(perr) {
+			return false, nil
+		}
+		atomic.AddInt64(&stats.Retries, 1)
+		s.mRetries.Inc()
+		if err := sleepCtx(ctx, s.retryDelay(ip, port, attempt)); err != nil {
+			return false, err
+		}
+	}
+}
+
+// retryDelay is the pause before retry number attempt+1: RetryBackoff
+// doubled per prior attempt, adjusted by a jitter derived from
+// (ip, port, attempt) so the schedule is a pure function of the probe
+// identity and identical scans sleep identically.
+func (s *Scanner) retryDelay(ip ipaddr.Addr, port, attempt int) time.Duration {
+	d := s.cfg.RetryBackoff << uint(attempt)
+	if j := s.cfg.RetryJitter; j > 0 {
+		h := mix64(uint64(ip)<<24 ^ uint64(port)<<8 ^ uint64(attempt))
+		span := uint64(2*j + 1)
+		d += time.Duration(h%span) - j
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// mix64 is the splitmix64 finalizer (the same mixing netsim and the
+// fault layer use for their seeded decisions).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// sleepCtx sleeps for d or until the context ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // ProbeOnce exposes a single probe with an explicit timeout, used by
@@ -176,7 +273,8 @@ func (s *Scanner) ProbeOnce(ctx context.Context, ip ipaddr.Addr, port int, timeo
 		return false, err
 	}
 	s.mProbes.Inc()
-	return s.timedProbe(ctx, ip, port, timeout), nil
+	ok, _ := s.timedProbe(ctx, ip, port, timeout)
+	return ok, nil
 }
 
 // scanIP runs the §4 probe sequence for one IP: 80, then 443, then 22
@@ -184,12 +282,11 @@ func (s *Scanner) ProbeOnce(ctx context.Context, ip ipaddr.Addr, port int, timeo
 func (s *Scanner) scanIP(ctx context.Context, ip ipaddr.Addr, stats *Stats) (uint8, error) {
 	var open uint8
 	for _, port := range []int{80, 443} {
-		if err := s.wait(ctx); err != nil {
+		ok, err := s.probePort(ctx, ip, port, stats)
+		if err != nil {
 			return 0, err
 		}
-		atomic.AddInt64(&stats.Probes, 1)
-		s.mProbes.Inc()
-		if s.timedProbe(ctx, ip, port, s.cfg.Timeout) {
+		if ok {
 			if port == 80 {
 				open |= store.PortHTTP
 			} else {
@@ -198,12 +295,11 @@ func (s *Scanner) scanIP(ctx context.Context, ip ipaddr.Addr, stats *Stats) (uin
 		}
 	}
 	if open == 0 {
-		if err := s.wait(ctx); err != nil {
+		ok, err := s.probePort(ctx, ip, 22, stats)
+		if err != nil {
 			return 0, err
 		}
-		atomic.AddInt64(&stats.Probes, 1)
-		s.mProbes.Inc()
-		if s.timedProbe(ctx, ip, 22, s.cfg.Timeout) {
+		if ok {
 			open |= store.PortSSH
 		}
 	}
@@ -275,8 +371,10 @@ feed:
 }
 
 // IsTimeout reports whether a dial error was a timeout (dropped SYN)
-// rather than a refusal; exposed for diagnostics and tests.
+// rather than a refusal; exposed for diagnostics and tests. errors.As
+// unwraps, so a *url.Error from an HTTP client and the raw net.Error
+// underneath it classify identically.
 func IsTimeout(err error) bool {
-	ne, ok := err.(net.Error)
-	return ok && ne.Timeout()
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

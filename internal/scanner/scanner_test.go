@@ -2,10 +2,13 @@ package scanner
 
 import (
 	"context"
+	"fmt"
+	"net/url"
 	"testing"
 	"time"
 
 	"whowas/internal/cloudsim"
+	"whowas/internal/faults"
 	"whowas/internal/ipaddr"
 	"whowas/internal/netsim"
 	"whowas/internal/ratelimit"
@@ -315,5 +318,174 @@ func BenchmarkScanRound(b *testing.B) {
 		if _, err := s.ScanRanges(context.Background(), cloud.Ranges(), nil, results); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestIsTimeoutUnwrapsWrappedErrors(t *testing.T) {
+	cloud, net := testSetup(t)
+	var unbound, sshOnly ipaddr.Addr
+	var haveU, haveS bool
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		st := cloud.StateAt(0, a)
+		if !st.Bound && !haveU {
+			unbound, haveU = a, true
+		}
+		if st.Bound && st.Ports == cloudsim.SSHOnly && !st.Slow && !haveS {
+			sshOnly, haveS = a, true
+		}
+		return !(haveU && haveS)
+	})
+	_, rawTimeout := net.DialContext(context.Background(), "tcp", unbound.String()+":80")
+	_, rawRefused := net.DialContext(context.Background(), "tcp", sshOnly.String()+":80")
+
+	// The regression shape: the HTTP client hands back dial errors
+	// wrapped in *url.Error, which is not itself assertable to
+	// net.Error the way the raw dial error is. IsTimeout must classify
+	// both shapes identically.
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"raw timeout", rawTimeout, true},
+		{"url.Error timeout", &url.Error{Op: "Get", URL: "http://" + unbound.String() + "/", Err: rawTimeout}, true},
+		{"fmt-wrapped timeout", fmt.Errorf("fetch root: %w", rawTimeout), true},
+		{"raw refusal", rawRefused, false},
+		{"url.Error refusal", &url.Error{Op: "Get", URL: "http://" + sshOnly.String() + "/", Err: rawRefused}, false},
+		{"context deadline", context.DeadlineExceeded, true},
+		{"context canceled", context.Canceled, false},
+		{"nil", nil, false},
+	}
+	for _, c := range cases {
+		if got := IsTimeout(c.err); got != c.want {
+			t.Errorf("IsTimeout(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	_, net := testSetup(t)
+	s, err := New(net, Config{Attempts: 4, RetryBackoff: 50 * time.Millisecond, RetryJitter: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		base := 50 * time.Millisecond << uint(attempt)
+		d1 := s.retryDelay(ipaddr.Addr(0x36000001), 80, attempt)
+		d2 := s.retryDelay(ipaddr.Addr(0x36000001), 80, attempt)
+		if d1 != d2 {
+			t.Errorf("attempt %d: delay not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		if d1 < base-20*time.Millisecond || d1 > base+20*time.Millisecond {
+			t.Errorf("attempt %d: delay %v outside %v±20ms", attempt, d1, base)
+		}
+	}
+	// Distinct probe identities should not all share one delay.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 32; i++ {
+		seen[s.retryDelay(ipaddr.Addr(0x36000000+uint32(i)), 80, 0)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("jitter produced a single delay across 32 IPs")
+	}
+}
+
+func TestRetriesOnlyOnTimeouts(t *testing.T) {
+	cloud, net := testSetup(t)
+	net.RecordProbes(true)
+	clock := ratelimit.NewFakeClock(time.Unix(0, 0))
+	s, err := New(net, Config{
+		Rate: 1e6, Workers: 1, Clock: clock,
+		Attempts: 3, RetryBackoff: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unbound, sshOnly ipaddr.Addr
+	var haveU, haveS bool
+	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
+		st := cloud.StateAt(0, a)
+		if !st.Bound && !haveU {
+			unbound, haveU = a, true
+		}
+		if st.Bound && st.Ports == cloudsim.SSHOnly && !st.Slow && !haveS {
+			sshOnly, haveS = a, true
+		}
+		return !(haveU && haveS)
+	})
+	ctx := context.Background()
+
+	// Refusals are definitive: an SSH-only IP refuses 80 and 443 and
+	// answers 22, so even with Attempts=3 it sees exactly 3 probes.
+	stats := &Stats{}
+	open, err := s.scanIP(ctx, sshOnly, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open != store.PortSSH {
+		t.Errorf("sshOnly open = %b, want SSH bit", open)
+	}
+	if got := net.ProbeCount(0, sshOnly); got != 3 {
+		t.Errorf("sshOnly probe count = %d, want 3 (refusals must not retry)", got)
+	}
+	if stats.Retries != 0 {
+		t.Errorf("sshOnly retries = %d, want 0", stats.Retries)
+	}
+
+	// Timeouts retry: an unbound IP times out on 80, 443 and 22, each
+	// probed Attempts times.
+	stats = &Stats{}
+	if _, err := s.scanIP(ctx, unbound, stats); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.ProbeCount(0, unbound); got != 9 {
+		t.Errorf("unbound probe count = %d, want 9 (3 ports x 3 attempts)", got)
+	}
+	if stats.Retries != 6 {
+		t.Errorf("unbound retries = %d, want 6", stats.Retries)
+	}
+	if stats.Probes != 9 {
+		t.Errorf("unbound probes = %d, want 9", stats.Probes)
+	}
+}
+
+func TestRetriesRecoverInjectedLoss(t *testing.T) {
+	cloud, net := testSetup(t)
+	inj, err := faults.Wrap(net, faults.Scenario{Seed: 17, DialLossPerMille: 300}, faults.Options{Day: net.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := ratelimit.NewFakeClock(time.Unix(0, 0))
+	mk := func(attempts int) *Scanner {
+		s, err := New(inj, Config{
+			Rate: 1e6, Workers: 32, Clock: clock,
+			Attempts: attempts, RetryBackoff: time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	baseline := fastScanner(t, net)
+	_, want := collectScan(t, baseline, cloud.Ranges(), nil)
+
+	_, lossy := collectScan(t, mk(1), cloud.Ranges(), nil)
+	_, retried := collectScan(t, mk(4), cloud.Ranges(), nil)
+
+	// 30% per-attempt loss with no retries loses a visible slice of
+	// the responsive population (a web IP vanishes only when both its
+	// port probes are dropped, so the hit is ~10%, not 30%); four
+	// attempts (0.3^4 < 1%) recover nearly all of it.
+	if float64(lossy.Responsive) > 0.95*float64(want.Responsive) {
+		t.Errorf("lossy single-attempt scan found %d of %d responsive; expected heavy loss",
+			lossy.Responsive, want.Responsive)
+	}
+	if float64(retried.Responsive) < 0.97*float64(want.Responsive) {
+		t.Errorf("retried scan found %d of %d responsive; retries did not recover loss",
+			retried.Responsive, want.Responsive)
+	}
+	if retried.Retries == 0 {
+		t.Error("retried scan reported zero retries")
 	}
 }

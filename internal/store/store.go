@@ -11,7 +11,9 @@
 package store
 
 import (
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -82,12 +84,17 @@ func (r *Record) Available() bool { return r.HTTPStatus != 0 }
 
 // Round is one round of scanning: records keyed by IP.
 type Round struct {
-	Index   int
-	Day     int
-	Probed  int64 // how many IPs were probed this round
-	records map[ipaddr.Addr]*Record
-	sorted  []*Record // built on Finalize, ascending by IP
-	final   bool
+	Index  int
+	Day    int
+	Probed int64 // how many IPs were probed this round
+	// Degraded marks a round that hit its campaign deadline and was
+	// finalized with the records collected so far; its counts
+	// undercount the true population and churn analyses should treat
+	// it accordingly.
+	Degraded bool
+	records  map[ipaddr.Addr]*Record
+	sorted   []*Record // built on Finalize, ascending by IP
+	final    bool
 }
 
 // Get returns the record for an IP, or nil (unresponsive).
@@ -193,6 +200,19 @@ func (s *Store) Put(rec *Record) error {
 	return nil
 }
 
+// MarkDegraded flags the open round as degraded: the round exceeded
+// its deadline and holds only the records collected before it fired.
+// The flag survives EndRound and Save/Load.
+func (s *Store) MarkDegraded() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.open == nil {
+		return fmt.Errorf("store: no open round")
+	}
+	s.open.Degraded = true
+	return nil
+}
+
 // AddProbed counts probed IPs for the open round (the churn
 // denominators of Figure 9 are fractions of all probed IPs).
 func (s *Store) AddProbed(n int64) {
@@ -272,10 +292,11 @@ type persisted struct {
 }
 
 type persistedRound struct {
-	Index   int
-	Day     int
-	Probed  int64
-	Records []Record
+	Index    int
+	Day      int
+	Probed   int64
+	Degraded bool
+	Records  []Record
 }
 
 // Save writes the store (finalized rounds only) as gob.
@@ -284,13 +305,25 @@ func (s *Store) Save(w io.Writer) error {
 	defer s.mu.RUnlock()
 	p := persisted{CloudName: s.CloudName}
 	for _, r := range s.rounds {
-		pr := persistedRound{Index: r.Index, Day: r.Day, Probed: r.Probed}
+		pr := persistedRound{Index: r.Index, Day: r.Day, Probed: r.Probed, Degraded: r.Degraded}
 		for _, rec := range r.sorted {
 			pr.Records = append(pr.Records, *rec)
 		}
 		p.Rounds = append(p.Rounds, pr)
 	}
 	return gob.NewEncoder(w).Encode(&p)
+}
+
+// Digest returns the hex SHA-256 of the store's Save encoding. Save
+// writes rounds and records in sorted, deterministic order, so two
+// campaigns that collected identical data digest identically — the
+// byte-identity check behind the chaos determinism tests.
+func (s *Store) Digest() (string, error) {
+	h := sha256.New()
+	if err := s.Save(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // ExportJSON writes one round's records as a JSON array, one object
@@ -365,7 +398,7 @@ func Load(rd io.Reader) (*Store, error) {
 	}
 	s := New(p.CloudName)
 	for _, pr := range p.Rounds {
-		r := &Round{Index: pr.Index, Day: pr.Day, Probed: pr.Probed, records: make(map[ipaddr.Addr]*Record, len(pr.Records))}
+		r := &Round{Index: pr.Index, Day: pr.Day, Probed: pr.Probed, Degraded: pr.Degraded, records: make(map[ipaddr.Addr]*Record, len(pr.Records))}
 		for i := range pr.Records {
 			rec := pr.Records[i]
 			r.records[rec.IP] = &rec

@@ -294,3 +294,91 @@ func BenchmarkHistory(b *testing.B) {
 		s.History(ipaddr.Addr(i % 1000))
 	}
 }
+
+func TestMarkDegraded(t *testing.T) {
+	s := New("ec2")
+	if err := s.MarkDegraded(); err == nil {
+		t.Error("MarkDegraded with no open round succeeded")
+	}
+	if _, err := s.BeginRound(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(mkRecord("54.0.0.1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkDegraded(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EndRound(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BeginRound(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EndRound(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Round(0).Degraded {
+		t.Error("degraded flag lost on EndRound")
+	}
+	if s.Round(1).Degraded {
+		t.Error("degraded flag leaked into the next round")
+	}
+
+	// The flag is part of the wire form.
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Round(0).Degraded || loaded.Round(1).Degraded {
+		t.Errorf("degraded flags after Load: %v, %v, want true, false",
+			loaded.Round(0).Degraded, loaded.Round(1).Degraded)
+	}
+}
+
+func TestDigest(t *testing.T) {
+	build := func(degraded bool) *Store {
+		s := New("ec2")
+		s.BeginRound(0)
+		s.Put(mkRecord("54.0.0.1", 0))
+		s.Put(mkRecord("54.0.0.2", 0))
+		if degraded {
+			s.MarkDegraded()
+		}
+		s.EndRound()
+		return s
+	}
+	a := build(false)
+	d1, err := a.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := a.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Errorf("digest not stable: %s vs %s", d1, d2)
+	}
+	if len(d1) != 64 {
+		t.Errorf("digest %q is not hex SHA-256", d1)
+	}
+	if db, _ := build(false).Digest(); db != d1 {
+		t.Errorf("identical stores digest differently: %s vs %s", d1, db)
+	}
+	// Any content difference — even just the degraded flag — shows.
+	if dd, _ := build(true).Digest(); dd == d1 {
+		t.Error("degraded flag not covered by the digest")
+	}
+	other := build(false)
+	other.BeginRound(3)
+	other.Put(mkRecord("54.0.0.3", 1))
+	other.EndRound()
+	if do, _ := other.Digest(); do == d1 {
+		t.Error("extra round not covered by the digest")
+	}
+}
