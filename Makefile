@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench metrics-report
+.PHONY: all build vet test race chaos trace bench metrics-report
 
 all: build vet test
 
@@ -31,6 +31,16 @@ chaos:
 		-faults scenarios/chaos.json -retries 3 -round-timeout 2m \
 		-cluster=false -carto=false -metrics chaos-metrics.json
 	@echo "wrote chaos-metrics.json"
+
+# Flight recorder: a short faulty campaign with the ops endpoint and
+# span journal on, then the per-round latency breakdown (what the CI
+# trace job runs).
+trace:
+	$(GO) run ./cmd/whowas -scale 8192 -rounds 2 -q \
+		-faults scenarios/chaos.json -retries 3 -round-timeout 2m \
+		-cluster=false -carto=false \
+		-ops-addr 127.0.0.1:8377 -trace-journal trace-journal.jsonl
+	$(GO) run ./cmd/whowas-query trace -journal trace-journal.jsonl -slowest 3
 
 # Regenerate every paper table/figure benchmark.
 bench:

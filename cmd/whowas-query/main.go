@@ -8,6 +8,13 @@
 //	whowas-query -store ec2.whowas -summary          # Tables 3/4/5/7
 //	whowas-query -store ec2.whowas -census           # §8.3 census
 //	whowas-query -store ec2.whowas -trackers         # Table 20
+//
+// The trace subcommand reads a span journal written with
+// -trace-journal and prints each round's stage latency breakdown plus
+// its slowest spans:
+//
+//	whowas-query trace -journal run.jsonl
+//	whowas-query trace -journal run.jsonl -slowest 10
 package main
 
 import (
@@ -15,13 +22,23 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"whowas/internal/analysis"
 	"whowas/internal/ipaddr"
 	"whowas/internal/store"
+	"whowas/internal/trace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTrace(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "whowas-query: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		storePath = flag.String("store", "", "path to a store written by whowas -out")
 		ip        = flag.String("ip", "", "IP address to look up")
@@ -93,6 +110,69 @@ func run(storePath, ip string, clusterID int64, summary, census, trackers bool, 
 		return fmt.Errorf("nothing to do: pass -ip, -cluster, -summary, -census, -trackers or -json")
 	}
 	return nil
+}
+
+// runTrace is the trace subcommand: load a span journal and print the
+// per-round flight-recorder view.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	journalPath := fs.String("journal", "", "path to a span journal written with -trace-journal")
+	slowest := fs.Int("slowest", 5, "slowest spans to print per round")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *journalPath == "" {
+		return fmt.Errorf("trace: -journal is required")
+	}
+	spans, err := trace.LoadJournal(*journalPath)
+	if err != nil {
+		return err
+	}
+	rounds := trace.BreakdownRounds(spans)
+	fmt.Printf("journal: %d spans, %d rounds\n", len(spans), len(rounds))
+	for _, rb := range rounds {
+		suffix := ""
+		if rb.Degraded {
+			suffix = " [degraded]"
+		}
+		fmt.Printf("round %2d (day %2d): total %s, %d spans, %d fault-injected%s\n",
+			rb.Round, rb.Day, rb.Total.Round(time.Millisecond), rb.Spans, rb.FaultInjected, suffix)
+		stages := make([]string, 0, len(rb.Stages))
+		for name := range rb.Stages {
+			stages = append(stages, name)
+		}
+		sort.Slice(stages, func(i, j int) bool { return rb.Stages[stages[i]] > rb.Stages[stages[j]] })
+		for _, name := range stages {
+			d := rb.Stages[name]
+			pct := 0.0
+			if rb.Total > 0 {
+				pct = 100 * float64(d) / float64(rb.Total)
+			}
+			fmt.Printf("  %-16s %10s  %5.1f%%\n", name, d.Round(time.Millisecond), pct)
+		}
+		n := *slowest
+		if n > len(rb.Slowest) {
+			n = len(rb.Slowest)
+		}
+		for _, s := range rb.Slowest[:n] {
+			fmt.Printf("  slow: %-8s %10s  %s\n", s.Name, s.Duration().Round(time.Microsecond), formatAttrs(s))
+		}
+	}
+	return nil
+}
+
+// formatAttrs renders a span's attributes sorted by key.
+func formatAttrs(s trace.SpanSnapshot) string {
+	keys := make([]string, 0, len(s.Attrs))
+	for k := range s.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+s.Attrs[k])
+	}
+	return strings.Join(parts, " ")
 }
 
 // printCluster summarizes one cluster's footprint: per-round IP counts

@@ -15,6 +15,11 @@
 // fault-injection layer (internal/faults); pair it with -retries and
 // -round-timeout to exercise the pipeline's resilience, and -metrics
 // to see the faults.* injection counters next to what was recovered.
+//
+// Live observability: -ops-addr serves /healthz, /metrics,
+// /metrics/prom, /rounds, /trace/* and /debug/pprof/* while the
+// campaign runs, and -trace-journal records every completed span as
+// JSONL for whowas-query trace.
 package main
 
 import (
@@ -25,12 +30,15 @@ import (
 	"os/signal"
 	"time"
 
+	"whowas/internal/atomicfile"
 	"whowas/internal/carto"
 	"whowas/internal/cloudsim"
 	"whowas/internal/cluster"
 	"whowas/internal/core"
 	"whowas/internal/faults"
 	"whowas/internal/ipaddr"
+	"whowas/internal/ops"
+	"whowas/internal/trace"
 )
 
 // options collects every flag-driven knob of one CLI invocation.
@@ -48,6 +56,8 @@ type options struct {
 	faultsPath   string
 	retries      int
 	roundTimeout time.Duration
+	opsAddr      string
+	journalPath  string
 }
 
 func main() {
@@ -65,6 +75,8 @@ func main() {
 	flag.StringVar(&o.faultsPath, "faults", "", "inject faults from this JSON scenario (see internal/faults)")
 	flag.IntVar(&o.retries, "retries", 0, "probe/fetch attempts per target (0 = single attempt)")
 	flag.DurationVar(&o.roundTimeout, "round-timeout", 0, "per-round deadline; an exceeded round finalizes degraded with partial records (0 = none)")
+	flag.StringVar(&o.opsAddr, "ops-addr", "", "serve the live ops endpoint (/healthz, /metrics, /trace/*, pprof) on this address")
+	flag.StringVar(&o.journalPath, "trace-journal", "", "append completed spans as JSONL to this path (crash-safe; read with whowas-query trace)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -92,6 +104,38 @@ func run(o options) error {
 	p, err := core.NewPlatform(cfg)
 	if err != nil {
 		return err
+	}
+
+	if o.journalPath != "" || o.opsAddr != "" {
+		tcfg := trace.Config{}
+		if o.journalPath != "" {
+			j, err := trace.CreateJournal(o.journalPath)
+			if err != nil {
+				return err
+			}
+			tcfg.Journal = j
+		}
+		p.Tracer = trace.New(tcfg)
+		defer func() {
+			if err := p.Tracer.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "whowas: closing trace journal: %v\n", err)
+			} else if o.journalPath != "" {
+				fmt.Printf("trace journal written to %s\n", o.journalPath)
+			}
+		}()
+	}
+	if o.opsAddr != "" {
+		srv := ops.New(ops.Config{Metrics: p.Metrics, Tracer: p.Tracer, Rounds: p.RoundReports})
+		addr, err := srv.Start(o.opsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ops endpoint listening on http://%s\n", addr)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
 	}
 
 	camp := core.FastCampaign()
@@ -163,23 +207,21 @@ func run(o options) error {
 	}
 
 	if o.out != "" {
-		f, err := os.Create(o.out)
+		f, err := atomicfile.Create(o.out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := p.Store.Save(f); err != nil {
+			f.Abort()
+			return err
+		}
+		if err := f.Commit(); err != nil {
 			return err
 		}
 		fmt.Printf("store written to %s\n", o.out)
 	}
 	if o.metricsPath != "" {
-		f, err := os.Create(o.metricsPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := p.WriteMetricsJSON(f); err != nil {
+		if err := p.WriteMetricsFile(o.metricsPath); err != nil {
 			return err
 		}
 		fmt.Printf("metrics report written to %s\n", o.metricsPath)

@@ -21,6 +21,7 @@ import (
 	"whowas/internal/metrics"
 	"whowas/internal/ratelimit"
 	"whowas/internal/store"
+	"whowas/internal/trace"
 )
 
 // Map labels /22 prefixes as VPC or classic.
@@ -80,6 +81,9 @@ type Config struct {
 	// Metrics, when non-nil, receives the sweep instrumentation:
 	// carto.* counters and the carto.sweep stage timing.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records a "carto" span covering the sweep
+	// with prefix and query counts as attributes.
+	Tracer *trace.Tracer
 }
 
 // WithDefaults returns the config with zero fields resolved to the
@@ -102,10 +106,13 @@ func (c Config) WithDefaults() Config {
 func Sweep(ctx context.Context, resolver *dnssim.Resolver, ranges *ipaddr.RangeList, regionOf func(ipaddr.Addr) string, cfg Config) (*Map, error) {
 	cfg = cfg.WithDefaults()
 	reg := cfg.Metrics
+	sp := cfg.Tracer.Start("carto", nil)
 	start := time.Now()
 	queries := reg.Counter("carto.dns_queries")
 	limiter, err := ratelimit.NewWithClock(cfg.Rate, 10, cfg.Clock)
 	if err != nil {
+		sp.SetAttr(trace.String("error", "config"))
+		sp.End()
 		return nil, fmt.Errorf("carto: %w", err)
 	}
 	m := &Map{vpc: make(map[ipaddr.Addr]bool)}
@@ -116,6 +123,8 @@ func Sweep(ctx context.Context, resolver *dnssim.Resolver, ranges *ipaddr.RangeL
 			if _, seen := m.vpc[p22]; !seen {
 				vpc, err := sweepPrefix(ctx, resolver, limiter, queries, p22, regionOf, cfg.SamplePerPrefix)
 				if err != nil {
+					sp.SetAttr(trace.String("error", "sweep"))
+					sp.End()
 					return nil, err
 				}
 				m.vpc[p22] = vpc
@@ -128,6 +137,11 @@ func Sweep(ctx context.Context, resolver *dnssim.Resolver, ranges *ipaddr.RangeL
 	reg.Stage("carto.sweep").Add(time.Since(start))
 	reg.Counter("carto.prefixes").Add(int64(len(m.vpc)))
 	reg.Counter("carto.vpc_prefixes").Add(int64(m.VPCPrefixCount()))
+	sp.SetAttr(
+		trace.Int("prefixes", len(m.vpc)),
+		trace.Int("vpc_prefixes", m.VPCPrefixCount()),
+	)
+	sp.End()
 	return m, nil
 }
 

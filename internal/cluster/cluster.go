@@ -30,6 +30,7 @@ import (
 	"whowas/internal/metrics"
 	"whowas/internal/simhash"
 	"whowas/internal/store"
+	"whowas/internal/trace"
 )
 
 // Config tunes the clustering.
@@ -51,6 +52,9 @@ type Config struct {
 	// Metrics, when non-nil, receives the clustering instrumentation:
 	// cluster.* counters and per-pass stage timings.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records a "cluster" root span with one
+	// child per pass (level1, threshold, level2, merge, clean).
+	Tracer *trace.Tracer
 }
 
 // WithDefaults returns the config with zero fields resolved to the
@@ -150,8 +154,10 @@ func keyOf(rec *store.Record) l1Key {
 func Run(st *store.Store, cfg Config) (*Result, error) {
 	cfg = cfg.WithDefaults()
 	reg := cfg.Metrics
+	root := cfg.Tracer.Start("cluster", nil)
 
 	// Collect the records to cluster: those with an HTTP response.
+	spL1 := cfg.Tracer.Start("level1", root)
 	level1Start := time.Now()
 	var records []*store.Record
 	for _, round := range st.Rounds() {
@@ -163,6 +169,9 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 		})
 	}
 	if len(records) == 0 {
+		spL1.End()
+		root.SetAttr(trace.String("error", "no-records"))
+		root.End()
 		return nil, fmt.Errorf("cluster: no available records to cluster")
 	}
 	reg.Counter("cluster.records_in").Add(int64(len(records)))
@@ -176,18 +185,24 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 		hashSet[rec.Simhash] = struct{}{}
 	}
 	reg.Stage("cluster.level1").Add(time.Since(level1Start))
+	spL1.SetAttr(trace.Int("groups", len(groups)))
+	spL1.End()
 
 	// Threshold: explicit, or tuned by the gap statistic over the
 	// observed level-1 groups.
+	spThresh := cfg.Tracer.Start("threshold", root)
 	thresholdStart := time.Now()
 	threshold := cfg.Threshold
 	if threshold <= 0 {
 		threshold = gapThreshold(groups, cfg.Seed)
 	}
 	reg.Stage("cluster.threshold").Add(time.Since(thresholdStart))
+	spThresh.SetAttr(trace.Int("threshold", threshold))
+	spThresh.End()
 
 	// Level 2: split each level-1 group by simhash distance, in
 	// parallel across groups.
+	spL2 := cfg.Tracer.Start("level2", root)
 	level2Start := time.Now()
 	type l2Out struct {
 		key      l1Key
@@ -234,14 +249,20 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 		}
 	}
 	reg.Stage("cluster.level2").Add(time.Since(level2Start))
+	spL2.SetAttr(trace.Int("clusters", secondLevel))
+	spL2.End()
 
 	// Merge heuristic across clusters.
+	spMerge := cfg.Tracer.Start("merge", root)
 	mergeStart := time.Now()
 	merged, nMerges := mergeClusters(all, cfg.MergeDistance)
 	reg.Stage("cluster.merge").Add(time.Since(mergeStart))
 	reg.Counter("cluster.merges").Add(int64(nMerges))
+	spMerge.SetAttr(trace.Int("merges", nMerges))
+	spMerge.End()
 
 	// Cleaning.
+	spClean := cfg.Tracer.Start("clean", root)
 	cleanStart := time.Now()
 	rounds := st.NumRounds()
 	var final, removed []*Cluster
@@ -257,6 +278,10 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 	reg.Stage("cluster.clean").Add(time.Since(cleanStart))
 	reg.Counter("cluster.removed").Add(int64(len(removed)))
 	reg.Counter("cluster.final").Add(int64(len(final)))
+	spClean.SetAttr(trace.Int("removed", len(removed)))
+	spClean.End()
+	root.SetAttr(trace.Int("records_in", len(records)), trace.Int("final", len(final)))
+	root.End()
 
 	// Re-number final clusters and label records.
 	for _, rec := range records {

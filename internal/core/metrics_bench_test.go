@@ -5,15 +5,19 @@ import (
 	"testing"
 
 	"whowas/internal/cloudsim"
+	"whowas/internal/trace"
 )
 
 // benchmarkRunCampaign measures a three-round campaign over a small
 // EC2-like cloud. The instrumented/baseline pair quantifies the
-// metrics subsystem's overhead; the acceptance bar is instrumented
-// within 5% of baseline:
+// metrics subsystem's overhead (acceptance bar: within 5% of
+// baseline); the instrumented run also doubles as the nil-tracer
+// measurement — tracing is off unless a Tracer is installed, and the
+// nil-tracer path must stay within ~2% of it. The traced run measures
+// the full-sampling cost for reference:
 //
 //	go test ./internal/core -bench 'RunCampaign' -benchtime 5x
-func benchmarkRunCampaign(b *testing.B, instrumented bool) {
+func benchmarkRunCampaign(b *testing.B, instrumented, traced bool) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -24,6 +28,9 @@ func benchmarkRunCampaign(b *testing.B, instrumented bool) {
 		if !instrumented {
 			p.DisableMetrics()
 		}
+		if traced {
+			p.Tracer = trace.New(trace.Config{SamplePerMille: 1000})
+		}
 		cfg := FastCampaign()
 		cfg.RoundDays = []int{0, 3, 6}
 		b.StartTimer()
@@ -33,5 +40,6 @@ func benchmarkRunCampaign(b *testing.B, instrumented bool) {
 	}
 }
 
-func BenchmarkRunCampaignInstrumented(b *testing.B) { benchmarkRunCampaign(b, true) }
-func BenchmarkRunCampaignBaseline(b *testing.B)     { benchmarkRunCampaign(b, false) }
+func BenchmarkRunCampaignInstrumented(b *testing.B) { benchmarkRunCampaign(b, true, false) }
+func BenchmarkRunCampaignBaseline(b *testing.B)     { benchmarkRunCampaign(b, false, false) }
+func BenchmarkRunCampaignTraced(b *testing.B)       { benchmarkRunCampaign(b, true, true) }

@@ -18,8 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
+	"whowas/internal/atomicfile"
 	"whowas/internal/blacklist"
 	"whowas/internal/carto"
 	"whowas/internal/cloudsim"
@@ -34,6 +36,7 @@ import (
 	"whowas/internal/ratelimit"
 	"whowas/internal/scanner"
 	"whowas/internal/store"
+	"whowas/internal/trace"
 	"whowas/internal/websim"
 )
 
@@ -154,9 +157,33 @@ type Platform struct {
 	// RunCampaign disables instrumentation entirely (the benchmark
 	// baseline does this).
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records the campaign's span tree: a root
+	// span per round, stage children (scan, fetch, featurize), and
+	// sampled per-IP probe/get spans. Nil (the default) traces
+	// nothing — every span call no-ops.
+	Tracer *trace.Tracer
 	// Reports holds one RoundReport per completed campaign round, in
 	// round order, regardless of whether an Observer was configured.
+	// RunCampaign appends between rounds; concurrent readers (the ops
+	// server) should use RoundReports instead of the bare field.
 	Reports []RoundReport
+
+	reportsMu sync.Mutex // guards Reports against mid-campaign readers
+}
+
+// RoundReports returns a copy of the completed rounds' reports. Safe
+// to call while a campaign is running (the ops server's /rounds
+// endpoint does).
+func (p *Platform) RoundReports() []RoundReport {
+	p.reportsMu.Lock()
+	defer p.reportsMu.Unlock()
+	return append([]RoundReport(nil), p.Reports...)
+}
+
+func (p *Platform) appendReport(r RoundReport) {
+	p.reportsMu.Lock()
+	defer p.reportsMu.Unlock()
+	p.Reports = append(p.Reports, r)
 }
 
 // NewPlatform builds the cloud, its network, and an empty store.
@@ -202,13 +229,28 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 	if days == nil {
 		days = DefaultRoundSchedule(p.Cloud.Days())
 	}
-	// Thread the platform registry through the pipeline unless the
-	// caller supplied component-specific registries.
+	// Thread the platform registry and tracer through the pipeline
+	// unless the caller supplied component-specific ones.
 	if cfg.Scanner.Metrics == nil {
 		cfg.Scanner.Metrics = p.Metrics
 	}
 	if cfg.Fetcher.Metrics == nil {
 		cfg.Fetcher.Metrics = p.Metrics
+	}
+	if cfg.Scanner.Tracer == nil {
+		cfg.Scanner.Tracer = p.Tracer
+	}
+	if cfg.Fetcher.Tracer == nil {
+		cfg.Fetcher.Tracer = p.Tracer
+	}
+	if cfg.Scanner.RegionOf == nil {
+		cfg.Scanner.RegionOf = p.Cloud.RegionOf
+	}
+	if cfg.Fetcher.RegionOf == nil {
+		cfg.Fetcher.RegionOf = p.Cloud.RegionOf
+	}
+	if p.Tracer != nil {
+		p.Store.SetTracer(p.Tracer)
 	}
 	// Chaos campaigns dial through the fault injector; its decisions
 	// are deterministic per (ip, port, day, attempt), so the same
@@ -251,6 +293,8 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 		if _, err := p.Store.BeginRound(day); err != nil {
 			return err
 		}
+		rootSp := p.Tracer.Start("round", nil,
+			trace.Int("round", i), trace.Int("day", day))
 
 		// The round deadline, when configured, drives graceful
 		// degradation: the scanner and fetcher abort where they are,
@@ -262,8 +306,19 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 
 		results := make(chan scanner.Result, 1024)
 		pages := make(chan fetcher.Page, 1024)
-		go ftc.Run(roundCtx, results, pages)
+		// The fetch span covers the fetcher's whole lifetime — from the
+		// first queued result until the drain completes — and parents
+		// the sampled per-IP "get" spans via the fetch context.
+		fetchSp := p.Tracer.Start("fetch", rootSp)
+		fetchCtx := roundCtx
+		if fetchSp != nil {
+			fetchCtx = trace.NewContext(roundCtx, fetchSp)
+		}
+		go ftc.Run(fetchCtx, results, pages)
 
+		// The featurize span covers the collection goroutine: feature
+		// extraction and store inserts, overlapping scan and fetch.
+		featSp := p.Tracer.Start("featurize", rootSp)
 		type collectResult struct {
 			tally collectTally
 			err   error
@@ -284,17 +339,32 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 				t.bodyBytes += int64(len(page.Body))
 				rec := features.FromPage(&page)
 				if err := p.Store.Put(rec); err != nil {
+					featSp.SetAttr(trace.String("error", "store"))
+					featSp.End()
 					collectCh <- collectResult{t, err}
 					return
 				}
 				t.records++
 			}
+			featSp.SetAttr(trace.Int64("records", t.records))
+			featSp.End()
 			collectCh <- collectResult{t, nil}
 		}()
 
+		scanSp := p.Tracer.Start("scan", rootSp)
+		scanCtx := roundCtx
+		if scanSp != nil {
+			scanCtx = trace.NewContext(roundCtx, scanSp)
+		}
 		scanStart := time.Now()
-		stats, scanErr := scn.ScanRanges(roundCtx, p.Cloud.Ranges(), cfg.Blacklist, results)
+		stats, scanErr := scn.ScanRanges(scanCtx, p.Cloud.Ranges(), cfg.Blacklist, results)
 		scanDur := time.Since(scanStart)
+		scanSp.SetAttr(
+			trace.Int64("probed", stats.Probed),
+			trace.Int64("responsive", stats.Responsive),
+			trace.Int64("retries", stats.Retries),
+		)
+		scanSp.End()
 		// A round deadline is degradation, not failure: the blame test
 		// is that the round context expired while the campaign context
 		// is still live. Capture it before cancelRound overwrites the
@@ -304,17 +374,24 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 		if scanErr != nil && !degraded {
 			<-collectCh
 			cancelRound()
+			fetchSp.End()
+			rootSp.SetAttr(trace.String("error", "scan"))
+			rootSp.End()
 			return fmt.Errorf("core: round %d scan: %w", i, scanErr)
 		}
 		drainStart := time.Now()
 		collected := <-collectCh
 		drainDur := time.Since(drainStart)
 		cancelRound()
+		fetchSp.End()
 		if collected.err != nil {
+			rootSp.SetAttr(trace.String("error", "collect"))
+			rootSp.End()
 			return fmt.Errorf("core: round %d collect: %w", i, collected.err)
 		}
 		if degraded {
 			if err := p.Store.MarkDegraded(); err != nil {
+				rootSp.End()
 				return err
 			}
 			degradedRounds.Inc()
@@ -324,6 +401,7 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 		// kept-alive connection must not outlive the IP's tenancy.
 		ftc.CloseIdle()
 		if err := p.Store.EndRound(); err != nil {
+			rootSp.End()
 			return err
 		}
 		totalDur := time.Since(roundStart)
@@ -349,7 +427,12 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 			Drain:        drainDur,
 			Total:        totalDur,
 		}
-		p.Reports = append(p.Reports, report)
+		rootSp.SetAttr(
+			trace.Int64("records", report.Records),
+			trace.Bool("degraded", degraded),
+		)
+		rootSp.End()
+		p.appendReport(report)
 		if cfg.Observer != nil {
 			cfg.Observer(report)
 		}
@@ -381,7 +464,7 @@ type CampaignReport struct {
 func (p *Platform) Report() CampaignReport {
 	return CampaignReport{
 		Cloud:   p.Store.CloudName,
-		Rounds:  append([]RoundReport(nil), p.Reports...),
+		Rounds:  p.RoundReports(),
 		Metrics: p.Metrics.Snapshot(),
 	}
 }
@@ -391,6 +474,21 @@ func (p *Platform) WriteMetricsJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(p.Report())
+}
+
+// WriteMetricsFile writes the campaign report to path atomically: the
+// JSON lands in a temp file that is fsynced and renamed into place, so
+// a crash mid-write never leaves a torn report at the destination.
+func (p *Platform) WriteMetricsFile(path string) error {
+	f, err := atomicfile.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteMetricsJSON(f); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
 }
 
 // RunCartography performs the §5 one-time VPC/classic DNS sweep and
@@ -403,6 +501,9 @@ func (p *Platform) RunCartography(ctx context.Context, cfg carto.Config) error {
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = p.Metrics
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = p.Tracer
 	}
 	m, err := carto.Sweep(ctx, resolver, p.Cloud.Ranges(), p.Cloud.RegionOf, cfg)
 	if err != nil {
@@ -421,6 +522,9 @@ func (p *Platform) RunClustering(cfg cluster.Config) error {
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = p.Metrics
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = p.Tracer
 	}
 	res, err := cluster.Run(p.Store, cfg)
 	if err != nil {

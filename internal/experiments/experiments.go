@@ -27,10 +27,12 @@ import (
 	"whowas/internal/dnssim"
 	"whowas/internal/faults"
 	"whowas/internal/ipaddr"
+	"whowas/internal/metrics"
 	"whowas/internal/plot"
 	"whowas/internal/ratelimit"
 	"whowas/internal/scanner"
 	"whowas/internal/store"
+	"whowas/internal/trace"
 )
 
 // Options sizes the experiment suite.
@@ -49,8 +51,22 @@ type Options struct {
 	// RoundTimeout bounds each campaign round when positive; rounds
 	// that exceed it finalize degraded instead of wedging the suite.
 	RoundTimeout time.Duration
+	// Retries overrides the scan/fetch attempt count (the whowas-bench
+	// -retries flag). 0 keeps the defaults: 1 attempt on a clean
+	// network, 3 when Faults is set.
+	Retries int
+	// Metrics, when non-nil, replaces both platforms' own registries
+	// so a live observer (the ops server) sees one combined view.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, is installed on both platforms: the
+	// campaigns, cartography and clustering record spans through it.
+	Tracer *trace.Tracer
 	// Progress receives per-round log lines when non-nil.
 	Progress func(format string, args ...any)
+	// Observe, when non-nil, receives each completed round's report
+	// tagged with its cloud, alongside Progress (the ops server's
+	// /rounds feed).
+	Observe func(cloud string, r core.RoundReport)
 }
 
 func (o *Options) withDefaults() Options {
@@ -97,6 +113,11 @@ func Run(ctx context.Context, opts Options) (*Suite, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s platform: %w", name, err)
 		}
+		if opts.Metrics != nil {
+			p.Metrics = opts.Metrics
+			p.Store.SetMetrics(opts.Metrics)
+		}
+		p.Tracer = opts.Tracer
 		camp := core.FastCampaign()
 		camp.Faults = opts.Faults
 		camp.RoundTimeout = opts.RoundTimeout
@@ -106,6 +127,10 @@ func Run(ctx context.Context, opts Options) (*Suite, error) {
 			camp.Scanner.Attempts = 3
 			camp.Fetcher.Attempts = 3
 		}
+		if opts.Retries > 0 {
+			camp.Scanner.Attempts = opts.Retries
+			camp.Fetcher.Attempts = opts.Retries
+		}
 		camp.Observer = func(r core.RoundReport) {
 			suffix := ""
 			if r.Degraded {
@@ -113,6 +138,9 @@ func Run(ctx context.Context, opts Options) (*Suite, error) {
 			}
 			opts.logf("%s round %d (day %d): %d responsive, %d fetched, scan %s%s",
 				name, r.Round, r.Day, r.Responsive, r.Fetched, r.Scan.Round(time.Millisecond), suffix)
+			if opts.Observe != nil {
+				opts.Observe(name, r)
+			}
 		}
 		if err := p.RunCampaign(ctx, camp); err != nil {
 			return nil, fmt.Errorf("experiments: %s campaign: %w", name, err)

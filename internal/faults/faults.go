@@ -12,6 +12,7 @@ import (
 	"whowas/internal/ipaddr"
 	"whowas/internal/metrics"
 	"whowas/internal/netsim"
+	"whowas/internal/trace"
 )
 
 // Options wires an Injector to its environment. All fields are
@@ -242,6 +243,7 @@ func (i *Injector) DialContext(ctx context.Context, network, address string) (ne
 
 	if e := i.blackout(ip, day); e != nil {
 		i.mBlackout.Inc()
+		annotate(ctx, "blackout")
 		if e.Hold {
 			// Dropped-SYN semantics: the dial burns the caller's whole
 			// timeout, like a real unanswered probe.
@@ -251,14 +253,17 @@ func (i *Injector) DialContext(ctx context.Context, network, address string) (ne
 	}
 	if i.flapping(ip, day) {
 		i.mFlapped.Inc()
+		annotate(ctx, "flap")
 		return nil, netsim.NewTimeoutError(address)
 	}
 	if pm := i.lossPerMille(day); pm > 0 && i.roll(saltLoss, ip, port, day, attempt) < uint64(pm) {
 		i.mDropped.Inc()
+		annotate(ctx, "dial_loss")
 		return nil, netsim.NewTimeoutError(address)
 	}
 	if d := i.dialDelay(ip, port, day, attempt); d > 0 {
 		i.mDelayed.Inc()
+		annotate(ctx, "delay")
 		t := time.NewTimer(d)
 		select {
 		case <-t.C:
@@ -279,15 +284,26 @@ func (i *Injector) DialContext(ctx context.Context, network, address string) (ne
 	switch {
 	case sc.ResetPerMille > 0 && i.roll(saltReset, ip, port, day, attempt) < uint64(sc.ResetPerMille):
 		i.mResets.Inc()
+		annotate(ctx, "reset")
 		return newFaultConn(conn, modeReset, sc.ResetAfterBytes, 0), nil
 	case sc.StallPerMille > 0 && i.roll(saltStall, ip, port, day, attempt) < uint64(sc.StallPerMille):
 		i.mStalls.Inc()
+		annotate(ctx, "stall")
 		return newFaultConn(conn, modeStall, 0, time.Duration(sc.StallMS)*time.Millisecond), nil
 	case sc.TruncatePerMille > 0 && i.roll(saltTruncate, ip, port, day, attempt) < uint64(sc.TruncatePerMille):
 		i.mTruncated.Inc()
+		annotate(ctx, "truncate")
 		return newFaultConn(conn, modeTruncate, sc.TruncateAfterBytes, 0), nil
 	}
 	return conn, nil
+}
+
+// annotate marks the span that initiated this dial — the scanner and
+// fetcher thread their sampled per-IP spans through the dial context —
+// with the injected fault kind. Unsampled dials carry no span and the
+// call no-ops.
+func annotate(ctx context.Context, kind string) {
+	trace.FromContext(ctx).SetAttr(trace.Bool("fault."+kind, true))
 }
 
 // Stream fault modes.

@@ -30,6 +30,7 @@ import (
 	"whowas/internal/netsim"
 	"whowas/internal/scanner"
 	"whowas/internal/store"
+	"whowas/internal/trace"
 )
 
 // DefaultUserAgent is the research-identifying UA string (§7).
@@ -74,6 +75,16 @@ type Config struct {
 	// Metrics, when non-nil, receives the fetcher's instrumentation:
 	// the fetcher.* counters and the get/fetch latency histograms.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records sampled per-IP "get" spans
+	// (attributes: ip, region, prefix, scheme, status, robots_denied,
+	// error) as children of the span carried by the fetch context; the
+	// fault layer annotates them with the faults it injects into their
+	// dials. The per-IP sampling decision is the tracer's, shared with
+	// the scanner, so one IP's probe and GET spans appear together.
+	Tracer *trace.Tracer
+	// RegionOf labels sampled GET spans with the target's cloud
+	// region; nil omits the attribute.
+	RegionOf func(ipaddr.Addr) string
 }
 
 // WithDefaults returns the config with zero fields resolved to the
@@ -311,11 +322,63 @@ func (f *Fetcher) getRetry(ctx context.Context, url string) (*Page, error) {
 	return nil, err
 }
 
+// startGetSpan opens the sampled per-IP exchange span, or nil when
+// the IP is unsampled (or tracing is off). The span parents to the
+// round's fetch span carried by ctx.
+func (f *Fetcher) startGetSpan(ctx context.Context, ip ipaddr.Addr) *trace.Span {
+	if !f.cfg.Tracer.SampleIP(uint64(ip)) {
+		return nil
+	}
+	attrs := []trace.Attr{
+		trace.String("ip", ip.String()),
+		trace.String("prefix", ip.Prefix22().String()),
+	}
+	if f.cfg.RegionOf != nil {
+		attrs = append(attrs, trace.String("region", f.cfg.RegionOf(ip)))
+	}
+	return f.cfg.Tracer.Start("get", trace.FromContext(ctx), attrs...)
+}
+
+// errClass compresses a transport error into a span attribute value.
+func errClass(err error) string {
+	switch {
+	case scanner.IsTimeout(err):
+		return "timeout"
+	case IsTransient(err):
+		return "transient"
+	default:
+		return "error"
+	}
+}
+
 // FetchIP runs the §4 exchange for one responsive IP: robots.txt
 // first, then at most one GET for "/". With Config.Attempts > 1 each
 // GET gets the bounded retry schedule; "at most one GET" still holds
 // in the §7 sense — one successful page exchange per IP per round.
+// Sampled IPs get a "get" span wrapping the exchange; the fault
+// injector sees it through the request contexts and annotates the
+// faults it injects.
 func (f *Fetcher) FetchIP(ctx context.Context, res scanner.Result) Page {
+	sp := f.startGetSpan(ctx, res.IP)
+	if sp != nil {
+		ctx = trace.NewContext(ctx, sp)
+	}
+	page := f.fetchIP(ctx, res)
+	if sp != nil {
+		sp.SetAttr(
+			trace.String("scheme", page.Scheme),
+			trace.Int("status", page.Status),
+			trace.Bool("robots_denied", page.RobotsDenied),
+		)
+		if page.Err != nil {
+			sp.SetAttr(trace.String("error", errClass(page.Err)))
+		}
+		sp.End()
+	}
+	return page
+}
+
+func (f *Fetcher) fetchIP(ctx context.Context, res scanner.Result) Page {
 	if f.mFetchLat != nil {
 		start := time.Now()
 		defer func() { f.mFetchLat.Observe(time.Since(start)) }()

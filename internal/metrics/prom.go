@@ -1,0 +1,85 @@
+// Prometheus text exposition for registry snapshots: the ops server's
+// /metrics/prom endpoint renders a Snapshot in the format any
+// Prometheus-compatible scraper ingests, without taking a client
+// dependency. Output is sorted by metric name, so the same snapshot
+// always renders byte-identically.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName maps a registry instrument name ("scanner.probe_latency")
+// to a Prometheus metric name ("whowas_scanner_probe_latency").
+func promName(ns, name string) string {
+	s := strings.NewReplacer(".", "_", "-", "_", " ", "_").Replace(name)
+	if ns == "" {
+		return s
+	}
+	return ns + "_" + s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format under the given namespace prefix (the ops server uses
+// "whowas"). Counters gain the conventional _total suffix, latency
+// histograms render as summaries in seconds, and stage timers render
+// as a pair of counters (seconds spent, passes).
+func (s Snapshot) WriteProm(w io.Writer, ns string) error {
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(ns, name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(ns, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := promName(ns, name) + "_seconds"
+		secs := func(ms float64) float64 { return ms / 1000 }
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", n); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", h.P50MS}, {"0.95", h.P95MS}, {"0.99", h.P99MS}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", n, q.q, secs(q.v)); err != nil {
+				return err
+			}
+		}
+		sum := secs(h.MeanMS) * float64(h.Count)
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, sum, n, h.Count); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Stages) {
+		st := s.Stages[name]
+		n := promName(ns, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s_seconds_total counter\n%s_seconds_total %g\n",
+			n, n, st.TotalMS/1000); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_passes_total counter\n%s_passes_total %d\n",
+			n, n, st.Passes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

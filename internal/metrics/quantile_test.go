@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// Histogram quantile edge cases: empty, single-observation, and
+// all-observations-in-one-bucket interpolation.
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := newHistogram()
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram extremes: min=%v max=%v mean=%v", h.Min(), h.Max(), h.Mean())
+	}
+	// A registry-created histogram behaves the same.
+	r := NewRegistry()
+	if got := r.Histogram("h").Quantile(0.5); got != 0 {
+		t.Errorf("fresh registry histogram Quantile = %v", got)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := newHistogram()
+	obs := 3 * time.Millisecond
+	h.Observe(obs)
+	// With one observation, every quantile is clamped to it: the
+	// interpolated estimate may land anywhere in the covering bucket,
+	// but the min/max clamps force the exact value.
+	for _, q := range []float64{0.001, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got != obs {
+			t.Errorf("single-observation Quantile(%v) = %v, want %v", q, got, obs)
+		}
+	}
+	if h.Min() != obs || h.Max() != obs {
+		t.Errorf("min=%v max=%v, want both %v", h.Min(), h.Max(), obs)
+	}
+}
+
+func TestQuantileAllInOneBucketInterpolates(t *testing.T) {
+	// 1500µs and 1900µs both land in the (1024µs, 2048µs] bucket. The
+	// interpolation inside the bucket is linear in rank, but the
+	// min/max clamps must bound every estimate by the observed
+	// extremes, and higher quantiles can never rank below lower ones.
+	h := newHistogram()
+	lo, hi := 1500*time.Microsecond, 1900*time.Microsecond
+	for i := 0; i < 50; i++ {
+		h.Observe(lo)
+		h.Observe(hi)
+	}
+	prev := time.Duration(0)
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 1} {
+		got := h.Quantile(q)
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v outside observed [%v, %v]", q, got, lo, hi)
+		}
+		if got < prev {
+			t.Errorf("Quantile(%v) = %v < previous quantile %v", q, got, prev)
+		}
+		prev = got
+	}
+	if got := h.Quantile(1); got != hi {
+		t.Errorf("Quantile(1) = %v, want observed max %v", got, hi)
+	}
+}
+
+func TestQuantileSubMicrosecondBucket(t *testing.T) {
+	// Sub-microsecond observations land in bucket 0 with lower bound
+	// 0; the min clamp keeps estimates at the observed value.
+	h := newHistogram()
+	h.Observe(300 * time.Nanosecond)
+	h.Observe(700 * time.Nanosecond)
+	for _, q := range []float64{0.5, 1} {
+		got := h.Quantile(q)
+		if got < 300*time.Nanosecond || got > 700*time.Nanosecond {
+			t.Errorf("Quantile(%v) = %v outside [300ns, 700ns]", q, got)
+		}
+	}
+}
+
+func TestQuantileTopBucketClampsToMax(t *testing.T) {
+	// Observations beyond the last bucket bound clamp into the
+	// open-ended top bucket; quantiles interpolate toward the observed
+	// max rather than the bucket's nominal bound.
+	h := newHistogram()
+	huge := 100 * 24 * time.Hour
+	h.Observe(huge)
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != huge {
+			t.Errorf("top-bucket Quantile(%v) = %v, want %v", q, got, huge)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package ops is the platform's live operations endpoint: a small
+// HTTP server an operator points a browser or curl at while a
+// campaign runs. It exposes liveness, the metrics registry (JSON and
+// Prometheus text), the completed rounds' reports, the tracer's
+// active and slowest spans, and Go's pprof handlers. Everything is
+// read-only and safe to serve concurrently with a running campaign.
+//
+// The server is opt-in: the CLIs only start it when -ops-addr is set,
+// and a zero Config serves degraded-but-valid answers (empty metrics,
+// no rounds, no spans).
+package ops
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"whowas/internal/core"
+	"whowas/internal/metrics"
+	"whowas/internal/trace"
+)
+
+// Config wires the server to the campaign's observability state. Any
+// field may be nil; the corresponding endpoints then serve empty
+// documents rather than errors.
+type Config struct {
+	// Metrics backs /metrics (JSON snapshot) and /metrics/prom
+	// (Prometheus text exposition).
+	Metrics *metrics.Registry
+	// Tracer backs /trace/active and /trace/slowest.
+	Tracer *trace.Tracer
+	// Rounds supplies the completed rounds for /rounds
+	// (Platform.RoundReports fits directly).
+	Rounds func() []core.RoundReport
+}
+
+// Server is the live ops endpoint.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	srv   *http.Server
+	start time.Time
+}
+
+// New builds a server; call Start to bind it, or use Handler directly
+// (tests mount it on httptest servers).
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics/prom", s.handleMetricsProm)
+	s.mux.HandleFunc("/rounds", s.handleRounds)
+	s.mux.HandleFunc("/trace/active", s.handleTraceActive)
+	s.mux.HandleFunc("/trace/slowest", s.handleTraceSlowest)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's routing handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr (e.g. "127.0.0.1:8377", or ":0" for an ephemeral
+// port) and serves in a background goroutine, returning the bound
+// address. Shut it down with Shutdown.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("ops: listen %s: %w", addr, err)
+	}
+	s.srv = &http.Server{Handler: s.mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops the server, waiting for in-flight requests up to the
+// context's deadline. A server never started shuts down trivially.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":    "ok",
+		"uptime_ns": time.Since(s.start).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.cfg.Metrics.Snapshot())
+}
+
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.cfg.Metrics.Snapshot().WriteProm(w, "whowas")
+}
+
+func (s *Server) handleRounds(w http.ResponseWriter, _ *http.Request) {
+	rounds := []core.RoundReport{}
+	if s.cfg.Rounds != nil {
+		if r := s.cfg.Rounds(); r != nil {
+			rounds = r
+		}
+	}
+	writeJSON(w, rounds)
+}
+
+func (s *Server) handleTraceActive(w http.ResponseWriter, _ *http.Request) {
+	spans := s.cfg.Tracer.Active()
+	if spans == nil {
+		spans = []trace.SpanSnapshot{}
+	}
+	writeJSON(w, spans)
+}
+
+func (s *Server) handleTraceSlowest(w http.ResponseWriter, r *http.Request) {
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "ops: n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	spans := s.cfg.Tracer.Slowest(n)
+	if spans == nil {
+		spans = []trace.SpanSnapshot{}
+	}
+	writeJSON(w, spans)
+}

@@ -1,0 +1,176 @@
+package ops
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"whowas/internal/core"
+	"whowas/internal/metrics"
+	"whowas/internal/trace"
+)
+
+func testServer(t *testing.T) (*Server, *metrics.Registry, *trace.Tracer) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	tr := trace.New(trace.Config{SamplePerMille: 1000})
+	rounds := []core.RoundReport{{Round: 0, Day: 0, Probed: 100, Responsive: 7}}
+	s := New(Config{
+		Metrics: reg,
+		Tracer:  tr,
+		Rounds:  func() []core.RoundReport { return rounds },
+	})
+	return s, reg, tr
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	body, _ := io.ReadAll(rr.Result().Body)
+	return rr.Code, string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	s, _, _ := testServer(t)
+	code, body := get(t, s.Handler(), "/healthz")
+	if code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	var doc struct {
+		Status   string `json:"status"`
+		UptimeNS int64  `json:"uptime_ns"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "ok" || doc.UptimeNS < 0 {
+		t.Errorf("healthz doc %+v", doc)
+	}
+}
+
+func TestMetricsEndpoints(t *testing.T) {
+	s, reg, _ := testServer(t)
+	reg.Counter("scanner.probes").Add(42)
+
+	code, body := get(t, s.Handler(), "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["scanner.probes"] != 42 {
+		t.Errorf("snapshot counters %v", snap.Counters)
+	}
+
+	code, body = get(t, s.Handler(), "/metrics/prom")
+	if code != 200 {
+		t.Fatalf("/metrics/prom status %d", code)
+	}
+	if !strings.Contains(body, "whowas_scanner_probes_total 42") {
+		t.Errorf("prom exposition missing counter:\n%s", body)
+	}
+}
+
+func TestRounds(t *testing.T) {
+	s, _, _ := testServer(t)
+	code, body := get(t, s.Handler(), "/rounds")
+	if code != 200 {
+		t.Fatalf("/rounds status %d", code)
+	}
+	var rounds []core.RoundReport
+	if err := json.Unmarshal([]byte(body), &rounds); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 1 || rounds[0].Responsive != 7 {
+		t.Errorf("rounds %+v", rounds)
+	}
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	s, _, tr := testServer(t)
+
+	active := tr.Start("round", nil, trace.Int("round", 0))
+	done := tr.Start("scan", active)
+	time.Sleep(time.Millisecond)
+	done.End()
+
+	code, body := get(t, s.Handler(), "/trace/active")
+	if code != 200 {
+		t.Fatalf("/trace/active status %d", code)
+	}
+	var spans []trace.SpanSnapshot
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "round" || !spans[0].Active {
+		t.Errorf("active spans %+v", spans)
+	}
+
+	code, body = get(t, s.Handler(), "/trace/slowest?n=5")
+	if code != 200 {
+		t.Fatalf("/trace/slowest status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "scan" || spans[0].DurNS <= 0 {
+		t.Errorf("slowest spans %+v", spans)
+	}
+
+	if code, _ := get(t, s.Handler(), "/trace/slowest?n=bogus"); code != 400 {
+		t.Errorf("bogus n status %d, want 400", code)
+	}
+	active.End()
+}
+
+func TestNilConfigServesEmpty(t *testing.T) {
+	s := New(Config{})
+	for _, path := range []string{"/healthz", "/metrics", "/metrics/prom", "/rounds", "/trace/active", "/trace/slowest"} {
+		if code, _ := get(t, s.Handler(), path); code != 200 {
+			t.Errorf("%s status %d with zero config", path, code)
+		}
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	s, _, _ := testServer(t)
+	code, body := get(t, s.Handler(), "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestStartAndShutdown(t *testing.T) {
+	s, reg, _ := testServer(t)
+	reg.Counter("core.rounds").Inc()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("live healthz status %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("server still answering after Shutdown")
+	}
+}

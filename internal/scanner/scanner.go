@@ -31,6 +31,7 @@ import (
 	"whowas/internal/netsim"
 	"whowas/internal/ratelimit"
 	"whowas/internal/store"
+	"whowas/internal/trace"
 )
 
 // Config tunes the scanner. Zero fields take the paper's defaults.
@@ -57,6 +58,16 @@ type Config struct {
 	// the scanner.limiter_wait stage. Nil disables instrumentation
 	// (including the per-probe clock reads).
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records sampled per-IP "probe" spans
+	// (attributes: ip, region, prefix, ports, probes) as children of
+	// the span carried by the scan context. The fault layer annotates
+	// these spans with the faults it injects into their dials. Nil
+	// disables tracing; which IPs are sampled is the tracer's
+	// deterministic per-IP decision.
+	Tracer *trace.Tracer
+	// RegionOf labels sampled probe spans with the target's cloud
+	// region (cloudsim.Cloud.RegionOf); nil omits the attribute.
+	RegionOf func(ipaddr.Addr) string
 }
 
 // WithDefaults returns the config with zero fields resolved to the
@@ -200,25 +211,26 @@ func (s *Scanner) probe(ctx context.Context, ip ipaddr.Addr, port int, timeout t
 // probePort runs the full retry schedule for one (ip, port): up to
 // Config.Attempts probes, retrying only on timeouts, with exponential
 // backoff and deterministic jitter between attempts. Every attempt
-// pays the rate-limiter toll and counts as a probe.
-func (s *Scanner) probePort(ctx context.Context, ip ipaddr.Addr, port int, stats *Stats) (bool, error) {
+// pays the rate-limiter toll and counts as a probe; the returned count
+// is how many probes this port consumed.
+func (s *Scanner) probePort(ctx context.Context, ip ipaddr.Addr, port int, stats *Stats) (bool, int64, error) {
 	for attempt := 0; ; attempt++ {
 		if err := s.wait(ctx); err != nil {
-			return false, err
+			return false, int64(attempt), err
 		}
 		atomic.AddInt64(&stats.Probes, 1)
 		s.mProbes.Inc()
 		ok, perr := s.timedProbe(ctx, ip, port, s.cfg.Timeout)
 		if ok {
-			return true, nil
+			return true, int64(attempt + 1), nil
 		}
 		if attempt+1 >= s.cfg.Attempts || !IsTimeout(perr) {
-			return false, nil
+			return false, int64(attempt + 1), nil
 		}
 		atomic.AddInt64(&stats.Retries, 1)
 		s.mRetries.Inc()
 		if err := sleepCtx(ctx, s.retryDelay(ip, port, attempt)); err != nil {
-			return false, err
+			return false, int64(attempt + 1), err
 		}
 	}
 }
@@ -277,14 +289,51 @@ func (s *Scanner) ProbeOnce(ctx context.Context, ip ipaddr.Addr, port int, timeo
 	return ok, nil
 }
 
+// startProbeSpan opens the sampled per-IP span, or returns nil when
+// the IP is unsampled (or tracing is off). The span parents to the
+// round's scan span carried by ctx.
+func (s *Scanner) startProbeSpan(ctx context.Context, ip ipaddr.Addr) *trace.Span {
+	if !s.cfg.Tracer.SampleIP(uint64(ip)) {
+		return nil
+	}
+	attrs := []trace.Attr{
+		trace.String("ip", ip.String()),
+		trace.String("prefix", ip.Prefix22().String()),
+	}
+	if s.cfg.RegionOf != nil {
+		attrs = append(attrs, trace.String("region", s.cfg.RegionOf(ip)))
+	}
+	return s.cfg.Tracer.Start("probe", trace.FromContext(ctx), attrs...)
+}
+
 // scanIP runs the §4 probe sequence for one IP: 80, then 443, then 22
-// only if both web probes failed.
+// only if both web probes failed. Sampled IPs get a "probe" span
+// wrapping the whole sequence; the fault injector sees it through the
+// dial context and annotates the faults it injects.
 func (s *Scanner) scanIP(ctx context.Context, ip ipaddr.Addr, stats *Stats) (uint8, error) {
-	var open uint8
-	for _, port := range []int{80, 443} {
-		ok, err := s.probePort(ctx, ip, port, stats)
+	sp := s.startProbeSpan(ctx, ip)
+	if sp != nil {
+		ctx = trace.NewContext(ctx, sp)
+	}
+	open, probes, err := s.probeSequence(ctx, ip, stats)
+	if sp != nil {
+		sp.SetAttr(trace.Int("ports", int(open)), trace.Int64("probes", probes))
 		if err != nil {
-			return 0, err
+			sp.SetAttr(trace.String("error", "aborted"))
+		}
+		sp.End()
+	}
+	return open, err
+}
+
+func (s *Scanner) probeSequence(ctx context.Context, ip ipaddr.Addr, stats *Stats) (uint8, int64, error) {
+	var open uint8
+	var probes int64
+	for _, port := range []int{80, 443} {
+		ok, n, err := s.probePort(ctx, ip, port, stats)
+		probes += n
+		if err != nil {
+			return 0, probes, err
 		}
 		if ok {
 			if port == 80 {
@@ -295,15 +344,16 @@ func (s *Scanner) scanIP(ctx context.Context, ip ipaddr.Addr, stats *Stats) (uin
 		}
 	}
 	if open == 0 {
-		ok, err := s.probePort(ctx, ip, 22, stats)
+		ok, n, err := s.probePort(ctx, ip, 22, stats)
+		probes += n
 		if err != nil {
-			return 0, err
+			return 0, probes, err
 		}
 		if ok {
 			open |= store.PortSSH
 		}
 	}
-	return open, nil
+	return open, probes, nil
 }
 
 // ScanRanges probes every address in ranges (minus the blacklist),

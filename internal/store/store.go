@@ -23,6 +23,7 @@ import (
 	"whowas/internal/ipaddr"
 	"whowas/internal/metrics"
 	"whowas/internal/simhash"
+	"whowas/internal/trace"
 )
 
 // Port bits for Record.OpenPorts.
@@ -147,6 +148,7 @@ type Store struct {
 	mRecords  *metrics.Counter // records inserted
 	mRounds   *metrics.Counter // rounds finalized
 	mRetained *metrics.Counter // body bytes retained past EndRound
+	tracer    *trace.Tracer    // SetTracer; nil no-ops
 }
 
 // SetMetrics attaches an instrumentation registry: store.records,
@@ -158,6 +160,16 @@ func (s *Store) SetMetrics(r *metrics.Registry) {
 	s.mRecords = r.Counter("store.records")
 	s.mRounds = r.Counter("store.rounds")
 	s.mRetained = r.Counter("store.body_bytes_retained")
+}
+
+// SetTracer attaches a tracer: every EndRound emits a
+// "store.finalize" span tagged with the round index so journal
+// analysis can join it onto the round's span tree. A nil tracer
+// detaches.
+func (s *Store) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
 }
 
 // New creates an empty store for a named cloud.
@@ -232,6 +244,13 @@ func (s *Store) EndRound() error {
 	if s.open == nil {
 		return fmt.Errorf("store: no open round")
 	}
+	// The span is parentless (the store cannot see the round's root
+	// span); the "round" attribute lets trace analysis join it.
+	sp := s.tracer.Start("store.finalize", nil,
+		trace.Int("round", s.open.Index),
+		trace.Int("records", len(s.open.records)),
+		trace.Bool("degraded", s.open.Degraded),
+	)
 	var retained int64
 	for _, rec := range s.open.records {
 		if !s.KeepBodies {
@@ -244,6 +263,7 @@ func (s *Store) EndRound() error {
 	s.open = nil
 	s.mRounds.Inc()
 	s.mRetained.Add(retained)
+	sp.End()
 	return nil
 }
 

@@ -1,0 +1,136 @@
+// The JSONL event journal: one JSON object per completed span,
+// appended in completion order. The journal is the campaign's durable
+// flight record — the in-memory ring keeps only the recent window,
+// but the journal replays the whole span tree of a months-long run.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"whowas/internal/atomicfile"
+)
+
+// SpanSnapshot is the wire and query form of a span: a plain struct
+// that marshals to one journal line. Attrs marshal with sorted keys
+// (encoding/json orders map keys), so identical span trees produce
+// identical journals modulo the timestamp fields.
+type SpanSnapshot struct {
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartNS int64             `json:"start_ns"`
+	DurNS   int64             `json:"dur_ns"`
+	Active  bool              `json:"active,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's (possibly still-running) duration.
+func (s SpanSnapshot) Duration() time.Duration { return time.Duration(s.DurNS) }
+
+// Attr returns one attribute value, or "".
+func (s SpanSnapshot) Attr(key string) string { return s.Attrs[key] }
+
+// FaultInjected reports whether any fault was injected into the
+// span's dials — the fault layer annotates spans with "fault.<kind>"
+// attributes as it tampers.
+func (s SpanSnapshot) FaultInjected() bool {
+	for k := range s.Attrs {
+		if len(k) > 6 && k[:6] == "fault." {
+			return true
+		}
+	}
+	return false
+}
+
+// Journal is a buffered, crash-safe JSONL sink for Config.Journal.
+// Lines accumulate in <path>.tmp and the file is renamed to its final
+// path on Close, so the destination is never truncated mid-write; a
+// campaign killed before Close leaves its complete lines in the .tmp
+// sibling, which LoadJournal also reads.
+type Journal struct {
+	f  *atomicfile.File
+	bw *bufio.Writer
+}
+
+// CreateJournal opens a journal writing to path (via <path>.tmp).
+func CreateJournal(path string) (*Journal, error) {
+	f, err := atomicfile.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: journal: %w", err)
+	}
+	return &Journal{f: f, bw: bufio.NewWriterSize(f, 64*1024)}, nil
+}
+
+// Write appends bytes (the tracer writes whole lines).
+func (j *Journal) Write(p []byte) (int, error) { return j.bw.Write(p) }
+
+// Close flushes, syncs and renames the journal into place.
+func (j *Journal) Close() error {
+	if err := j.bw.Flush(); err != nil {
+		j.f.Abort()
+		return fmt.Errorf("trace: journal flush: %w", err)
+	}
+	return j.f.Commit()
+}
+
+// ReadJournal parses a JSONL journal. A malformed final line — the
+// mark of a crashed writer — is skipped; a malformed line anywhere
+// else is an error.
+func ReadJournal(r io.Reader) ([]SpanSnapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var out []SpanSnapshot
+	var pending error
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if pending != nil {
+			return nil, fmt.Errorf("trace: journal: %w", pending)
+		}
+		var s SpanSnapshot
+		if err := json.Unmarshal(line, &s); err != nil {
+			pending = err // forgiven only if nothing follows
+			continue
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: journal: %w", err)
+	}
+	return out, nil
+}
+
+// LoadJournal reads a journal file; when path does not exist it falls
+// back to <path>.tmp, the remnant of a crashed campaign.
+func LoadJournal(path string) ([]SpanSnapshot, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		f, err = os.Open(path + ".tmp")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trace: journal: %w", err)
+	}
+	defer f.Close()
+	spans, rerr := ReadJournal(f)
+	if rerr != nil {
+		return nil, fmt.Errorf("trace: journal %s: %w", f.Name(), rerr)
+	}
+	// Journal order is span-completion order; reorder by start for
+	// natural reading.
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNS != spans[j].StartNS {
+			return spans[i].StartNS < spans[j].StartNS
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	return spans, nil
+}

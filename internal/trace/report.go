@@ -1,0 +1,136 @@
+// Post-mortem reporting over journaled spans: the per-round stage
+// breakdown behind `whowas-query trace` and the chaos suite's
+// journal-attribution assertions.
+package trace
+
+import (
+	"sort"
+	"strconv"
+	"time"
+)
+
+// RoundBreakdown summarizes one round's subtree of a journal.
+type RoundBreakdown struct {
+	Round    int
+	Day      int
+	Degraded bool
+	// Total is the round root span's duration.
+	Total time.Duration
+	// Stages maps each direct stage child (scan, fetch, featurize,
+	// finalize, ...) to its duration; repeated names accumulate.
+	Stages map[string]time.Duration
+	// Spans counts every span attributed to the round (the subtree
+	// plus round-tagged orphans like store.finalize).
+	Spans int
+	// FaultInjected counts the round's spans carrying any fault.*
+	// attribute.
+	FaultInjected int
+	// Slowest holds the round's spans sorted worst-latency first
+	// (root and stage spans excluded — they dominate trivially).
+	Slowest []SpanSnapshot
+}
+
+// stageNames are the per-round stage children whose durations feed
+// RoundBreakdown.Stages and which Slowest excludes.
+var stageNames = map[string]bool{
+	"scan": true, "fetch": true, "featurize": true,
+	"finalize": true, "store.finalize": true,
+}
+
+// BreakdownRounds reconstructs per-round stage latencies from a
+// journal's spans: one breakdown per "round" root span, ascending by
+// round index. Spans join a round either through the parent chain or,
+// for parentless spans (store.finalize), through a matching "round"
+// attribute.
+func BreakdownRounds(spans []SpanSnapshot) []RoundBreakdown {
+	byID := make(map[uint64]SpanSnapshot, len(spans))
+	children := make(map[uint64][]SpanSnapshot)
+	for _, s := range spans {
+		byID[s.ID] = s
+		if s.Parent != 0 {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	// Resolve each span to its root ancestor once (memoized walk).
+	roots := make(map[uint64]uint64, len(spans))
+	var rootOf func(id uint64) uint64
+	rootOf = func(id uint64) uint64 {
+		if r, ok := roots[id]; ok {
+			return r
+		}
+		s, ok := byID[id]
+		if !ok {
+			return 0
+		}
+		r := id
+		if s.Parent != 0 {
+			r = rootOf(s.Parent)
+		}
+		roots[id] = r
+		return r
+	}
+
+	// Index round roots by span id and by round-attr value (the join
+	// key for parentless round-tagged spans like store.finalize).
+	builds := make(map[uint64]*RoundBreakdown)
+	byRoundAttr := make(map[string]*RoundBreakdown)
+	var order []uint64
+	for _, s := range spans {
+		if s.Name != "round" {
+			continue
+		}
+		b := &RoundBreakdown{
+			Round:    atoiAttr(s, "round"),
+			Day:      atoiAttr(s, "day"),
+			Degraded: s.Attr("degraded") == "true",
+			Total:    s.Duration(),
+			Stages:   make(map[string]time.Duration),
+		}
+		for _, c := range children[s.ID] {
+			b.Stages[c.Name] += c.Duration()
+		}
+		builds[s.ID] = b
+		byRoundAttr[s.Attr("round")] = b
+		order = append(order, s.ID)
+	}
+	for _, s := range spans {
+		if s.Name == "round" {
+			continue
+		}
+		b := builds[rootOf(s.ID)]
+		if b == nil && s.Parent == 0 && s.Attrs != nil {
+			if rb, ok := byRoundAttr[s.Attr("round")]; ok && s.Attr("round") != "" {
+				b = rb
+				b.Stages[s.Name] += s.Duration()
+			}
+		}
+		if b == nil {
+			continue
+		}
+		b.Spans++
+		if s.FaultInjected() {
+			b.FaultInjected++
+		}
+		if !stageNames[s.Name] {
+			b.Slowest = append(b.Slowest, s)
+		}
+	}
+	out := make([]RoundBreakdown, 0, len(order))
+	for _, id := range order {
+		b := builds[id]
+		sort.Slice(b.Slowest, func(i, j int) bool {
+			if b.Slowest[i].DurNS != b.Slowest[j].DurNS {
+				return b.Slowest[i].DurNS > b.Slowest[j].DurNS
+			}
+			return b.Slowest[i].ID < b.Slowest[j].ID
+		})
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+	return out
+}
+
+func atoiAttr(s SpanSnapshot, key string) int {
+	n, _ := strconv.Atoi(s.Attr(key))
+	return n
+}

@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("round", nil, Int("round", 0))
+	if sp != nil {
+		t.Fatal("nil tracer handed out a span")
+	}
+	// Every handle method must be callable on nil.
+	sp.SetAttr(String("k", "v"))
+	sp.End()
+	if sp.ID() != 0 {
+		t.Error("nil span has an ID")
+	}
+	if tr.SampleIP(42) {
+		t.Error("nil tracer samples")
+	}
+	if tr.Active() != nil || tr.Slowest(5) != nil || tr.Completed() != 0 || tr.ActiveCount() != 0 {
+		t.Error("nil tracer reports state")
+	}
+	if err := tr.Close(); err != nil {
+		t.Error(err)
+	}
+	ctx := NewContext(context.Background(), nil)
+	if ctx != context.Background() {
+		t.Error("NewContext with nil span allocated")
+	}
+	if FromContext(ctx) != nil {
+		t.Error("FromContext found a span in an empty context")
+	}
+}
+
+func TestSpanLifecycleAndTree(t *testing.T) {
+	tr := New(Config{})
+	root := tr.Start("round", nil, Int("round", 3), Int("day", 9))
+	child := tr.Start("scan", root)
+	if got := tr.ActiveCount(); got != 2 {
+		t.Fatalf("active = %d, want 2", got)
+	}
+
+	act := tr.Active()
+	if len(act) != 2 || !act[0].Active || act[0].Name != "round" {
+		t.Fatalf("Active() = %+v", act)
+	}
+
+	child.SetAttr(String("region", "east"))
+	child.SetAttr(String("region", "west")) // replace, not duplicate
+	child.End()
+	child.End() // idempotent
+	root.SetAttr(Bool("degraded", true))
+	root.End()
+
+	if got := tr.ActiveCount(); got != 0 {
+		t.Fatalf("active after End = %d", got)
+	}
+	if got := tr.Completed(); got != 2 {
+		t.Fatalf("completed = %d, want 2", got)
+	}
+	slow := tr.Slowest(10)
+	if len(slow) != 2 {
+		t.Fatalf("slowest = %d spans", len(slow))
+	}
+	// Root started first and ended last: it must be the slower one.
+	if slow[0].Name != "round" || slow[0].Attr("degraded") != "true" {
+		t.Errorf("slowest[0] = %+v", slow[0])
+	}
+	var scan SpanSnapshot
+	for _, s := range slow {
+		if s.Name == "scan" {
+			scan = s
+		}
+	}
+	if scan.Parent != root.ID() || scan.Attr("region") != "west" {
+		t.Errorf("child snapshot = %+v", scan)
+	}
+	// SetAttr after End is dropped, not raced.
+	child.SetAttr(String("late", "x"))
+	for _, s := range tr.Slowest(10) {
+		if s.Attr("late") != "" {
+			t.Error("attribute set after End was recorded")
+		}
+	}
+}
+
+func TestRingBufferBounded(t *testing.T) {
+	tr := New(Config{RingSize: 8})
+	for i := 0; i < 50; i++ {
+		sp := tr.Start("op", nil, Int("i", i))
+		sp.End()
+	}
+	if got := tr.Completed(); got != 50 {
+		t.Fatalf("completed = %d", got)
+	}
+	slow := tr.Slowest(100)
+	if len(slow) != 8 {
+		t.Fatalf("ring kept %d spans, want 8", len(slow))
+	}
+	for _, s := range slow {
+		if i := atoiAttr(s, "i"); i < 42 {
+			t.Errorf("ring kept evicted span i=%d", i)
+		}
+	}
+}
+
+func TestSampleIPDeterministicAndProportional(t *testing.T) {
+	tr := New(Config{SamplePerMille: 100})
+	tr2 := New(Config{SamplePerMille: 100})
+	n := 0
+	for ip := uint64(0); ip < 20000; ip++ {
+		a, b := tr.SampleIP(ip), tr2.SampleIP(ip)
+		if a != b {
+			t.Fatalf("sampling not deterministic at ip %d", ip)
+		}
+		if a {
+			n++
+		}
+	}
+	// 10% ± generous slack.
+	if n < 1500 || n > 2500 {
+		t.Errorf("sampled %d of 20000 at 100 per-mille", n)
+	}
+	// Different seeds select different subsets.
+	seeded := New(Config{SamplePerMille: 100, SampleSeed: 7})
+	same := 0
+	for ip := uint64(0); ip < 20000; ip++ {
+		if tr.SampleIP(ip) && seeded.SampleIP(ip) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("seed does not rotate the sampled subset")
+	}
+	if all := New(Config{SamplePerMille: 1000}); !all.SampleIP(1) {
+		t.Error("1000 per-mille did not sample")
+	}
+	if none := New(Config{SamplePerMille: -1}); none.SampleIP(1) {
+		t.Error("negative rate sampled")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Config{RingSize: 128})
+	root := tr.Start("round", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Start("probe", root, Int("w", w))
+				sp.SetAttr(Int("i", i))
+				tr.Active()
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := tr.Completed(); got != 8*200+1 {
+		t.Fatalf("completed = %d", got)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(Config{Journal: j})
+
+	root := tr.Start("round", nil, Int("round", 0), Int("day", 0))
+	scan := tr.Start("scan", root)
+	probe := tr.Start("probe", scan, String("ip", "54.0.0.1"), String("region", "east"))
+	probe.SetAttr(Bool("fault.dial_loss", true))
+	probe.End()
+	scan.End()
+	fetch := tr.Start("fetch", root)
+	fetch.End()
+	root.SetAttr(Bool("degraded", false))
+	root.End()
+	fin := tr.Start("store.finalize", nil, Int("round", 0), Int64("records", 17))
+	fin.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 5 {
+		t.Fatalf("journal has %d spans, want 5", len(spans))
+	}
+	bds := BreakdownRounds(spans)
+	if len(bds) != 1 {
+		t.Fatalf("breakdowns = %d", len(bds))
+	}
+	b := bds[0]
+	if b.Round != 0 || b.Degraded {
+		t.Errorf("breakdown header = %+v", b)
+	}
+	for _, stage := range []string{"scan", "fetch", "store.finalize"} {
+		if _, ok := b.Stages[stage]; !ok {
+			t.Errorf("stage %q missing from breakdown (have %v)", stage, b.Stages)
+		}
+	}
+	// round-tagged orphan + subtree: scan, probe, fetch, store.finalize.
+	if b.Spans != 4 {
+		t.Errorf("round subtree spans = %d, want 4", b.Spans)
+	}
+	if b.FaultInjected != 1 {
+		t.Errorf("fault-injected spans = %d, want 1", b.FaultInjected)
+	}
+	if len(b.Slowest) != 1 || b.Slowest[0].Name != "probe" || !b.Slowest[0].FaultInjected() {
+		t.Errorf("slowest = %+v", b.Slowest)
+	}
+}
+
+func TestJournalCrashSafety(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(Config{Journal: j})
+	for i := 0; i < 3; i++ {
+		tr.Start("op", nil, Int("i", i)).End()
+	}
+	// Simulate a crash: flush the buffer but never Close/rename, then
+	// truncate mid-line as a kill would.
+	j.bw.Flush()
+	if _, err := j.f.Write([]byte(`{"id":99,"name":"trunc`)); err != nil {
+		t.Fatal(err)
+	}
+	j.bw.Flush()
+
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("journal renamed into place before Close")
+	}
+	spans, err := LoadJournal(path) // falls back to .tmp
+	if err != nil {
+		t.Fatalf("post-mortem load: %v", err)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("recovered %d spans, want 3 (truncated line skipped)", len(spans))
+	}
+}
+
+func TestReadJournalRejectsMidFileCorruption(t *testing.T) {
+	in := `{"id":1,"name":"a","start_ns":1,"dur_ns":1}
+not json at all
+{"id":2,"name":"b","start_ns":2,"dur_ns":1}
+`
+	if _, err := ReadJournal(strings.NewReader(in)); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestTimedSpanDurations(t *testing.T) {
+	tr := New(Config{})
+	sp := tr.Start("op", nil)
+	time.Sleep(10 * time.Millisecond)
+	sp.End()
+	s := tr.Slowest(1)[0]
+	if s.Duration() < 5*time.Millisecond {
+		t.Errorf("duration %v implausibly short", s.Duration())
+	}
+	if s.Active {
+		t.Error("completed span marked active")
+	}
+}
