@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos trace bench metrics-report
+.PHONY: all build vet test race chaos trace bench pipeline-bench metrics-report
 
 all: build vet test
 
@@ -45,6 +45,12 @@ trace:
 # Regenerate every paper table/figure benchmark.
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Sharded-round smoke benchmark (what the CI pipeline-bench job runs):
+# shards=1 vs shards=regions, digest identity hard-gated.
+pipeline-bench:
+	$(GO) run ./cmd/whowas-bench -pipeline-bench BENCH_pipeline.json -ec2-scale 512
+	@echo "wrote BENCH_pipeline.json"
 
 # Example pipeline-metrics report (README "Observability").
 metrics-report:

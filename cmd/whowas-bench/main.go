@@ -11,6 +11,7 @@
 //	whowas-bench -faults scenarios/chaos.json  # evaluation over a degraded network
 //	whowas-bench -faults scenarios/chaos.json -retries 3 -round-timeout 30s
 //	whowas-bench -ops-addr 127.0.0.1:8377 -trace-journal run.jsonl
+//	whowas-bench -pipeline-bench BENCH_pipeline.json  # sharded-round smoke benchmark
 //	WHOWAS_SCALE=4 whowas-bench  # shrink everything 4x
 package main
 
@@ -49,18 +50,46 @@ func main() {
 		roundTimeout = flag.Duration("round-timeout", 0, "per-round deadline; an exceeded round finalizes degraded with partial records (0 = none)")
 		opsAddr      = flag.String("ops-addr", "", "serve the live ops endpoint (/healthz, /metrics, /trace/*, pprof) on this address")
 		journalPath  = flag.String("trace-journal", "", "append completed spans as JSONL to this path (crash-safe; read with whowas-query trace)")
+		shards       = flag.Int("pipeline-shards", 0, "round pipeline region lanes (0 = one per region, 1 = unsharded)")
+		pipeBench    = flag.String("pipeline-bench", "", "instead of the suite, run the sharded-pipeline smoke benchmark (shards=1 vs shards=regions) and write its JSON result to this path")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *pipeBench != "" {
+		res, err := experiments.PipelineBench(ctx, *ec2Scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whowas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whowas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := atomicfile.WriteFile(*pipeBench, append(data, '\n')); err != nil {
+			fmt.Fprintf(os.Stderr, "whowas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[bench] pipeline: %d regions, speedup %.2fx, digests match: %v\n",
+			res.Regions, res.Speedup, res.DigestsMatch)
+		fmt.Fprintf(os.Stderr, "[bench] wrote %s\n", *pipeBench)
+		if !res.DigestsMatch {
+			fmt.Fprintln(os.Stderr, "whowas-bench: sharded and unsharded store digests diverged")
+			os.Exit(1)
+		}
+		return
+	}
+
 	opts := experiments.Options{
-		EC2Scale:     *ec2Scale,
-		AzureScale:   *azureScale,
-		Seed:         *seed,
-		Retries:      *retries,
-		RoundTimeout: *roundTimeout,
+		EC2Scale:       *ec2Scale,
+		AzureScale:     *azureScale,
+		Seed:           *seed,
+		Retries:        *retries,
+		RoundTimeout:   *roundTimeout,
+		PipelineShards: *shards,
 	}
 	if *faultsPath != "" {
 		sc, err := faults.LoadFile(*faultsPath)

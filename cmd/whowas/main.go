@@ -58,6 +58,7 @@ type options struct {
 	roundTimeout time.Duration
 	opsAddr      string
 	journalPath  string
+	shards       int
 }
 
 func main() {
@@ -77,6 +78,7 @@ func main() {
 	flag.DurationVar(&o.roundTimeout, "round-timeout", 0, "per-round deadline; an exceeded round finalizes degraded with partial records (0 = none)")
 	flag.StringVar(&o.opsAddr, "ops-addr", "", "serve the live ops endpoint (/healthz, /metrics, /trace/*, pprof) on this address")
 	flag.StringVar(&o.journalPath, "trace-journal", "", "append completed spans as JSONL to this path (crash-safe; read with whowas-query trace)")
+	flag.IntVar(&o.shards, "pipeline-shards", 0, "round pipeline region lanes (0 = one per region, 1 = unsharded; store contents are identical either way)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -159,6 +161,7 @@ func run(o options) error {
 		camp.Fetcher.Attempts = o.retries
 	}
 	camp.RoundTimeout = o.roundTimeout
+	camp.PipelineShards = o.shards
 	if o.exclude != "" {
 		set := ipaddr.NewSet()
 		for _, s := range splitComma(o.exclude) {

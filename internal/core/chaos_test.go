@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -32,19 +33,21 @@ const chaosCloudSeed = 91
 
 // chaosScanTimeout and chaosRoundTimeout are tuned together for the
 // blackout test: a held dial burns one scanner timeout per attempt, so
-// a blacked-out IP needs 3 ports x 3 attempts x 1s = 9s of wall time —
-// past the 7s round deadline even if it started the instant the round
+// a blacked-out IP needs 3 ports x 3 attempts x 2s = 18s of wall time —
+// past the 15s round deadline even if it started the instant the round
 // did. No blacked-out IP ever finishes its scan, which keeps the
 // degraded rounds' probed counts (and thus the store digest)
-// deterministic. The healthy region's scan is all virtual time and
-// finishes with seconds to spare even under the race detector on one
-// CPU. The probe timeout is also deliberately large relative to
-// scheduler latency: with ~64 runnable goroutines sharing one CPU a
+// deterministic. A healthy round is all virtual time and finishes with
+// seconds to spare even under the race detector on one CPU — the round
+// deadline must clear the round's whole wall time, since the pipeline
+// reports a deadline observed anywhere (scan, fetch or featurize) as
+// degradation. The probe timeout is also deliberately large relative
+// to scheduler latency: with ~64 runnable goroutines sharing one CPU a
 // goroutine can wait hundreds of milliseconds for its slice, and a
 // probe deadline in that range would expire spuriously.
 const (
-	chaosScanTimeout  = time.Second
-	chaosRoundTimeout = 7 * time.Second
+	chaosScanTimeout  = 2 * time.Second
+	chaosRoundTimeout = 15 * time.Second
 )
 
 // chaosCloudConfig is a deliberately tiny two-region EC2-like cloud:
@@ -135,11 +138,20 @@ func runChaosCampaign(t *testing.T, sc *faults.Scenario, roundTimeout time.Durat
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	if err := p.RunCampaign(ctx, chaosCampaignConfig(sc, roundTimeout)); err != nil {
+	// Every chaos campaign runs with an Observer wired up: degraded
+	// rounds must reach the callback with the same report (regions and
+	// all) that lands on p.Reports.
+	var observed []RoundReport
+	cfg := chaosCampaignConfig(sc, roundTimeout)
+	cfg.Observer = func(r RoundReport) { observed = append(observed, r) }
+	if err := p.RunCampaign(ctx, cfg); err != nil {
 		t.Fatalf("chaos campaign: %v", err)
 	}
 	if len(p.Reports) != len(chaosDays) {
 		t.Fatalf("completed %d rounds, want %d", len(p.Reports), len(chaosDays))
+	}
+	if !reflect.DeepEqual(observed, p.Reports) {
+		t.Fatalf("observer saw %d reports diverging from the platform's %d", len(observed), len(p.Reports))
 	}
 	digest, err := p.Store.Digest()
 	if err != nil {
@@ -289,7 +301,7 @@ func TestChaosLossRampCampaign(t *testing.T) {
 	}
 	wantR, gotR := deterministicReports(got.reports), deterministicReports(again.reports)
 	for i := range wantR {
-		if wantR[i] != gotR[i] {
+		if !reflect.DeepEqual(wantR[i], gotR[i]) {
 			t.Errorf("round %d report diverged:\n first %+v\nsecond %+v", i, wantR[i], gotR[i])
 		}
 	}
@@ -373,6 +385,18 @@ func TestChaosBlackoutDegradesRounds(t *testing.T) {
 		if r.Records <= 0 {
 			t.Errorf("degraded round %d kept no partial records", i)
 		}
+		// The per-region breakdown pins the blame: east completed and
+		// kept its records, south never finished its scan.
+		regions := map[string]RegionReport{}
+		for _, reg := range r.Regions {
+			regions[reg.Region] = reg
+		}
+		if east := regions["east"]; east.Degraded || east.Records <= 0 || east.Probed != eastIPs {
+			t.Errorf("degraded round %d east region = %+v, want completed with records", i, east)
+		}
+		if south := regions["south"]; !south.Degraded || south.Records != 0 {
+			t.Errorf("degraded round %d south region = %+v, want degraded with no records", i, south)
+		}
 		round.Each(func(rec *store.Record) bool {
 			if p0.Cloud.RegionOf(rec.IP) == "south" {
 				t.Errorf("degraded round %d stored blacked-out IP %s", i, rec.IP)
@@ -402,7 +426,7 @@ func TestChaosBlackoutDegradesRounds(t *testing.T) {
 	}
 	wantR, gotR := deterministicReports(got.reports), deterministicReports(again.reports)
 	for i := range wantR {
-		if wantR[i] != gotR[i] {
+		if !reflect.DeepEqual(wantR[i], gotR[i]) {
 			t.Errorf("round %d report diverged:\n first %+v\nsecond %+v", i, wantR[i], gotR[i])
 		}
 	}

@@ -15,9 +15,9 @@ package core
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -28,7 +28,6 @@ import (
 	"whowas/internal/cluster"
 	"whowas/internal/dnssim"
 	"whowas/internal/faults"
-	"whowas/internal/features"
 	"whowas/internal/fetcher"
 	"whowas/internal/ipaddr"
 	"whowas/internal/metrics"
@@ -70,6 +69,14 @@ type CampaignConfig struct {
 	// KeepBodies retains raw page bodies in the store (memory-hungry;
 	// features are extracted either way).
 	KeepBodies bool
+	// PipelineShards sets how many region lanes the round pipeline
+	// runs: each lane is an independent scan→fetch→featurize chain over
+	// its share of the cloud's regions, writing through its own store
+	// shard. 0 (the default) means one lane per region; 1 recovers the
+	// unsharded round; values above the region count are clamped. The
+	// store contents are byte-identical for any shard count — shards
+	// are merged and IP-sorted before the round digest is taken.
+	PipelineShards int
 	// Observer, when non-nil, receives one structured RoundReport as
 	// each round completes. It is called synchronously from
 	// RunCampaign between rounds, so it needs no locking but should
@@ -110,6 +117,24 @@ type RoundReport struct {
 	Scan  time.Duration `json:"scan_ns"`
 	Drain time.Duration `json:"drain_ns"`
 	Total time.Duration `json:"total_ns"`
+
+	// Regions breaks the round down by cloud region (one entry per
+	// region, in address-range order), reflecting the pipeline's
+	// region-sharded lanes.
+	Regions []RegionReport `json:"regions,omitempty"`
+}
+
+// RegionReport is one region's share of a round.
+type RegionReport struct {
+	Region     string `json:"region"`
+	Probed     int64  `json:"probed"`
+	Skipped    int64  `json:"skipped"`
+	Responsive int64  `json:"responsive"`
+	Fetched    int64  `json:"fetched"`
+	Records    int64  `json:"records"`
+	// Degraded marks a region whose scan had not completed when the
+	// round hit its deadline; its counts are partial.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // DefaultRoundSchedule reproduces §6: one round every 3 days during
@@ -134,10 +159,21 @@ func DefaultRoundSchedule(days int) []int {
 // simulation speed: probing is unthrottled (simulation only — see
 // scanner.UnlimitedRate) and worker pools are sized for throughput.
 func FastCampaign() CampaignConfig {
+	w := fastWorkers()
 	return CampaignConfig{
-		Scanner: scanner.Config{Rate: scanner.UnlimitedRate, Workers: 128},
-		Fetcher: fetcher.Config{Workers: 128, Timeout: 10 * time.Second},
+		Scanner: scanner.Config{Rate: scanner.UnlimitedRate, Workers: w},
+		Fetcher: fetcher.Config{Workers: w, Timeout: 10 * time.Second},
 	}
+}
+
+// fastWorkers scales the simulation-speed pools with the hardware,
+// floored at the historical fixed size of 128.
+func fastWorkers() int {
+	w := 32 * runtime.GOMAXPROCS(0)
+	if w < 128 {
+		w = 128
+	}
+	return w
 }
 
 // Platform is one cloud's measurement deployment.
@@ -169,6 +205,11 @@ type Platform struct {
 	Reports []RoundReport
 
 	reportsMu sync.Mutex // guards Reports against mid-campaign readers
+
+	// putHook, when non-nil, replaces Store.Put in the round pipeline's
+	// featurize sink. Tests inject store failures and mid-round
+	// cancellations through it.
+	putHook func(*store.Record) error
 }
 
 // RoundReports returns a copy of the completed rounds' reports. Safe
@@ -208,29 +249,10 @@ func NewPlatform(cloudCfg cloudsim.Config) (*Platform, error) {
 	}, nil
 }
 
-// collectTally accumulates the per-round fetch/store counts inside the
-// collection goroutine; the channel hand-off publishes it to the round
-// loop.
-type collectTally struct {
-	fetched      int64
-	robotsDenied int64
-	fetchErrors  int64
-	records      int64
-	bodyBytes    int64
-}
-
-// RunCampaign executes rounds per the config's schedule: each round
-// advances the network day, scans the cloud's ranges, fetches pages
-// for responsive web IPs, extracts features, and stores the records.
-// Each completed round appends a RoundReport to p.Reports and, when
-// configured, invokes cfg.Observer with it.
-func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
-	days := cfg.RoundDays
-	if days == nil {
-		days = DefaultRoundSchedule(p.Cloud.Days())
-	}
-	// Thread the platform registry and tracer through the pipeline
-	// unless the caller supplied component-specific ones.
+// withPlatformDefaults threads the platform registry, tracer and
+// region map through the pipeline components unless the caller
+// supplied component-specific ones.
+func withPlatformDefaults(p *Platform, cfg CampaignConfig) CampaignConfig {
 	if cfg.Scanner.Metrics == nil {
 		cfg.Scanner.Metrics = p.Metrics
 	}
@@ -249,6 +271,21 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 	if cfg.Fetcher.RegionOf == nil {
 		cfg.Fetcher.RegionOf = p.Cloud.RegionOf
 	}
+	return cfg
+}
+
+// RunCampaign executes rounds per the config's schedule: each round
+// advances the network day and runs the region-sharded pipeline
+// (round.go) — scan the cloud's ranges, fetch pages for responsive web
+// IPs, extract features, store the records — one lane per region
+// shard. Each completed round appends a RoundReport to p.Reports and,
+// when configured, invokes cfg.Observer with it.
+func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
+	days := cfg.RoundDays
+	if days == nil {
+		days = DefaultRoundSchedule(p.Cloud.Days())
+	}
+	cfg = withPlatformDefaults(p, cfg)
 	if p.Tracer != nil {
 		p.Store.SetTracer(p.Tracer)
 	}
@@ -267,20 +304,10 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 		}
 		dialer = inj
 	}
-	scn, err := scanner.New(dialer, cfg.Scanner)
+	c, err := newCampaign(p, cfg, dialer)
 	if err != nil {
 		return err
 	}
-	ftc, err := fetcher.New(dialer, cfg.Fetcher)
-	if err != nil {
-		return err
-	}
-	p.Store.KeepBodies = cfg.KeepBodies
-	scanStage := p.Metrics.Stage("core.scan")
-	drainStage := p.Metrics.Stage("core.drain")
-	roundStage := p.Metrics.Stage("core.round")
-	degradedRounds := p.Metrics.Counter("core.degraded_rounds")
-
 	for i, day := range days {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -288,153 +315,8 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 		if day < 0 || day >= p.Cloud.Days() {
 			return fmt.Errorf("core: round day %d outside campaign [0,%d)", day, p.Cloud.Days())
 		}
-		roundStart := time.Now()
-		p.Net.SetDay(day)
-		if _, err := p.Store.BeginRound(day); err != nil {
+		if err := c.runRound(ctx, i, day); err != nil {
 			return err
-		}
-		rootSp := p.Tracer.Start("round", nil,
-			trace.Int("round", i), trace.Int("day", day))
-
-		// The round deadline, when configured, drives graceful
-		// degradation: the scanner and fetcher abort where they are,
-		// and the round finalizes with whatever was collected.
-		roundCtx, cancelRound := ctx, context.CancelFunc(func() {})
-		if cfg.RoundTimeout > 0 {
-			roundCtx, cancelRound = context.WithTimeout(ctx, cfg.RoundTimeout)
-		}
-
-		results := make(chan scanner.Result, 1024)
-		pages := make(chan fetcher.Page, 1024)
-		// The fetch span covers the fetcher's whole lifetime — from the
-		// first queued result until the drain completes — and parents
-		// the sampled per-IP "get" spans via the fetch context.
-		fetchSp := p.Tracer.Start("fetch", rootSp)
-		fetchCtx := roundCtx
-		if fetchSp != nil {
-			fetchCtx = trace.NewContext(roundCtx, fetchSp)
-		}
-		go ftc.Run(fetchCtx, results, pages)
-
-		// The featurize span covers the collection goroutine: feature
-		// extraction and store inserts, overlapping scan and fetch.
-		featSp := p.Tracer.Start("featurize", rootSp)
-		type collectResult struct {
-			tally collectTally
-			err   error
-		}
-		collectCh := make(chan collectResult, 1)
-		go func() {
-			var t collectTally
-			for page := range pages {
-				if page.Available() {
-					t.fetched++
-				}
-				if page.RobotsDenied {
-					t.robotsDenied++
-				}
-				if page.Err != nil {
-					t.fetchErrors++
-				}
-				t.bodyBytes += int64(len(page.Body))
-				rec := features.FromPage(&page)
-				if err := p.Store.Put(rec); err != nil {
-					featSp.SetAttr(trace.String("error", "store"))
-					featSp.End()
-					collectCh <- collectResult{t, err}
-					return
-				}
-				t.records++
-			}
-			featSp.SetAttr(trace.Int64("records", t.records))
-			featSp.End()
-			collectCh <- collectResult{t, nil}
-		}()
-
-		scanSp := p.Tracer.Start("scan", rootSp)
-		scanCtx := roundCtx
-		if scanSp != nil {
-			scanCtx = trace.NewContext(roundCtx, scanSp)
-		}
-		scanStart := time.Now()
-		stats, scanErr := scn.ScanRanges(scanCtx, p.Cloud.Ranges(), cfg.Blacklist, results)
-		scanDur := time.Since(scanStart)
-		scanSp.SetAttr(
-			trace.Int64("probed", stats.Probed),
-			trace.Int64("responsive", stats.Responsive),
-			trace.Int64("retries", stats.Retries),
-		)
-		scanSp.End()
-		// A round deadline is degradation, not failure: the blame test
-		// is that the round context expired while the campaign context
-		// is still live. Capture it before cancelRound overwrites the
-		// round context's error with Canceled.
-		degraded := scanErr != nil && cfg.RoundTimeout > 0 &&
-			ctx.Err() == nil && errors.Is(roundCtx.Err(), context.DeadlineExceeded)
-		if scanErr != nil && !degraded {
-			<-collectCh
-			cancelRound()
-			fetchSp.End()
-			rootSp.SetAttr(trace.String("error", "scan"))
-			rootSp.End()
-			return fmt.Errorf("core: round %d scan: %w", i, scanErr)
-		}
-		drainStart := time.Now()
-		collected := <-collectCh
-		drainDur := time.Since(drainStart)
-		cancelRound()
-		fetchSp.End()
-		if collected.err != nil {
-			rootSp.SetAttr(trace.String("error", "collect"))
-			rootSp.End()
-			return fmt.Errorf("core: round %d collect: %w", i, collected.err)
-		}
-		if degraded {
-			if err := p.Store.MarkDegraded(); err != nil {
-				rootSp.End()
-				return err
-			}
-			degradedRounds.Inc()
-		}
-		p.Store.AddProbed(stats.Probed)
-		// Drop pooled connections: the next round is days away, and a
-		// kept-alive connection must not outlive the IP's tenancy.
-		ftc.CloseIdle()
-		if err := p.Store.EndRound(); err != nil {
-			rootSp.End()
-			return err
-		}
-		totalDur := time.Since(roundStart)
-		scanStage.Add(scanDur)
-		drainStage.Add(drainDur)
-		roundStage.Add(totalDur)
-
-		report := RoundReport{
-			Round:        i,
-			Day:          day,
-			Probed:       stats.Probed,
-			Skipped:      stats.Skipped,
-			Probes:       stats.Probes,
-			Responsive:   stats.Responsive,
-			Fetched:      collected.tally.fetched,
-			RobotsDenied: collected.tally.robotsDenied,
-			FetchErrors:  collected.tally.fetchErrors,
-			Records:      collected.tally.records,
-			BodyBytes:    collected.tally.bodyBytes,
-			Retries:      stats.Retries,
-			Degraded:     degraded,
-			Scan:         scanDur,
-			Drain:        drainDur,
-			Total:        totalDur,
-		}
-		rootSp.SetAttr(
-			trace.Int64("records", report.Records),
-			trace.Bool("degraded", degraded),
-		)
-		rootSp.End()
-		p.appendReport(report)
-		if cfg.Observer != nil {
-			cfg.Observer(report)
 		}
 	}
 	return nil

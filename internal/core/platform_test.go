@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -328,7 +329,7 @@ func TestObserverCallback(t *testing.T) {
 		}
 	}
 	// The same reports accumulate on the platform, observer or not.
-	if len(p.Reports) != 3 || p.Reports[1] != reports[1] {
+	if len(p.Reports) != 3 || !reflect.DeepEqual(p.Reports[1], reports[1]) {
 		t.Errorf("platform reports = %+v", p.Reports)
 	}
 }

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whowas/internal/store"
+)
+
+// quickConfig is a fast fault-free campaign over the two-region chaos
+// cloud, the substrate for the pipeline tests below.
+func quickConfig(days []int) CampaignConfig {
+	cfg := chaosCampaignConfig(nil, 0)
+	cfg.RoundDays = days
+	return cfg
+}
+
+func runQuick(t *testing.T, cfg CampaignConfig) chaosOutcome {
+	t.Helper()
+	p, err := NewPlatform(chaosCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := p.RunCampaign(ctx, cfg); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	digest, err := p.Store.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chaosOutcome{digest: digest, reports: p.Reports, store: p.Store, p: p}
+}
+
+// TestPipelineShardDigestIdentity is the sharding correctness oracle:
+// the same campaign run unsharded, with one lane per region, and with
+// a clamped oversized shard count must produce byte-identical store
+// digests and identical (timing-stripped) reports. Shard maps are
+// merged and IP-sorted at round finalize, so the digest must not see
+// the lane layout at all.
+func TestPipelineShardDigestIdentity(t *testing.T) {
+	days := []int{0, 2, 4}
+	base := runQuick(t, quickConfig(days))
+	baseR := deterministicReports(base.reports)
+	for _, shards := range []int{0, 2, 7} {
+		cfg := quickConfig(days)
+		cfg.PipelineShards = shards
+		got := runQuick(t, cfg)
+		if got.digest != base.digest {
+			t.Errorf("shards=%d digest %s, unsharded %s", shards, got.digest, base.digest)
+		}
+		gotR := deterministicReports(got.reports)
+		if !reflect.DeepEqual(baseR, gotR) {
+			t.Errorf("shards=%d reports diverged from unsharded run", shards)
+		}
+	}
+	// The unsharded round still breaks the report down by region.
+	for i, r := range base.reports {
+		if len(r.Regions) != 2 {
+			t.Fatalf("round %d: %d region reports, want 2", i, len(r.Regions))
+		}
+		var probed, records int64
+		for _, reg := range r.Regions {
+			if reg.Degraded {
+				t.Errorf("round %d region %s degraded in a healthy campaign", i, reg.Region)
+			}
+			probed += reg.Probed
+			records += reg.Records
+		}
+		if probed != r.Probed || records != r.Records {
+			t.Errorf("round %d: region sums probed=%d records=%d, round %d/%d",
+				i, probed, records, r.Probed, r.Records)
+		}
+	}
+}
+
+// TestRoundStorePutFailure is the goroutine-leak regression test: a
+// failing store put must abort the round, propagate the error, and
+// unwind every pipeline goroutine (the pre-pipeline collector returned
+// without draining the page channel, leaving the fetcher and scanner
+// pools blocked forever). The store must stay usable afterwards.
+func TestRoundStorePutFailure(t *testing.T) {
+	p, err := NewPlatform(chaosCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errBoom := errors.New("store full")
+	var puts int64
+	p.putHook = func(rec *store.Record) error {
+		if atomic.AddInt64(&puts, 1) > 10 {
+			return errBoom
+		}
+		return p.Store.Put(rec)
+	}
+	before := runtime.NumGoroutine()
+	err = p.RunCampaign(context.Background(), quickConfig([]int{0}))
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("campaign error = %v, want %v", err, errBoom)
+	}
+	// Every pipeline goroutine must unwind; give the unblocked pools a
+	// moment to exit before comparing.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before+3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+3 {
+		t.Errorf("%d goroutines after failed round, %d before: pipeline leaked", g, before)
+	}
+	// The failed round was aborted, not left open: no round landed,
+	// the store digests, and a rerun on the same platform succeeds.
+	if n := p.Store.NumRounds(); n != 0 {
+		t.Errorf("store has %d rounds after aborted round, want 0", n)
+	}
+	if _, err := p.Store.Digest(); err != nil {
+		t.Errorf("store digest after aborted round: %v", err)
+	}
+	p.putHook = nil
+	if err := p.RunCampaign(context.Background(), quickConfig([]int{0})); err != nil {
+		t.Fatalf("campaign after aborted round: %v", err)
+	}
+	if n := p.Store.NumRounds(); n != 1 {
+		t.Errorf("store has %d rounds after recovery campaign, want 1", n)
+	}
+}
+
+// TestCampaignCancelMidRound cancels the campaign context from inside
+// round 1's featurize sink: the campaign must return the cancellation
+// as a failure (not a degraded round), abort the in-flight round, and
+// leave round 0 finalized and digestable.
+func TestCampaignCancelMidRound(t *testing.T) {
+	p, err := NewPlatform(chaosCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var puts int64
+	p.putHook = func(rec *store.Record) error {
+		if p.Store.NumRounds() == 1 && atomic.AddInt64(&puts, 1) == 5 {
+			cancel()
+		}
+		return p.Store.Put(rec)
+	}
+	err = p.RunCampaign(ctx, quickConfig([]int{0, 2}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("campaign error = %v, want context.Canceled", err)
+	}
+	if len(p.Reports) != 1 {
+		t.Errorf("%d round reports, want only round 0's", len(p.Reports))
+	}
+	if n := p.Store.NumRounds(); n != 1 {
+		t.Fatalf("store has %d rounds, want round 0 only", n)
+	}
+	if p.Store.Round(0).Len() == 0 {
+		t.Error("round 0 lost its records")
+	}
+	if _, err := p.Store.Digest(); err != nil {
+		t.Errorf("store digest after mid-round cancel: %v", err)
+	}
+}
+
+// TestSplitRegions pins the lane layout: regions come out in
+// address-range order, and shard counts clamp to [1, regions].
+func TestSplitRegions(t *testing.T) {
+	p, err := NewPlatform(chaosCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions, err := splitRegions(p.Cloud.Ranges(), p.Cloud.RegionOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 2 || regions[0].name != "east" || regions[1].name != "south" {
+		t.Fatalf("splitRegions = %+v, want [east south]", regions)
+	}
+	var total int64
+	for _, r := range regions {
+		total += int64(r.ranges.Total())
+	}
+	if total != int64(p.Cloud.Ranges().Total()) {
+		t.Errorf("region ranges cover %d IPs, cloud has %d", total, p.Cloud.Ranges().Total())
+	}
+	for _, tc := range []struct{ shards, lanes int }{
+		{0, 2}, {1, 1}, {2, 2}, {9, 2},
+	} {
+		cfg := quickConfig([]int{0})
+		cfg.PipelineShards = tc.shards
+		c, err := newCampaign(p, withPlatformDefaults(p, cfg), p.Net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.lanes) != tc.lanes {
+			t.Errorf("shards=%d: %d lanes, want %d", tc.shards, len(c.lanes), tc.lanes)
+		}
+	}
+}

@@ -207,8 +207,11 @@ func TestTracedBlackoutJournalAttribution(t *testing.T) {
 				t.Errorf("day %d: stage %q missing from journal breakdown (stages %v)", rb.Day, stage, rb.Stages)
 			}
 		}
-		if rb.Total <= 0 || rb.Stages["scan"] > rb.Total {
-			t.Errorf("day %d: scan %v exceeds round total %v", rb.Day, rb.Stages["scan"], rb.Total)
+		// Stage durations accumulate across the pipeline's per-region
+		// lanes (the chaos cloud has two), so concurrent scan spans may
+		// sum past the round's wall time — but not past lanes × total.
+		if rb.Total <= 0 || rb.Stages["scan"] > 2*rb.Total {
+			t.Errorf("day %d: scan %v exceeds %v across 2 lanes", rb.Day, rb.Stages["scan"], 2*rb.Total)
 		}
 		// The blackout's swallowed probes are attributable: held dials
 		// annotate their probe spans, which appear exactly in the

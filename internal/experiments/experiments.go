@@ -55,6 +55,10 @@ type Options struct {
 	// -retries flag). 0 keeps the defaults: 1 attempt on a clean
 	// network, 3 when Faults is set.
 	Retries int
+	// PipelineShards sets the round pipeline's region-lane count on
+	// both campaigns (the -pipeline-shards flag); 0 means one lane per
+	// region. See core.CampaignConfig.PipelineShards.
+	PipelineShards int
 	// Metrics, when non-nil, replaces both platforms' own registries
 	// so a live observer (the ops server) sees one combined view.
 	Metrics *metrics.Registry
@@ -121,6 +125,7 @@ func Run(ctx context.Context, opts Options) (*Suite, error) {
 		camp := core.FastCampaign()
 		camp.Faults = opts.Faults
 		camp.RoundTimeout = opts.RoundTimeout
+		camp.PipelineShards = opts.PipelineShards
 		if opts.Faults != nil {
 			// Resilience defaults for faulty runs; a clean network keeps
 			// the single-attempt fast path.

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"whowas/internal/cloudsim"
+	"whowas/internal/core"
+)
+
+// PipelineBenchResult is the round-pipeline sharding smoke benchmark's
+// JSON document (the whowas-bench -pipeline-bench flag; CI uploads it
+// as BENCH_pipeline.json). DigestsMatch is the hard correctness gate —
+// the sharded and unsharded campaigns must produce byte-identical
+// stores — while Speedup is informational: it depends on the host's
+// core count, and a single-core runner legitimately reports ~1.0.
+type PipelineBenchResult struct {
+	Cloud        string  `json:"cloud"`
+	Regions      int     `json:"regions"`
+	Rounds       int     `json:"rounds"`
+	Records      int64   `json:"records"`
+	Shards       int     `json:"shards"`
+	BaselineNS   int64   `json:"baseline_ns"` // shards=1 campaign wall time
+	ShardedNS    int64   `json:"sharded_ns"`  // shards=regions campaign wall time
+	Speedup      float64 `json:"speedup"`
+	DigestsMatch bool    `json:"digests_match"`
+	Digest       string  `json:"digest"`
+}
+
+// PipelineBench runs the same small multi-region campaign twice — one
+// lane (the unsharded round) versus one lane per region — and compares
+// wall time and store digests. Scale divides the cloud size as in
+// Options; 0 takes a default sized for a sub-minute run.
+func PipelineBench(ctx context.Context, scale int, seed int64) (*PipelineBenchResult, error) {
+	if scale <= 0 {
+		scale = 256
+	}
+	if seed == 0 {
+		seed = 20131130
+	}
+	cfg := cloudsim.DefaultEC2Config(scale, seed)
+
+	run := func(shards int) (string, int64, time.Duration, int, error) {
+		p, err := core.NewPlatform(cfg)
+		if err != nil {
+			return "", 0, 0, 0, err
+		}
+		camp := core.FastCampaign()
+		camp.PipelineShards = shards
+		start := time.Now()
+		if err := p.RunCampaign(ctx, camp); err != nil {
+			return "", 0, 0, 0, fmt.Errorf("experiments: pipeline bench (shards=%d): %w", shards, err)
+		}
+		elapsed := time.Since(start)
+		digest, err := p.Store.Digest()
+		if err != nil {
+			return "", 0, 0, 0, err
+		}
+		var records int64
+		for _, r := range p.Reports {
+			records += r.Records
+		}
+		return digest, records, elapsed, len(p.Reports[0].Regions), nil
+	}
+
+	baseDigest, records, baseDur, regions, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	shardDigest, _, shardDur, _, err := run(0) // 0 = one lane per region
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PipelineBenchResult{
+		Cloud:        cfg.Name,
+		Regions:      regions,
+		Rounds:       len(core.DefaultRoundSchedule(cfg.Days)),
+		Records:      records,
+		Shards:       regions,
+		BaselineNS:   baseDur.Nanoseconds(),
+		ShardedNS:    shardDur.Nanoseconds(),
+		DigestsMatch: baseDigest == shardDigest,
+		Digest:       baseDigest,
+	}
+	if shardDur > 0 {
+		res.Speedup = float64(baseDur) / float64(shardDur)
+	}
+	return res, nil
+}

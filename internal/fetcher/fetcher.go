@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -87,15 +88,27 @@ type Config struct {
 	RegionOf func(ipaddr.Addr) string
 }
 
+// DefaultWorkers is the resolved worker-pool size when Config.Workers
+// is zero: scaled with the hardware (64 workers per scheduler core —
+// fetches spend their time blocked on the network) and floored at the
+// paper's 250.
+func DefaultWorkers() int {
+	w := 64 * runtime.GOMAXPROCS(0)
+	if w < 250 {
+		w = 250
+	}
+	return w
+}
+
 // WithDefaults returns the config with zero fields resolved to the
-// paper's defaults (250 workers, 10 s timeout, 512 KB body cap, the
-// research UA). New applies it internally; it is exported so callers
-// and tests can observe the resolved values instead of re-stating
-// them.
+// paper's defaults (DefaultWorkers workers, 10 s timeout, 512 KB body
+// cap, the research UA). New applies it internally; it is exported so
+// callers and tests can observe the resolved values instead of
+// re-stating them.
 func (c Config) WithDefaults() Config {
 	out := c
 	if out.Workers <= 0 {
-		out.Workers = 250
+		out.Workers = DefaultWorkers()
 	}
 	if out.Timeout <= 0 {
 		out.Timeout = 10 * time.Second
@@ -458,6 +471,18 @@ func SameSitePaths(body string, max int) []string {
 	return out
 }
 
+// Exchange runs one scan result through the §4 exchange and is the
+// unit of work a pipeline fetch stage performs per item: SSH-only IPs
+// pass straight through as bare responsive pages (nothing to fetch,
+// but the record of the responsive IP still flows downstream), web IPs
+// go through FetchIP.
+func (f *Fetcher) Exchange(ctx context.Context, res scanner.Result) Page {
+	if res.OpenPorts&(store.PortHTTP|store.PortHTTPS) == 0 {
+		return Page{IP: res.IP, OpenPorts: res.OpenPorts}
+	}
+	return f.FetchIP(ctx, res)
+}
+
 // Run consumes scan results and produces Pages with the configured
 // worker pool, closing out when in is exhausted.
 func (f *Fetcher) Run(ctx context.Context, in <-chan scanner.Result, out chan<- Page) {
@@ -467,17 +492,7 @@ func (f *Fetcher) Run(ctx context.Context, in <-chan scanner.Result, out chan<- 
 		go func() {
 			defer wg.Done()
 			for res := range in {
-				if res.OpenPorts&(store.PortHTTP|store.PortHTTPS) == 0 {
-					// SSH-only: nothing to fetch, but the record of the
-					// responsive IP still flows through.
-					select {
-					case out <- Page{IP: res.IP, OpenPorts: res.OpenPorts}:
-					case <-ctx.Done():
-						return
-					}
-					continue
-				}
-				page := f.FetchIP(ctx, res)
+				page := f.Exchange(ctx, res)
 				select {
 				case out <- page:
 				case <-ctx.Done():

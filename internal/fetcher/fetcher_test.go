@@ -61,8 +61,12 @@ func TestNewValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.cfg.Workers != 250 || f.cfg.Timeout != 10*time.Second || f.cfg.MaxBody != MaxBodyBytes {
+	if f.cfg.Workers != DefaultWorkers() || f.cfg.Timeout != 10*time.Second || f.cfg.MaxBody != MaxBodyBytes {
 		t.Errorf("defaults = %+v", f.cfg)
+	}
+	// The hardware-scaled pool never shrinks below the paper's 250.
+	if DefaultWorkers() < 250 {
+		t.Errorf("DefaultWorkers() = %d, want >= 250", DefaultWorkers())
 	}
 	if !strings.Contains(f.cfg.UserAgent, "contact:") {
 		t.Error("default User-Agent lacks contact note (§7)")

@@ -1,0 +1,378 @@
+// Package pipeline is the round's stage-graph runtime: a small, typed
+// Source → Stage → Sink framework over bounded channels. WhoWas's
+// round is inherently a streaming pipeline (§4, Figure 1 — scan →
+// fetch → featurize → store), and the core package used to hand-wire
+// it from channels and goroutines inline; this package makes the graph
+// an explicit object so sharding, instrumentation and deadline
+// handling live in one layer.
+//
+// A Graph is a set of nodes connected by Streams (bounded channels
+// that exert backpressure). Each node runs its function once —
+// internally fanning out over a worker pool for stages and sinks — and
+// the graph as a whole has errgroup semantics: the first hard error
+// cancels every other node, so a failing sink can never strand an
+// upstream producer on a full channel (the goroutine-leak class of bug
+// the old hand-wired round had).
+//
+// Deadline degradation is built in: a node whose error is
+// context.DeadlineExceeded while the campaign's outer context is still
+// live reports Partial completion instead of failing the graph — the
+// round finalizes with whatever was collected, which is the §6
+// campaign's graceful-degradation contract.
+//
+// Observability hooks mirror the rest of the platform: an optional
+// metrics.Registry receives a pipeline.<name> stage timer plus item
+// counter per node, and an optional trace.Tracer opens one span per
+// node (child of Options.Parent) whose context is handed to the node
+// function, so sampled per-IP spans parent correctly under it.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whowas/internal/metrics"
+	"whowas/internal/trace"
+)
+
+// Options configures a Graph's hooks; the zero value runs bare.
+type Options struct {
+	// Metrics, when non-nil, receives a "pipeline.<node name>" stage
+	// timer (one pass per node run) and a "pipeline.<node name>.items"
+	// counter per node.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, records one span per node, named after the
+	// node, as a child of Parent. The span rides the context handed to
+	// the node function, so spans the node starts nest under it.
+	Tracer *trace.Tracer
+	// Parent is the span the node spans are children of (typically the
+	// round's root span). Nil starts them parentless.
+	Parent *trace.Span
+	// Outer is the long-lived context surrounding the graph's run
+	// context (the campaign context surrounding the round deadline).
+	// It is the degradation blame test: a node error of
+	// context.DeadlineExceeded while Outer is still live means the run
+	// context's deadline fired, and the node reports Partial instead
+	// of failing the graph. Nil treats the outer context as live.
+	Outer context.Context
+}
+
+// Graph is one assembled pipeline run. Build it with New, add nodes
+// with Source/SourceChan/Stage/Sink, then call Run exactly once.
+type Graph struct {
+	opts  Options
+	nodes []*node
+
+	cancel context.CancelFunc
+
+	failMu  sync.Mutex
+	failErr error
+}
+
+// New builds an empty graph.
+func New(opts Options) *Graph {
+	return &Graph{opts: opts}
+}
+
+// node is one vertex of the graph.
+type node struct {
+	name  string
+	attrs []trace.Attr
+	items atomic.Int64
+	run   func(ctx context.Context) error
+	res   StageResult
+}
+
+// StageResult reports one node's outcome after Run.
+type StageResult struct {
+	Name  string
+	Start time.Time
+	End   time.Time
+	// Items counts emitted items for sources and stages, and consumed
+	// items for sinks. Channel-bridged sources (SourceChan) write to
+	// their channel directly, so their count stays 0.
+	Items int64
+	// Partial marks a node that hit the run context's deadline while
+	// the outer context was live: it completed with partial output and
+	// the graph degraded instead of failing.
+	Partial bool
+	// Err is the node's hard error, nil for clean, partial, and
+	// cancelled-as-a-consequence nodes.
+	Err error
+}
+
+// Result is the whole graph's outcome.
+type Result struct {
+	// Stages holds one result per node, in the order the nodes were
+	// added.
+	Stages []StageResult
+	// Degraded reports that at least one node completed Partial (and
+	// none failed hard): the run deadline fired under a live outer
+	// context.
+	Degraded bool
+	// Start and End bound the graph's execution.
+	Start, End time.Time
+}
+
+// Stream is a bounded queue connecting two nodes. The producing node
+// closes it when done; consumers block on it, so a full stream exerts
+// backpressure on the producer.
+type Stream[T any] struct {
+	ch chan T
+}
+
+// NewStream builds a stream with the given buffer capacity (minimum 1).
+func NewStream[T any](capacity int) *Stream[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Stream[T]{ch: make(chan T, capacity)}
+}
+
+func (g *Graph) add(name string, attrs []trace.Attr) *node {
+	n := &node{name: name, attrs: attrs}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// fail records the graph's first hard error and cancels every node.
+func (g *Graph) fail(err error) {
+	g.failMu.Lock()
+	defer g.failMu.Unlock()
+	if g.failErr == nil {
+		g.failErr = err
+		g.cancel()
+	}
+}
+
+func (g *Graph) failed() error {
+	g.failMu.Lock()
+	defer g.failMu.Unlock()
+	return g.failErr
+}
+
+// outerLive reports whether the campaign-level context is still live —
+// the blame test distinguishing a round deadline (degrade) from an
+// outer cancellation (fail).
+func (g *Graph) outerLive() bool {
+	return g.opts.Outer == nil || g.opts.Outer.Err() == nil
+}
+
+// emitFn builds the send-or-cancel closure handed to node functions.
+func emitFn[T any](ctx context.Context, n *node, out *Stream[T]) func(T) error {
+	return func(v T) error {
+		select {
+		case out.ch <- v:
+			n.items.Add(1)
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Source adds a producer node: fn emits items until done. The output
+// stream is closed when fn returns, whatever the outcome, so
+// downstream nodes always terminate. Constructors are package
+// functions rather than methods because methods cannot introduce type
+// parameters.
+func Source[T any](g *Graph, name string, out *Stream[T], fn func(ctx context.Context, emit func(T) error) error, attrs ...trace.Attr) {
+	n := g.add(name, attrs)
+	n.run = func(ctx context.Context) error {
+		defer close(out.ch)
+		return fn(ctx, emitFn(ctx, n, out))
+	}
+}
+
+// SourceChan adds a producer node for code that needs the raw channel
+// (the scanner streams into a chan it does not own). fn must not close
+// out's channel; the node does when fn returns. Item counting is
+// skipped — the node cannot see individual sends.
+func SourceChan[T any](g *Graph, name string, out *Stream[T], fn func(ctx context.Context, out chan<- T) error, attrs ...trace.Attr) {
+	n := g.add(name, attrs)
+	n.run = func(ctx context.Context) error {
+		defer close(out.ch)
+		return fn(ctx, out.ch)
+	}
+}
+
+// Stage adds a transform node: a pool of workers each consuming from
+// in and emitting to out via fn. The output stream closes when every
+// worker is done. A worker's hard error fails the whole graph
+// immediately (the other workers see the cancellation); context errors
+// propagate for Run to classify.
+func Stage[In, Out any](g *Graph, name string, workers int, in *Stream[In], out *Stream[Out], fn func(ctx context.Context, item In, emit func(Out) error) error, attrs ...trace.Attr) {
+	n := g.add(name, attrs)
+	n.run = func(ctx context.Context) error {
+		defer close(out.ch)
+		return g.pool(ctx, n, workers, func(ctx context.Context) error {
+			emit := emitFn(ctx, n, out)
+			return consume(ctx, in, func(item In) error { return fn(ctx, item, emit) })
+		})
+	}
+}
+
+// Sink adds a terminal node: a pool of workers consuming from in.
+func Sink[T any](g *Graph, name string, workers int, in *Stream[T], fn func(ctx context.Context, item T) error, attrs ...trace.Attr) {
+	n := g.add(name, attrs)
+	n.run = func(ctx context.Context) error {
+		return g.pool(ctx, n, workers, func(ctx context.Context) error {
+			return consume(ctx, in, func(item T) error {
+				if err := fn(ctx, item); err != nil {
+					return err
+				}
+				n.items.Add(1)
+				return nil
+			})
+		})
+	}
+}
+
+// consume drains in, applying fn per item, until the stream closes or
+// the context ends.
+func consume[T any](ctx context.Context, in *Stream[T], fn func(T) error) error {
+	for {
+		select {
+		case item, ok := <-in.ch:
+			if !ok {
+				return nil
+			}
+			if err := fn(item); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// pool runs worker copies of body. A hard (non-context) error from any
+// worker fails the graph at once, so sibling nodes unblock without
+// waiting for this pool to drain; the pool itself still waits for all
+// its workers before returning the most informative error.
+func (g *Graph) pool(ctx context.Context, n *node, workers int, body func(ctx context.Context) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			err := body(ctx)
+			if err != nil && !isCtxErr(err) {
+				g.fail(err)
+			}
+			errs[w] = err
+		}(w)
+	}
+	wg.Wait()
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !isCtxErr(err) {
+			return err
+		}
+		if ctxErr == nil || errors.Is(err, context.DeadlineExceeded) {
+			ctxErr = err
+		}
+	}
+	return ctxErr
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Run executes every node concurrently and blocks until all finish.
+// It returns a non-nil error only for hard failures (a node error that
+// is neither a deadline degradation nor a consequence of another
+// node's failure); deadline degradations surface as Result.Degraded
+// with per-node Partial flags.
+func (g *Graph) Run(ctx context.Context) (Result, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	g.cancel = cancel
+
+	res := Result{Start: time.Now()}
+	var wg sync.WaitGroup
+	for _, n := range g.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			g.runNode(runCtx, n)
+		}(n)
+	}
+	wg.Wait()
+	res.End = time.Now()
+
+	failErr := g.failed()
+	for _, n := range g.nodes {
+		if n.res.Partial && failErr == nil {
+			res.Degraded = true
+		}
+		res.Stages = append(res.Stages, n.res)
+	}
+	if failErr != nil {
+		return res, failErr
+	}
+	// No node failed hard; if the outer context died (campaign
+	// cancellation rather than a round deadline) the graph still
+	// failed, even when every node happened to exit cleanly first.
+	if o := g.opts.Outer; o != nil && o.Err() != nil {
+		return res, o.Err()
+	}
+	// A direct cancellation of the run context (no outer configured,
+	// or an outer that is somehow still live) is likewise a failure;
+	// only its deadline expiring is a degradation.
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return res, err
+	}
+	return res, nil
+}
+
+// runNode executes one node with its span, stage timer, and outcome
+// classification.
+func (g *Graph) runNode(ctx context.Context, n *node) {
+	sp := g.opts.Tracer.Start(n.name, g.opts.Parent, n.attrs...)
+	if sp != nil {
+		ctx = trace.NewContext(ctx, sp)
+	}
+	st := g.opts.Metrics.Stage("pipeline." + n.name)
+	n.res.Name = n.name
+	n.res.Start = time.Now()
+	err := n.run(ctx)
+	n.res.End = time.Now()
+	st.Add(n.res.End.Sub(n.res.Start))
+	n.res.Items = n.items.Load()
+	if n.res.Items > 0 {
+		g.opts.Metrics.Counter("pipeline." + n.name + ".items").Add(n.res.Items)
+		sp.SetAttr(trace.Int64("items", n.res.Items))
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded) && g.outerLive():
+		// The run deadline fired under a live campaign: partial
+		// completion, not failure. The span keeps an "error" mark for
+		// journal analysis (a timing attr, excluded from determinism
+		// comparisons).
+		n.res.Partial = true
+		sp.SetAttr(trace.String("error", "deadline"))
+	case errors.Is(err, context.Canceled):
+		// A consequence of another node's failure, of an outer
+		// cancellation, or of a caller-cancelled run context — all
+		// classified by Run, not blamed on this node.
+		sp.SetAttr(trace.String("error", "canceled"))
+	default:
+		n.res.Err = err
+		sp.SetAttr(trace.String("error", "failed"))
+		g.fail(err)
+	}
+	sp.End()
+}

@@ -1,0 +1,301 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whowas/internal/metrics"
+	"whowas/internal/trace"
+)
+
+// TestLinearGraph runs the canonical source → stage → sink shape and
+// checks items, ordering-independent delivery, and per-node results.
+func TestLinearGraph(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := New(Options{Metrics: reg})
+	nums := NewStream[int](4)
+	doubled := NewStream[int](4)
+	var sum atomic.Int64
+
+	Source(g, "nums", nums, func(ctx context.Context, emit func(int) error) error {
+		for i := 1; i <= 100; i++ {
+			if err := emit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	Stage(g, "double", 4, nums, doubled, func(ctx context.Context, n int, emit func(int) error) error {
+		return emit(2 * n)
+	})
+	Sink(g, "sum", 2, doubled, func(ctx context.Context, n int) error {
+		sum.Add(int64(n))
+		return nil
+	})
+
+	res, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sum.Load(), int64(100*101); got != want { // 2 * sum(1..100)
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	if res.Degraded {
+		t.Error("clean run reported degraded")
+	}
+	if len(res.Stages) != 3 {
+		t.Fatalf("stage results = %d, want 3", len(res.Stages))
+	}
+	byName := map[string]StageResult{}
+	for _, s := range res.Stages {
+		if s.Err != nil || s.Partial {
+			t.Errorf("node %s: err=%v partial=%v", s.Name, s.Err, s.Partial)
+		}
+		if s.End.Before(s.Start) {
+			t.Errorf("node %s: end before start", s.Name)
+		}
+		byName[s.Name] = s
+	}
+	for name, want := range map[string]int64{"nums": 100, "double": 100, "sum": 100} {
+		if got := byName[name].Items; got != want {
+			t.Errorf("node %s items = %d, want %d", name, got, want)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Stages["pipeline.double"].Passes != 1 {
+		t.Errorf("pipeline.double stage = %+v", snap.Stages["pipeline.double"])
+	}
+	if snap.Counters["pipeline.sum.items"] != 100 {
+		t.Errorf("pipeline.sum.items = %d", snap.Counters["pipeline.sum.items"])
+	}
+}
+
+// TestSinkErrorUnblocksProducers is the regression for the round's old
+// goroutine leak: a sink that fails mid-stream must cancel the graph
+// so producers blocked on full streams return instead of leaking. The
+// streams here hold 1 item each and the source has far more to emit,
+// so without the cancellation Run would never return.
+func TestSinkErrorUnblocksProducers(t *testing.T) {
+	g := New(Options{})
+	in := NewStream[int](1)
+	out := NewStream[int](1)
+	boom := errors.New("store full")
+	sourceDone := make(chan error, 1)
+
+	Source(g, "src", in, func(ctx context.Context, emit func(int) error) error {
+		var err error
+		for i := 0; i < 10000 && err == nil; i++ {
+			err = emit(i)
+		}
+		sourceDone <- err
+		return err
+	})
+	Stage(g, "mid", 2, in, out, func(ctx context.Context, n int, emit func(int) error) error {
+		return emit(n)
+	})
+	Sink(g, "failing", 1, out, func(ctx context.Context, n int) error {
+		return boom
+	})
+
+	done := make(chan struct{})
+	var res Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = g.Run(context.Background())
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("graph wedged after sink error (producer leak)")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+	if res.Degraded {
+		t.Error("hard failure reported as degradation")
+	}
+	if srcErr := <-sourceDone; !errors.Is(srcErr, context.Canceled) {
+		t.Errorf("source exited with %v, want context.Canceled", srcErr)
+	}
+	for _, s := range res.Stages {
+		if s.Name == "failing" && !errors.Is(s.Err, boom) {
+			t.Errorf("failing node err = %v", s.Err)
+		}
+	}
+}
+
+// TestDeadlineDegrades: a run-context deadline under a live outer
+// context is partial completion, not failure.
+func TestDeadlineDegrades(t *testing.T) {
+	outer := context.Background()
+	runCtx, cancel := context.WithTimeout(outer, 50*time.Millisecond)
+	defer cancel()
+
+	g := New(Options{Outer: outer})
+	s := NewStream[int](1)
+	Source(g, "slow", s, func(ctx context.Context, emit func(int) error) error {
+		<-ctx.Done() // a scan that outlives the round deadline
+		return ctx.Err()
+	})
+	Sink(g, "drain", 1, s, func(ctx context.Context, n int) error { return nil })
+
+	res, err := g.Run(runCtx)
+	if err != nil {
+		t.Fatalf("deadline treated as failure: %v", err)
+	}
+	if !res.Degraded {
+		t.Error("deadline did not degrade the graph")
+	}
+	partial := false
+	for _, st := range res.Stages {
+		if st.Name == "slow" {
+			partial = st.Partial
+		}
+		if st.Err != nil {
+			t.Errorf("node %s hard error %v", st.Name, st.Err)
+		}
+	}
+	if !partial {
+		t.Error("deadline-hit node not marked Partial")
+	}
+}
+
+// TestOuterCancelFails: the same shape, but the *outer* context dies —
+// that is a campaign cancellation and must fail the graph.
+func TestOuterCancelFails(t *testing.T) {
+	outer, cancelOuter := context.WithCancel(context.Background())
+	g := New(Options{Outer: outer})
+	s := NewStream[int](1)
+	Source(g, "slow", s, func(ctx context.Context, emit func(int) error) error {
+		cancelOuter()
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	Sink(g, "drain", 1, s, func(ctx context.Context, n int) error { return nil })
+
+	res, err := g.Run(outer)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	if res.Degraded {
+		t.Error("outer cancellation reported as degradation")
+	}
+}
+
+// TestRunCtxCancelFails: cancelling the run context directly (no outer
+// configured) fails the graph rather than degrading it.
+func TestRunCtxCancelFails(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(Options{})
+	s := NewStream[int](1)
+	Source(g, "src", s, func(ctx context.Context, emit func(int) error) error {
+		cancel()
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	Sink(g, "drain", 1, s, func(ctx context.Context, n int) error { return nil })
+	if _, err := g.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+}
+
+// TestSourceChanClosesStream: the channel-bridged source still closes
+// its stream so downstream terminates.
+func TestSourceChanClosesStream(t *testing.T) {
+	g := New(Options{})
+	s := NewStream[string](2)
+	var seen atomic.Int64
+	SourceChan(g, "chan-src", s, func(ctx context.Context, out chan<- string) error {
+		out <- "a"
+		out <- "b"
+		return nil
+	})
+	Sink(g, "count", 3, s, func(ctx context.Context, v string) error {
+		seen.Add(1)
+		return nil
+	})
+	if _, err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if seen.Load() != 2 {
+		t.Errorf("sink saw %d items, want 2", seen.Load())
+	}
+}
+
+// TestNodeSpans: each node records one span, named after it, parented
+// to Options.Parent, and the node fn's context carries the span.
+func TestNodeSpans(t *testing.T) {
+	tr := trace.New(trace.Config{})
+	root := tr.Start("round", nil, trace.Int("round", 0))
+	g := New(Options{Tracer: tr, Parent: root})
+	s := NewStream[int](1)
+	sawSpan := make(chan bool, 1)
+	Source(g, "scan", s, func(ctx context.Context, emit func(int) error) error {
+		sawSpan <- trace.FromContext(ctx) != nil
+		return emit(1)
+	})
+	Sink(g, "store", 1, s, func(ctx context.Context, n int) error { return nil })
+	if _, err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if !<-sawSpan {
+		t.Error("node fn context carries no span")
+	}
+	names := map[string]uint64{}
+	for _, sp := range tr.Slowest(10) {
+		names[sp.Name] = sp.Parent
+	}
+	for _, want := range []string{"scan", "store"} {
+		parent, ok := names[want]
+		if !ok {
+			t.Errorf("no span recorded for node %q (have %v)", want, names)
+			continue
+		}
+		if parent == 0 {
+			t.Errorf("node span %q not parented to the round span", want)
+		}
+	}
+}
+
+// TestManyLanes exercises the region-sharded shape: N independent
+// source→stage→sink lanes in one graph, all completing.
+func TestManyLanes(t *testing.T) {
+	g := New(Options{})
+	var total atomic.Int64
+	const lanes, perLane = 8, 500
+	for l := 0; l < lanes; l++ {
+		in := NewStream[int](16)
+		out := NewStream[int](16)
+		Source(g, fmt.Sprintf("src-%d", l), in, func(ctx context.Context, emit func(int) error) error {
+			for i := 0; i < perLane; i++ {
+				if err := emit(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		Stage(g, "xform", 3, in, out, func(ctx context.Context, n int, emit func(int) error) error {
+			return emit(n + 1)
+		})
+		Sink(g, "tally", 2, out, func(ctx context.Context, n int) error {
+			total.Add(1)
+			return nil
+		})
+	}
+	res, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != lanes*perLane {
+		t.Errorf("delivered %d items, want %d", total.Load(), lanes*perLane)
+	}
+	if len(res.Stages) != 3*lanes {
+		t.Errorf("stage results = %d, want %d", len(res.Stages), 3*lanes)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,10 +71,22 @@ type Config struct {
 	RegionOf func(ipaddr.Addr) string
 }
 
+// DefaultWorkers is the resolved worker-pool size when Config.Workers
+// is zero: scaled with the hardware (16 workers per scheduler core —
+// probing is latency-bound, so the pool runs far wider than the CPU
+// count) and floored at the paper's 64.
+func DefaultWorkers() int {
+	w := 16 * runtime.GOMAXPROCS(0)
+	if w < 64 {
+		w = 64
+	}
+	return w
+}
+
 // WithDefaults returns the config with zero fields resolved to the
-// paper's defaults (250 pps, 2 s probe timeout, 64 workers). New
-// applies it internally; it is exported so callers and tests can
-// observe the resolved values instead of re-stating them.
+// paper's defaults (250 pps, 2 s probe timeout, DefaultWorkers
+// workers). New applies it internally; it is exported so callers and
+// tests can observe the resolved values instead of re-stating them.
 func (c Config) WithDefaults() Config {
 	out := c
 	if out.Rate <= 0 {
@@ -83,7 +96,7 @@ func (c Config) WithDefaults() Config {
 		out.Timeout = 2 * time.Second
 	}
 	if out.Workers <= 0 {
-		out.Workers = 64
+		out.Workers = DefaultWorkers()
 	}
 	if out.Attempts <= 0 {
 		out.Attempts = 1
@@ -361,12 +374,30 @@ func (s *Scanner) probeSequence(ctx context.Context, ip ipaddr.Addr, stats *Stat
 // is closed when the scan completes. The returned Stats are final only
 // after the channel closes.
 func (s *Scanner) ScanRanges(ctx context.Context, ranges *ipaddr.RangeList, blacklist *ipaddr.Set, results chan<- Result) (*Stats, error) {
+	stats, err := s.ScanRangesInto(ctx, ranges, blacklist, results, 0)
+	close(results)
+	return stats, err
+}
+
+// ScanRangesInto is the pipeline-lane entry point: like ScanRanges it
+// probes ranges minus the blacklist and streams Results, but it leaves
+// the results channel open — a region-sharded lane feeds several
+// sequential region scans into one stream the lane owns — and sizes
+// this scan's worker pool explicitly (so N concurrent lanes can split
+// one configured pool instead of multiplying it). workers <= 0 uses
+// the configured pool size. All scans share the scanner's global rate
+// limiter, which keeps the §7 probe budget campaign-wide no matter how
+// many lanes run.
+func (s *Scanner) ScanRangesInto(ctx context.Context, ranges *ipaddr.RangeList, blacklist *ipaddr.Set, results chan<- Result, workers int) (*Stats, error) {
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
 	stats := &Stats{}
-	tasks := make(chan ipaddr.Addr, 4*s.cfg.Workers)
+	tasks := make(chan ipaddr.Addr, 4*workers)
 	var wg sync.WaitGroup
 	var firstErr atomic.Value
 
-	for w := 0; w < s.cfg.Workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -413,7 +444,6 @@ feed:
 	}
 	close(tasks)
 	wg.Wait()
-	close(results)
 	if err, _ := firstErr.Load().(error); err != nil {
 		return stats, err
 	}

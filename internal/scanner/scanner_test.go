@@ -47,8 +47,60 @@ func TestNewValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.cfg.Rate != 250 || s.cfg.Timeout != 2*time.Second || s.cfg.Workers != 64 {
+	if s.cfg.Rate != 250 || s.cfg.Timeout != 2*time.Second || s.cfg.Workers != DefaultWorkers() {
 		t.Errorf("defaults = %+v", s.cfg)
+	}
+	// The hardware-scaled pool never shrinks below the paper's 64.
+	if DefaultWorkers() < 64 {
+		t.Errorf("DefaultWorkers() = %d, want >= 64", DefaultWorkers())
+	}
+}
+
+// TestScanRangesInto: the lane entry point leaves the channel open and
+// lets several scans share one stream; the union must equal one
+// whole-range ScanRanges pass.
+func TestScanRangesInto(t *testing.T) {
+	cloud, net := testSetup(t)
+	whole, _ := collectScan(t, fastScanner(t, net), cloud.Ranges(), nil)
+
+	// A fresh network for the second pass: netsim's transient-loss
+	// model is stateful per (ip, day) — rescanning the same network
+	// recovers lossy hosts — so comparing scans needs equal substrates.
+	_, net2 := testSetup(t)
+	s := fastScanner(t, net2)
+	results := make(chan Result, 1024)
+	got := map[ipaddr.Addr]uint8{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range results {
+			got[r.IP] = r.OpenPorts
+		}
+	}()
+	var probed int64
+	for _, p := range cloud.Ranges().Prefixes() {
+		sub, err := ipaddr.NewRangeList([]ipaddr.Prefix{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := s.ScanRangesInto(context.Background(), sub, nil, results, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probed += stats.Probed
+	}
+	close(results)
+	<-done
+	if probed != int64(cloud.Ranges().Total()) {
+		t.Errorf("per-prefix scans probed %d of %d", probed, cloud.Ranges().Total())
+	}
+	if len(got) != len(whole) {
+		t.Fatalf("per-prefix scans found %d responsive, whole-range %d", len(got), len(whole))
+	}
+	for ip, ports := range whole {
+		if got[ip] != ports {
+			t.Errorf("IP %s: ports %d via lanes, %d via whole-range", ip, got[ip], ports)
+		}
 	}
 }
 

@@ -83,7 +83,11 @@ func (r *Record) WebOpen() bool { return r.OpenPorts&(PortHTTP|PortHTTPS) != 0 }
 // (§4: unresponsive IPs are also unavailable).
 func (r *Record) Available() bool { return r.HTTPStatus != 0 }
 
-// Round is one round of scanning: records keyed by IP.
+// Round is one round of scanning: records keyed by IP. While the
+// round is open, records live in write shards (per-shard locks keep
+// the hot Put path off one global mutex); finalize merges the shards
+// into one IP-sorted index, so the persisted form — and therefore the
+// store digest — is byte-identical whatever the shard count was.
 type Round struct {
 	Index  int
 	Day    int
@@ -94,15 +98,54 @@ type Round struct {
 	// it accordingly.
 	Degraded bool
 	records  map[ipaddr.Addr]*Record
-	sorted   []*Record // built on Finalize, ascending by IP
+	shards   []recordShard // open-round write path; nil once finalized
+	sorted   []*Record     // built on Finalize, ascending by IP
 	final    bool
 }
 
-// Get returns the record for an IP, or nil (unresponsive).
-func (r *Round) Get(ip ipaddr.Addr) *Record { return r.records[ip] }
+// recordShard is one lock-striped slice of an open round's records.
+type recordShard struct {
+	mu      sync.Mutex
+	records map[ipaddr.Addr]*Record
+}
+
+// shardFor picks a shard by splitmix64-mixed IP, so region-contiguous
+// address blocks spread across shards instead of hammering one lock.
+func (r *Round) shardFor(ip ipaddr.Addr) *recordShard {
+	h := uint64(ip)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return &r.shards[h%uint64(len(r.shards))]
+}
+
+// Get returns the record for an IP, or nil (unresponsive). Intended
+// for finalized rounds; on an open round it consults the shards.
+func (r *Round) Get(ip ipaddr.Addr) *Record {
+	if r.shards == nil {
+		return r.records[ip]
+	}
+	sh := r.shardFor(ip)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.records[ip]
+}
 
 // Len returns the number of records (responsive IPs).
-func (r *Round) Len() int { return len(r.records) }
+func (r *Round) Len() int {
+	if r.shards == nil {
+		return len(r.records)
+	}
+	n := 0
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
+		n += len(r.shards[i].records)
+		r.shards[i].mu.Unlock()
+	}
+	return n
+}
 
 // Records returns the round's records sorted by IP. Finalize must have
 // been called (Store.EndRound does).
@@ -122,8 +165,22 @@ func (r *Round) Each(fn func(*Record) bool) {
 	}
 }
 
-// finalize sorts the record index.
+// finalize merges any write shards into the record index and sorts
+// it. The merge is order-insensitive (records are keyed by IP and each
+// IP is written by exactly one scan), so the sorted index — and the
+// Save encoding derived from it — does not depend on the shard count.
 func (r *Round) finalize() {
+	if r.shards != nil {
+		if r.records == nil {
+			r.records = make(map[ipaddr.Addr]*Record, r.Len())
+		}
+		for i := range r.shards {
+			for ip, rec := range r.shards[i].records {
+				r.records[ip] = rec
+			}
+		}
+		r.shards = nil
+	}
 	r.sorted = make([]*Record, 0, len(r.records))
 	for _, rec := range r.records {
 		r.sorted = append(r.sorted, rec)
@@ -143,6 +200,9 @@ type Store struct {
 	// features first and drop bodies to keep memory proportional to
 	// features, unless a caller opts in.
 	KeepBodies bool
+	// shardCount is how many write shards each new round gets
+	// (SetShards); 0 and 1 both mean the single-map write path.
+	shardCount int
 
 	// Instrumentation handles (SetMetrics); nil (no-op) by default.
 	mRecords  *metrics.Counter // records inserted
@@ -177,6 +237,21 @@ func New(cloudName string) *Store {
 	return &Store{CloudName: cloudName}
 }
 
+// SetShards sets how many write shards future rounds stripe their
+// records over. Concurrent Puts contend only within a shard, so a
+// region-sharded pipeline scales its store writes with its lanes; the
+// shard count never affects the finalized round or its digest (the
+// shards are merged and IP-sorted at EndRound). Values below 1 mean 1.
+// Call between rounds; the open round keeps its layout.
+func (s *Store) SetShards(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	s.shardCount = n
+}
+
 // BeginRound opens a new round at the given campaign day. Only one
 // round may be open at a time.
 func (s *Store) BeginRound(day int) (*Round, error) {
@@ -188,26 +263,38 @@ func (s *Store) BeginRound(day int) (*Round, error) {
 	if len(s.rounds) > 0 && s.rounds[len(s.rounds)-1].Day >= day {
 		return nil, fmt.Errorf("store: day %d not after previous round day %d", day, s.rounds[len(s.rounds)-1].Day)
 	}
+	n := s.shardCount
+	if n < 1 {
+		n = 1
+	}
 	r := &Round{
-		Index:   len(s.rounds),
-		Day:     day,
-		records: make(map[ipaddr.Addr]*Record),
+		Index:  len(s.rounds),
+		Day:    day,
+		shards: make([]recordShard, n),
+	}
+	for i := range r.shards {
+		r.shards[i].records = make(map[ipaddr.Addr]*Record)
 	}
 	s.open = r
 	return r, nil
 }
 
 // Put inserts a record into the open round. Safe for concurrent use by
-// scanner/fetcher workers.
+// scanner/fetcher workers: the store mutex is taken in read mode (it
+// excludes only Begin/End/AbortRound) and writes contend per shard.
 func (s *Store) Put(rec *Record) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.open == nil {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := s.open
+	if r == nil {
 		return fmt.Errorf("store: no open round")
 	}
-	rec.Round = s.open.Index
-	rec.Day = s.open.Day
-	s.open.records[rec.IP] = rec
+	rec.Round = r.Index
+	rec.Day = r.Day
+	sh := r.shardFor(rec.IP)
+	sh.mu.Lock()
+	sh.records[rec.IP] = rec
+	sh.mu.Unlock()
 	s.mRecords.Inc()
 	return nil
 }
@@ -248,22 +335,36 @@ func (s *Store) EndRound() error {
 	// span); the "round" attribute lets trace analysis join it.
 	sp := s.tracer.Start("store.finalize", nil,
 		trace.Int("round", s.open.Index),
-		trace.Int("records", len(s.open.records)),
+		trace.Int("records", s.open.Len()),
 		trace.Bool("degraded", s.open.Degraded),
 	)
+	s.open.finalize()
 	var retained int64
-	for _, rec := range s.open.records {
+	for _, rec := range s.open.sorted {
 		if !s.KeepBodies {
 			rec.Body = ""
 		}
 		retained += int64(len(rec.Body))
 	}
-	s.open.finalize()
 	s.rounds = append(s.rounds, s.open)
 	s.open = nil
 	s.mRounds.Inc()
 	s.mRetained.Add(retained)
 	sp.End()
+	return nil
+}
+
+// AbortRound discards the open round and everything it collected. The
+// campaign loop calls it when a round fails hard (cancellation, a
+// store error) so the store is left holding only finalized rounds —
+// still saveable and digestable, and ready for a future BeginRound.
+func (s *Store) AbortRound() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.open == nil {
+		return fmt.Errorf("store: no open round")
+	}
+	s.open = nil
 	return nil
 }
 

@@ -382,3 +382,132 @@ func TestDigest(t *testing.T) {
 		t.Error("extra round not covered by the digest")
 	}
 }
+
+// buildSharded runs an identical two-round campaign through a store
+// with the given shard count and returns its digest.
+func buildSharded(t *testing.T, shards int) string {
+	t.Helper()
+	s := New("shard-test")
+	s.SetShards(shards)
+	for round, day := range []int{0, 3} {
+		if _, err := s.BeginRound(day); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					ip := fmt.Sprintf("10.%d.%d.%d", round, w, i)
+					if err := s.Put(mkRecord(ip, round)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got, want := s.open.Len(), 8*200; got != want {
+			t.Fatalf("open round holds %d records, want %d", got, want)
+		}
+		if err := s.EndRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := s.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestShardedDigestIdentical is the sharded write path's core
+// contract: the same records produce byte-identical digests whatever
+// the shard count, because finalize merges and IP-sorts the shards.
+func TestShardedDigestIdentical(t *testing.T) {
+	base := buildSharded(t, 1)
+	for _, shards := range []int{2, 3, 8, 64} {
+		if d := buildSharded(t, shards); d != base {
+			t.Errorf("%d shards digest %s, 1 shard %s", shards, d, base)
+		}
+	}
+	// Unset (0) behaves like 1.
+	if d := buildSharded(t, 0); d != base {
+		t.Errorf("0 shards digest diverges from 1 shard")
+	}
+}
+
+// TestShardedRoundAccessors: Get/Len work on an open sharded round.
+func TestShardedRoundAccessors(t *testing.T) {
+	s := New("ec2")
+	s.SetShards(4)
+	r, err := s.BeginRound(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := mkRecord("1.2.3.4", 0)
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Get(rec.IP) != rec {
+		t.Errorf("open sharded round: len=%d get=%v", r.Len(), r.Get(rec.IP))
+	}
+	if r.Get(ipaddr.MustParseAddr("9.9.9.9")) != nil {
+		t.Error("missing IP returned a record")
+	}
+	if err := s.EndRound(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Get(rec.IP) != rec {
+		t.Errorf("finalized round: len=%d", r.Len())
+	}
+}
+
+// TestAbortRound: an aborted round vanishes — the store stays
+// digestable, and a fresh round can open on the same day.
+func TestAbortRound(t *testing.T) {
+	s := New("ec2")
+	if err := s.AbortRound(); err == nil {
+		t.Error("AbortRound with no open round succeeded")
+	}
+	if _, err := s.BeginRound(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(mkRecord("1.2.3.4", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EndRound(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BeginRound(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(mkRecord("5.6.7.8", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AbortRound(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Error("aborted round leaked into the digest")
+	}
+	if s.NumRounds() != 1 {
+		t.Errorf("rounds = %d, want 1", s.NumRounds())
+	}
+	// The same day can be retried after an abort.
+	if _, err := s.BeginRound(5); err != nil {
+		t.Fatalf("BeginRound after abort: %v", err)
+	}
+	if err := s.EndRound(); err != nil {
+		t.Fatal(err)
+	}
+}
