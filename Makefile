@@ -2,15 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos trace bench pipeline-bench metrics-report
+.PHONY: all build vet lint test race fuzz chaos trace bench pipeline-bench metrics-report
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant static analysis (what the CI lint job runs): the
+# determinism / nilsafe / ctxfirst / errcheck / lockdisc suite over the
+# whole module. Non-zero exit on any unsuppressed finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/whowas-lint ./...
 
 # Fast loop: skips the full-campaign integration tests.
 test:
@@ -19,6 +26,15 @@ test:
 # What CI runs; the campaign fixtures shrink under -race.
 race:
 	$(GO) test -race -timeout 40m ./...
+
+# Short native-fuzzing smoke over the parser surfaces (what the CI
+# fuzz job runs). The seed corpora always run under plain `make test`;
+# this target additionally explores for a bounded time per target.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/htmlparse -fuzz FuzzParseHTML -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/simhash -fuzz FuzzSimhash -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ipaddr -fuzz FuzzParseIPRange -fuzztime $(FUZZTIME)
 
 # Fault-injection + resilience suites (what the CI chaos job runs):
 # -count=2 replays every deterministic campaign against its first

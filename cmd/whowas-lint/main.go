@@ -1,0 +1,83 @@
+// Command whowas-lint runs WhoWas's project-invariant static-analysis
+// suite (internal/lint) over the module: determinism of the
+// digest-feeding packages, nil-safety of the metrics/trace handles,
+// context-first I/O signatures, crash-safety error discipline, and
+// lock discipline. It exits non-zero when any diagnostic survives the
+// //lint:allow suppressions, which is what lets CI gate on it.
+//
+// Usage:
+//
+//	whowas-lint [-v] [-rules] [packages...]
+//
+// Packages default to ./... (the whole module). Patterns accept
+// ./dir, ./dir/..., and full import paths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"whowas/internal/lint"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list the packages as they are checked")
+	rules := flag.Bool("rules", false, "print the analyzer catalogue and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: whowas-lint [-v] [-rules] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := lint.DefaultSuite()
+	if *rules {
+		for _, a := range suite.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	if err := run(suite, flag.Args(), *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "whowas-lint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(suite *lint.Suite, patterns []string, verbose bool) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		for _, p := range pkgs {
+			fmt.Fprintln(os.Stderr, "checking", p.Path)
+		}
+	}
+	diags := suite.Run(pkgs)
+	for _, d := range diags {
+		// Print module-relative paths: stable across machines, and what
+		// editors and CI annotations expect.
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "whowas-lint: %d diagnostic(s) in %d package(s)\n", n, len(pkgs))
+		os.Exit(1)
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "whowas-lint: %d package(s) clean\n", len(pkgs))
+	}
+	return nil
+}

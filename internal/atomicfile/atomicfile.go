@@ -54,16 +54,19 @@ func (a *File) Commit() error {
 	}
 	a.done = true
 	if err := a.f.Sync(); err != nil {
-		a.f.Close()
-		os.Remove(tmpPath(a.path))
+		// The sync failure is the error being reported; the close and
+		// removal below are best-effort cleanup of a temp file whose
+		// content is already known bad.
+		_ = a.f.Close()
+		_ = os.Remove(tmpPath(a.path))
 		return fmt.Errorf("atomicfile: sync: %w", err)
 	}
 	if err := a.f.Close(); err != nil {
-		os.Remove(tmpPath(a.path))
+		_ = os.Remove(tmpPath(a.path))
 		return fmt.Errorf("atomicfile: close: %w", err)
 	}
 	if err := os.Rename(tmpPath(a.path), a.path); err != nil {
-		os.Remove(tmpPath(a.path))
+		_ = os.Remove(tmpPath(a.path))
 		return fmt.Errorf("atomicfile: rename: %w", err)
 	}
 	return nil
@@ -77,8 +80,11 @@ func (a *File) Abort() {
 		return
 	}
 	a.done = true
-	a.f.Close()
-	os.Remove(tmpPath(a.path))
+	// Abort is the deliberately errorless cleanup path (callers defer
+	// it); the destination was never touched, so nothing here can
+	// corrupt it.
+	_ = a.f.Close()
+	_ = os.Remove(tmpPath(a.path))
 }
 
 // WriteFile writes data to path via the temp-and-rename protocol — the

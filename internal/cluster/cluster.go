@@ -25,7 +25,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"whowas/internal/metrics"
 	"whowas/internal/simhash"
@@ -158,7 +157,7 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 
 	// Collect the records to cluster: those with an HTTP response.
 	spL1 := cfg.Tracer.Start("level1", root)
-	level1Start := time.Now()
+	stopLevel1 := reg.Stage("cluster.level1").Time()
 	var records []*store.Record
 	for _, round := range st.Rounds() {
 		round.Each(func(rec *store.Record) bool {
@@ -184,26 +183,26 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 		groups[k] = append(groups[k], rec)
 		hashSet[rec.Simhash] = struct{}{}
 	}
-	reg.Stage("cluster.level1").Add(time.Since(level1Start))
+	stopLevel1()
 	spL1.SetAttr(trace.Int("groups", len(groups)))
 	spL1.End()
 
 	// Threshold: explicit, or tuned by the gap statistic over the
 	// observed level-1 groups.
 	spThresh := cfg.Tracer.Start("threshold", root)
-	thresholdStart := time.Now()
+	stopThreshold := reg.Stage("cluster.threshold").Time()
 	threshold := cfg.Threshold
 	if threshold <= 0 {
 		threshold = gapThreshold(groups, cfg.Seed)
 	}
-	reg.Stage("cluster.threshold").Add(time.Since(thresholdStart))
+	stopThreshold()
 	spThresh.SetAttr(trace.Int("threshold", threshold))
 	spThresh.End()
 
 	// Level 2: split each level-1 group by simhash distance, in
 	// parallel across groups.
 	spL2 := cfg.Tracer.Start("level2", root)
-	level2Start := time.Now()
+	stopLevel2 := reg.Stage("cluster.level2").Time()
 	type l2Out struct {
 		key      l1Key
 		clusters [][]*store.Record
@@ -248,22 +247,22 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 			all = append(all, c)
 		}
 	}
-	reg.Stage("cluster.level2").Add(time.Since(level2Start))
+	stopLevel2()
 	spL2.SetAttr(trace.Int("clusters", secondLevel))
 	spL2.End()
 
 	// Merge heuristic across clusters.
 	spMerge := cfg.Tracer.Start("merge", root)
-	mergeStart := time.Now()
+	stopMerge := reg.Stage("cluster.merge").Time()
 	merged, nMerges := mergeClusters(all, cfg.MergeDistance)
-	reg.Stage("cluster.merge").Add(time.Since(mergeStart))
+	stopMerge()
 	reg.Counter("cluster.merges").Add(int64(nMerges))
 	spMerge.SetAttr(trace.Int("merges", nMerges))
 	spMerge.End()
 
 	// Cleaning.
 	spClean := cfg.Tracer.Start("clean", root)
-	cleanStart := time.Now()
+	stopClean := reg.Stage("cluster.clean").Time()
 	rounds := st.NumRounds()
 	var final, removed []*Cluster
 	for _, c := range merged {
@@ -275,7 +274,7 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 		}
 		final = append(final, c)
 	}
-	reg.Stage("cluster.clean").Add(time.Since(cleanStart))
+	stopClean()
 	reg.Counter("cluster.removed").Add(int64(len(removed)))
 	reg.Counter("cluster.final").Add(int64(len(final)))
 	spClean.SetAttr(trace.Int("removed", len(removed)))

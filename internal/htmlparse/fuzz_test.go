@@ -1,0 +1,56 @@
+package htmlparse
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseHTML feeds arbitrary markup through the tolerant tokenizer.
+// Parse promises it never fails on malformed 2013-era markup; the fuzz
+// target additionally pins the structural invariants extraction relies
+// on: determinism, collapsed title whitespace, deduplicated absolute
+// links, and analytics IDs that the splitter accepts.
+func FuzzParseHTML(f *testing.F) {
+	f.Add("<html><head><title>Shop</title></head><body><p>hello</p></body></html>")
+	f.Add(`<meta name="description" content="a store"><meta name="generator" content="WordPress 3.5.1">`)
+	f.Add(`<a href="http://example.com/a">x</a><img src="https://cdn.example.com/i.png">`)
+	f.Add(`<script>var _gaq=_gaq||[];_gaq.push(['_setAccount','UA-12345-2']);</script>`)
+	f.Add("<title>unclosed <b>soup")
+	f.Add("< not a tag > & bare ampersand <>")
+	f.Add("")
+	f.Add("\x00\xff<\x01>")
+	f.Fuzz(func(t *testing.T, html string) {
+		doc := Parse(html)
+
+		if again := Parse(html); !reflect.DeepEqual(doc, again) {
+			t.Fatalf("Parse is nondeterministic for %q", html)
+		}
+		if doc.Title != CollapseSpace(doc.Title) {
+			t.Errorf("title %q is not whitespace-collapsed", doc.Title)
+		}
+		seen := map[string]bool{}
+		for _, u := range doc.Links {
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				t.Errorf("link %q is not an absolute http(s) URL", u)
+			}
+			if seen[u] {
+				t.Errorf("link %q extracted twice", u)
+			}
+			seen[u] = true
+		}
+		if doc.AnalyticsID != "" {
+			if _, _, ok := SplitAnalyticsID(doc.AnalyticsID); !ok {
+				t.Errorf("extracted analytics ID %q does not split", doc.AnalyticsID)
+			}
+		}
+		if id := FindAnalyticsID(html); id != "" {
+			if _, _, ok := SplitAnalyticsID(id); !ok {
+				t.Errorf("FindAnalyticsID returned %q, which SplitAnalyticsID rejects", id)
+			}
+		}
+		if c := CollapseSpace(html); CollapseSpace(c) != c {
+			t.Errorf("CollapseSpace is not idempotent on %q", html)
+		}
+	})
+}

@@ -155,8 +155,7 @@ func splitTag(tag string) (name, attrs string) {
 // tag </name> in s, plus the number of bytes consumed including the
 // closing tag. If the closing tag is missing, the rest of s is the body.
 func untilClose(s, name string) (body string, consumed int) {
-	lower := strings.ToLower(s)
-	idx := strings.Index(lower, "</"+name)
+	idx := indexFoldASCII(s, "</"+name)
 	if idx < 0 {
 		return s, len(s)
 	}
@@ -170,18 +169,17 @@ func untilClose(s, name string) (body string, consumed int) {
 // attrValue extracts a (case-insensitive) attribute value from a tag's
 // attribute region, handling single-, double- and un-quoted forms.
 func attrValue(attrs, name string) string {
-	lower := strings.ToLower(attrs)
 	needle := name + "="
 	from := 0
 	for {
-		idx := strings.Index(lower[from:], needle)
+		idx := indexFoldASCII(attrs[from:], needle)
 		if idx < 0 {
 			return ""
 		}
 		idx += from
 		// Must be at a word boundary (start or preceded by whitespace).
 		if idx > 0 {
-			prev := lower[idx-1]
+			prev := attrs[idx-1]
 			if prev != ' ' && prev != '\t' && prev != '\n' && prev != '\r' && prev != '\'' && prev != '"' {
 				from = idx + len(needle)
 				continue
@@ -210,6 +208,44 @@ func attrValue(attrs, name string) string {
 			return rest[:end]
 		}
 	}
+}
+
+// indexFoldASCII returns the byte index of the first occurrence of
+// needle in s, matching ASCII letters case-insensitively. Searching
+// strings.ToLower(s) instead would be wrong here: ToLower re-encodes
+// invalid UTF-8 as U+FFFD, so its indices do not line up with s on the
+// byte-soup pages this package promises to survive.
+func indexFoldASCII(s, needle string) int {
+	if len(needle) == 0 {
+		return 0
+	}
+	for i := 0; i+len(needle) <= len(s); i++ {
+		if asciiEqualFold(s[i:i+len(needle)], needle) {
+			return i
+		}
+	}
+	return -1
+}
+
+// asciiEqualFold reports whether two equal-length strings match with
+// ASCII letters compared case-insensitively.
+func asciiEqualFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
 }
 
 // CollapseSpace trims and collapses runs of whitespace to single spaces.

@@ -1,0 +1,71 @@
+package ipaddr
+
+import (
+	"testing"
+)
+
+// FuzzParseIPRange throws arbitrary text at the provider-range-file
+// parser. Accepted inputs must yield a coherent RangeList: canonical
+// prefixes that round-trip through their string form, sorted and
+// non-overlapping, with Total equal to the sum of prefix sizes and
+// Contains agreeing with the prefix arithmetic at both range ends.
+func FuzzParseIPRange(f *testing.F) {
+	f.Add("172.16.0.0/12\n# amazon\n\n10.0.0.0/8")
+	f.Add("23.20.0.0/14")
+	f.Add("0.0.0.0/0")
+	f.Add("255.255.255.255/32")
+	f.Add("999.1.2.3/8")
+	f.Add("1.2.3.4/33")
+	f.Add("10.0.0.0/8\n10.1.0.0/16")
+	f.Add("1.2.3.4")
+	f.Add("# only comments\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		r, err := ParseRangeList(text)
+		if err != nil {
+			return
+		}
+		var total uint64
+		prev := Prefix{Bits: -1}
+		for i, p := range r.Prefixes() {
+			if p.Bits < 0 || p.Bits > 32 {
+				t.Fatalf("prefix %s has impossible length", p)
+			}
+			if p.Addr&^Mask(p.Bits) != 0 {
+				t.Errorf("prefix %s has host bits set", p)
+			}
+			back, err := ParsePrefix(p.String())
+			if err != nil || back != p {
+				t.Errorf("prefix round-trip %s -> %v (err %v)", p, back, err)
+			}
+			if i > 0 {
+				if p.Addr < prev.Addr {
+					t.Errorf("prefixes out of order: %s before %s", prev, p)
+				}
+				if prev.Overlaps(p) {
+					t.Errorf("accepted overlapping prefixes %s and %s", prev, p)
+				}
+			}
+			if !p.Contains(p.First()) || !p.Contains(p.Last()) {
+				t.Errorf("prefix %s does not contain its own ends", p)
+			}
+			if !r.Contains(p.First()) || !r.Contains(p.Last()) {
+				t.Errorf("range list loses the ends of %s", p)
+			}
+			total += p.Size()
+			prev = p
+		}
+		if total != r.Total() {
+			t.Errorf("Total = %d, sum of prefix sizes = %d", r.Total(), total)
+		}
+
+		// Address parsing must round-trip for every accepted line too.
+		a, err := ParseAddr("203.0.113.7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseAddr(a.String())
+		if err != nil || back != a {
+			t.Fatalf("addr round-trip %v -> %v (err %v)", a, back, err)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+// The determinism analyzer. WhoWas's clustering-reproducibility claim
+// is operationalized as byte-identical store digests for same-seed
+// campaigns, whatever the shard count, host, or wall-clock time. That
+// only holds if the packages whose output feeds the digest — cloudsim,
+// cluster, features, simhash, store — never consult a source of
+// nondeterminism. Three rules:
+//
+//	determinism/wallclock — no reference to the time package's clock
+//	    (Now, Since, Until, After, Sleep, tickers, timers). Durations
+//	    and time arithmetic on injected values are fine; reading the
+//	    host clock is not.
+//	determinism/rand — no argless math/rand draws (the global RNG is
+//	    seeded from the clock) and no crypto/rand at all. Explicitly
+//	    seeded generators (rand.New(rand.NewSource(seed))) are the
+//	    sanctioned path.
+//	determinism/maporder — no map-iteration loop that appends to an
+//	    outer slice or sends on a channel, unless the slice is passed
+//	    through sort.* in the same function. Go randomizes map
+//	    iteration order per run, so unsorted escapes are exactly the
+//	    digest-divergence bug class.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockFuncs are the time-package references that read or schedule
+// against the host clock.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"Sleep": true,
+}
+
+// seededRandFuncs are the math/rand package-level names that construct
+// explicitly seeded generators rather than drawing from the global RNG.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// DeterminismAnalyzer guards the digest-feeding packages against
+// wall-clock reads, unseeded randomness, and map-order-dependent
+// output.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "no wall clock, unseeded randomness, or map-iteration-order output in digest-feeding packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pkg *Package, opts Options) []Diagnostic {
+	if !matchPkg(pkg.Path, opts.Deterministic) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.SelectorExpr:
+				path, obj, ok := pkgRef(pkg, nn)
+				if !ok {
+					return true
+				}
+				switch path {
+				case "time":
+					if wallclockFuncs[nn.Sel.Name] {
+						out = append(out, diag(pkg, nn, "determinism/wallclock",
+							"time."+nn.Sel.Name+" reads the host clock in a digest-feeding package; inject the campaign clock or move the timing into metrics"))
+					}
+				case "math/rand", "math/rand/v2":
+					if _, isFunc := obj.(*types.Func); isFunc && !seededRandFuncs[nn.Sel.Name] {
+						out = append(out, diag(pkg, nn, "determinism/rand",
+							"rand."+nn.Sel.Name+" draws from the global clock-seeded RNG; use rand.New(rand.NewSource(seed))"))
+					}
+				case "crypto/rand":
+					out = append(out, diag(pkg, nn, "determinism/rand",
+						"crypto/rand is nondeterministic by design and must not feed the digest"))
+				}
+			case *ast.FuncDecl:
+				if nn.Body != nil {
+					out = append(out, mapOrderDiags(pkg, nn)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mapOrderDiags flags range-over-map loops whose bodies let the
+// iteration order escape: appends to a slice declared outside the loop
+// (unless that slice is sorted later in the same function) and channel
+// sends.
+func mapOrderDiags(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rs.Body, func(b ast.Node) bool {
+			switch bn := b.(type) {
+			case *ast.SendStmt:
+				out = append(out, diag(pkg, bn, "determinism/maporder",
+					"channel send inside a map-iteration loop leaks map order; collect and sort instead"))
+			case *ast.CallExpr:
+				id, isIdent := bn.Fun.(*ast.Ident)
+				if !isIdent || id.Name != "append" || len(bn.Args) == 0 {
+					return true
+				}
+				target := ast.Unparen(bn.Args[0])
+				if declaredWithin(pkg, target, rs) {
+					return true
+				}
+				if sortedLater(pkg, fd, target) {
+					return true
+				}
+				out = append(out, diag(pkg, bn, "determinism/maporder",
+					"append inside a map-iteration loop leaks map order into "+types.ExprString(target)+"; sort it before it escapes"))
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// declaredWithin reports whether an append target is a variable
+// declared inside the range statement itself (loop-local accumulation
+// cannot leak order beyond the loop's own logic).
+func declaredWithin(pkg *Package, target ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := target.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+}
+
+// sortedLater reports whether the function contains a sort.* or
+// slices.Sort* call over the same expression the loop appends to — the
+// canonical collect-then-sort pattern that restores determinism.
+func sortedLater(pkg *Package, fd *ast.FuncDecl, target ast.Expr) bool {
+	want := types.ExprString(target)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, _, ok := pkgRef(pkg, sel)
+		if !ok || (path != "sort" && path != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(ast.Unparen(arg)) == want {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

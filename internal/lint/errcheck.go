@@ -1,0 +1,153 @@
+// The errcheck-lite analyzer. WhoWas's durability story is the
+// crash-safe write path: atomicfile's temp-and-rename protocol, the
+// store's finalize/save sequence, and the trace journal's flush-close.
+// An error silently dropped on any of those paths converts "the report
+// is either old-and-intact or new-and-complete" into "the report may
+// be garbage" — so discards there are compile-adjacent errors, not
+// style. One rule:
+//
+//	errcheck/discard — a bare call statement (or defer) that throws
+//	    away an error returned by (a) anything from an error-source
+//	    package like atomicfile, (b) an error-returning function from
+//	    the store or trace packages, or (c) Close/Sync on an os.File
+//	    that this function opened for writing. An explicit `_ = call`
+//	    is intentional and exempt — the discard is visible in review.
+//	    Inside an error-source package itself, every bare discard is
+//	    flagged (the whole package is write path).
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckAnalyzer flags discarded errors on crash-safety write paths.
+var ErrCheckAnalyzer = &Analyzer{
+	Name: "errcheck",
+	Doc:  "no discarded errors from atomicfile, store/trace mutations, or write-path file closes",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pkg *Package, opts Options) []Diagnostic {
+	var out []Diagnostic
+	insideSource := matchPkg(pkg.Path, opts.ErrSourcePackages)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			writeFiles := writeOpenedFiles(pkg, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch nn := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = nn.X.(*ast.CallExpr)
+				case *ast.DeferStmt:
+					call = nn.Call
+				}
+				if call == nil {
+					return true
+				}
+				obj := calleeOf(pkg, call)
+				if obj == nil || !returnsError(obj) {
+					return true
+				}
+				calleePkg := objPkgPath(obj)
+				switch {
+				case insideSource:
+					out = append(out, diag(pkg, call, "errcheck/discard",
+						"error from "+obj.Name()+" discarded inside a crash-safety package; handle it or assign it to _ explicitly"))
+				case matchPkg(calleePkg, opts.ErrSourcePackages):
+					out = append(out, diag(pkg, call, "errcheck/discard",
+						"error from "+calleePkg+"."+obj.Name()+" discarded; the atomic-write protocol's outcome must be checked"))
+				case matchPkg(calleePkg, opts.ErrMethodPackages):
+					out = append(out, diag(pkg, call, "errcheck/discard",
+						"error from "+calleePkg+"."+obj.Name()+" discarded; store/journal mutations must surface their failures"))
+				case isWritePathClose(pkg, call, obj, writeFiles):
+					out = append(out, diag(pkg, call, "errcheck/discard",
+						"error from Close on a file opened for writing discarded; a failed close loses buffered data silently"))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// writeOpenedFiles collects the variables in this function that hold
+// files opened for writing: assigned from os.Create, or os.OpenFile
+// with O_WRONLY / O_RDWR / O_APPEND in its flags.
+func writeOpenedFiles(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, _, ok := pkgRef(pkg, sel)
+		if !ok || path != "os" {
+			return true
+		}
+		if sel.Sel.Name != "Create" && !(sel.Sel.Name == "OpenFile" && hasWriteFlag(call)) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := pkg.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasWriteFlag reports whether an os.OpenFile call's flag argument
+// mentions a write-mode constant.
+func hasWriteFlag(call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	found := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC":
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isWritePathClose reports whether the call is Close or Sync on one of
+// the function's write-opened files.
+func isWritePathClose(pkg *Package, call *ast.CallExpr, obj types.Object, writeFiles map[types.Object]bool) bool {
+	if obj.Name() != "Close" && obj.Name() != "Sync" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	recv := pkg.Info.Uses[id]
+	return recv != nil && writeFiles[recv]
+}

@@ -1,0 +1,168 @@
+// Shared AST/type-resolution helpers for the analyzers.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgRef resolves a selector like time.Now to its (package path,
+// object) when X names an imported package; ok is false otherwise.
+func pkgRef(pkg *Package, sel *ast.SelectorExpr) (path string, obj types.Object, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", nil, false
+	}
+	pn, isPkg := pkg.Info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", nil, false
+	}
+	return pn.Imported().Path(), pkg.Info.Uses[sel.Sel], true
+}
+
+// calleeOf resolves a call expression's callee object (a *types.Func
+// for method and function calls), or nil.
+func calleeOf(pkg *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// returnsError reports whether the object is a function whose result
+// list includes an error.
+func returnsError(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok {
+			if named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// objPkgPath returns the import path of the package the object belongs
+// to ("" for builtins and universe-scope objects).
+func objPkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// typeHasLock reports whether t is, or directly contains (through
+// struct fields, arrays, and embedding), a sync.Mutex or sync.RWMutex.
+// Pointers, slices, maps and channels stop the search — holding a
+// pointer to a lock is fine; holding the lock itself by value is what
+// copying breaks.
+func typeHasLock(t types.Type) bool {
+	return hasLock(t, map[types.Type]bool{})
+}
+
+func hasLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+		return hasLock(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return hasLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// recvIdent returns a method's named receiver identifier, or nil for
+// functions and unnamed/blank receivers.
+func recvIdent(fd *ast.FuncDecl) *ast.Ident {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	id := fd.Recv.List[0].Names[0]
+	if id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// recvTypeName returns the receiver's named type and whether it is a
+// pointer receiver.
+func recvTypeName(fd *ast.FuncDecl) (name string, pointer bool) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "", false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		pointer = true
+		t = star.X
+	}
+	switch tt := t.(type) {
+	case *ast.Ident:
+		return tt.Name, pointer
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := tt.X.(*ast.Ident); ok {
+			return id.Name, pointer
+		}
+	case *ast.IndexListExpr:
+		if id, ok := tt.X.(*ast.Ident); ok {
+			return id.Name, pointer
+		}
+	}
+	return "", pointer
+}
+
+// isNilCheckOf reports whether an expression contains a comparison of
+// the named receiver against nil (either == or !=, possibly inside
+// && / || chains).
+func isNilCheckOf(expr ast.Expr, recv string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if be.Op.String() != "==" && be.Op.String() != "!=" {
+			return true
+		}
+		x, xok := ast.Unparen(be.X).(*ast.Ident)
+		y, yok := ast.Unparen(be.Y).(*ast.Ident)
+		if xok && yok &&
+			((x.Name == recv && y.Name == "nil") || (y.Name == recv && x.Name == "nil")) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// diag builds a Diagnostic at a node's position.
+func diag(pkg *Package, n ast.Node, rule, msg string) Diagnostic {
+	return Diagnostic{Pos: pkg.Fset.Position(n.Pos()), Rule: rule, Msg: msg}
+}

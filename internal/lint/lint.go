@@ -1,0 +1,189 @@
+// Package lint is WhoWas's project-invariant static-analysis suite: a
+// dependency-free framework on the standard library's go/ast, go/parser
+// and go/types that machine-checks the invariants the compiler cannot —
+// the properties the platform's headline claims rest on.
+//
+// WhoWas promises byte-identical round digests across shard counts and
+// reruns (the clustering-reproducibility contract), a probe budget that
+// never exceeds the ethics envelope, and nil-safe metrics/trace handles
+// threaded through every pipeline stage. After several generations of
+// concurrency growth those invariants were enforced only by convention;
+// this package turns each one into an analyzer that fails the build:
+//
+//   - determinism — no wall-clock reads, argless math/rand draws, or
+//     map-iteration-order-dependent output in the packages whose output
+//     feeds the store digest (cloudsim, cluster, features, simhash,
+//     store).
+//   - nilsafe — every exported method on the metrics/trace handle
+//     types begins with a nil-receiver guard (or delegates to one),
+//     keeping the "nil handle is a no-op" contract true forever.
+//   - ctxfirst — functions in the I/O packages (scanner, fetcher,
+//     core, pipeline) take context.Context as their first parameter and
+//     exported functions never mint their own context.Background.
+//   - errcheck — no silently discarded error returns from the
+//     crash-safety layer (atomicfile, store mutations, trace journal)
+//     or from closing files opened for writing.
+//   - lockdisc — lock discipline: no sync.Mutex/RWMutex value copies,
+//     and no channel send while a mutex is held in pipeline/store.
+//
+// A finding the code is genuinely right to ignore is suppressed in
+// place with a written reason:
+//
+//	//lint:allow <rule> <reason>
+//
+// on the flagged line or the line above it. A suppression without a
+// reason, or one that matches nothing, is itself a diagnostic — the
+// suppression inventory stays honest.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string // e.g. "determinism/wallclock"
+	Msg  string
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: rule: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name is the rule category; individual diagnostics carry rule IDs
+	// of the form "<Name>/<check>".
+	Name string
+	// Doc is a one-line description shown by `whowas-lint -rules`.
+	Doc string
+	// Run inspects one package and returns its findings.
+	Run func(pkg *Package, opts Options) []Diagnostic
+}
+
+// Options scopes the analyzers to the packages whose invariants they
+// guard. Packages are matched by import-path suffix (so the same suite
+// runs over the real module and over test fixtures).
+type Options struct {
+	// Deterministic lists the packages whose output feeds the store
+	// digest; the determinism analyzer runs only there.
+	Deterministic []string
+	// NilSafe maps a package suffix to the handle type names whose
+	// exported pointer-receiver methods must start with a nil guard.
+	NilSafe map[string][]string
+	// CtxPackages lists the I/O packages held to the context-first
+	// convention.
+	CtxPackages []string
+	// ErrSourcePackages lists packages (like atomicfile) all of whose
+	// error returns must be checked by callers — and inside which no
+	// error may be discarded at all (they are pure write path).
+	ErrSourcePackages []string
+	// ErrMethodPackages lists packages whose exported error-returning
+	// methods must never be bare-discarded (store mutations, the trace
+	// journal).
+	ErrMethodPackages []string
+	// LockSendPackages lists the packages checked for channel sends
+	// under a held mutex.
+	LockSendPackages []string
+}
+
+// DefaultOptions returns the suite configuration for the WhoWas module
+// itself.
+func DefaultOptions() Options {
+	return Options{
+		Deterministic: []string{
+			"internal/cloudsim",
+			"internal/cluster",
+			"internal/features",
+			"internal/simhash",
+			"internal/store",
+		},
+		NilSafe: map[string][]string{
+			"internal/metrics": {"Counter", "Gauge", "Stage", "Histogram", "Registry"},
+			"internal/trace":   {"Tracer", "Span"},
+		},
+		CtxPackages: []string{
+			"internal/scanner",
+			"internal/fetcher",
+			"internal/core",
+			"internal/pipeline",
+		},
+		ErrSourcePackages: []string{"internal/atomicfile"},
+		ErrMethodPackages: []string{"internal/store", "internal/trace"},
+		LockSendPackages:  []string{"internal/pipeline", "internal/store"},
+	}
+}
+
+// matchPkg reports whether a package import path matches one of the
+// configured suffixes (exactly, or as a "/"-delimited suffix).
+func matchPkg(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Suite is an ordered set of analyzers plus the options they run
+// under.
+type Suite struct {
+	Analyzers []*Analyzer
+	Opts      Options
+}
+
+// NewSuite assembles the full analyzer suite under the given options.
+func NewSuite(opts Options) *Suite {
+	return &Suite{
+		Analyzers: []*Analyzer{
+			DeterminismAnalyzer,
+			NilSafeAnalyzer,
+			CtxFirstAnalyzer,
+			ErrCheckAnalyzer,
+			LockDiscAnalyzer,
+		},
+		Opts: opts,
+	}
+}
+
+// DefaultSuite is NewSuite(DefaultOptions()).
+func DefaultSuite() *Suite { return NewSuite(DefaultOptions()) }
+
+// Run executes every analyzer over every package, applies the
+// //lint:allow suppressions, and returns the surviving diagnostics
+// sorted by position. Malformed or unused suppressions are reported as
+// lint/* diagnostics alongside the analyzers' own.
+func (s *Suite) Run(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows, allowDiags := collectAllows(pkg)
+		var raw []Diagnostic
+		for _, a := range s.Analyzers {
+			raw = append(raw, a.Run(pkg, s.Opts)...)
+		}
+		out = append(out, applyAllows(raw, allows)...)
+		out = append(out, allowDiags...)
+		out = append(out, unusedAllows(allows)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}

@@ -1,0 +1,218 @@
+// The lockdisc analyzer: lock discipline in the concurrency-bearing
+// layers. Two rules:
+//
+//	lockdisc/copy — no sync.Mutex or sync.RWMutex reaches a function
+//	    by value, leaves one by value, or is copied by a range loop or
+//	    a pointer dereference. A copied mutex is two mutexes that both
+//	    think they guard the same state — the store's per-shard locks
+//	    and the pipeline's failure latch both die silently this way.
+//	    Checked module-wide.
+//	lockdisc/chansend — in the pipeline and store packages, no channel
+//	    send while a mutex is lexically held. The pipeline's bounded
+//	    streams exert backpressure by design; a send under a lock
+//	    turns that backpressure into a deadlock the moment the
+//	    consumer needs the same lock. The analysis is lexical (a
+//	    Lock() earlier in the statement list without an intervening
+//	    Unlock()) — it sees through blocks and branches but not
+//	    function boundaries, which matches how the round pipeline
+//	    actually takes its locks.
+package lint
+
+import (
+	"go/ast"
+)
+
+// LockDiscAnalyzer enforces mutex copy and hold-across-send
+// discipline.
+var LockDiscAnalyzer = &Analyzer{
+	Name: "lockdisc",
+	Doc:  "no mutex value copies; no channel send while holding a lock in pipeline/store",
+	Run:  runLockDisc,
+}
+
+func runLockDisc(pkg *Package, opts Options) []Diagnostic {
+	var out []Diagnostic
+	checkSends := matchPkg(pkg.Path, opts.LockSendPackages)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			out = append(out, lockCopyDiags(pkg, fd)...)
+			if checkSends && fd.Body != nil {
+				out = append(out, sendUnderLockDiags(pkg, fd.Body, false)...)
+			}
+		}
+	}
+	return out
+}
+
+// lockCopyDiags flags lock-containing values crossing a function
+// boundary or being copied by a range or dereference.
+func lockCopyDiags(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	flagFields := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pkg.Info.TypeOf(field.Type)
+			// typeHasLock stops at pointers itself, so *T params pass.
+			if t != nil && typeHasLock(t) {
+				out = append(out, diag(pkg, field.Type, "lockdisc/copy",
+					fd.Name.Name+" passes a lock-containing value as a "+what+"; use a pointer"))
+			}
+		}
+	}
+	flagFields(fd.Recv, "receiver")
+	flagFields(fd.Type.Params, "parameter")
+	flagFields(fd.Type.Results, "result")
+	if fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.RangeStmt:
+			if nn.Value == nil {
+				return true
+			}
+			if t := pkg.Info.TypeOf(nn.Value); t != nil && typeHasLock(t) {
+				out = append(out, diag(pkg, nn.Value, "lockdisc/copy",
+					"range copies a lock-containing element; iterate by index"))
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range nn.Rhs {
+				star, ok := ast.Unparen(rhs).(*ast.StarExpr)
+				if !ok {
+					continue
+				}
+				if t := pkg.Info.TypeOf(star); t != nil && typeHasLock(t) {
+					out = append(out, diag(pkg, rhs, "lockdisc/copy",
+						"dereference copies a lock-containing value; keep the pointer"))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sendUnderLockDiags walks a statement block tracking whether a mutex
+// is lexically held, flagging channel sends (including select send
+// cases) made while it is. Function literals reset the held state —
+// they run later, on a goroutine whose lock state this analysis cannot
+// know.
+func sendUnderLockDiags(pkg *Package, block *ast.BlockStmt, held bool) []Diagnostic {
+	var out []Diagnostic
+	walkStmts(pkg, block.List, held, &out)
+	return out
+}
+
+func walkStmts(pkg *Package, stmts []ast.Stmt, held bool, out *[]Diagnostic) {
+	for _, st := range stmts {
+		held = walkStmt(pkg, st, held, out)
+	}
+}
+
+// walkStmt processes one statement, returning the held state after it.
+func walkStmt(pkg *Package, st ast.Stmt, held bool, out *[]Diagnostic) bool {
+	switch nn := st.(type) {
+	case *ast.ExprStmt:
+		switch lockCallKind(nn.X) {
+		case "lock":
+			return true
+		case "unlock":
+			return false
+		}
+		checkSendsIn(pkg, nn.X, held, out)
+	case *ast.SendStmt:
+		if held {
+			*out = append(*out, diag(pkg, nn, "lockdisc/chansend",
+				"channel send while a mutex is held; backpressure on the receiver becomes a deadlock"))
+		}
+		checkSendsIn(pkg, nn.Value, held, out)
+	case *ast.BlockStmt:
+		walkStmts(pkg, nn.List, held, out)
+	case *ast.IfStmt:
+		walkStmts(pkg, nn.Body.List, held, out)
+		if nn.Else != nil {
+			walkStmt(pkg, nn.Else, held, out)
+		}
+	case *ast.ForStmt:
+		walkStmts(pkg, nn.Body.List, held, out)
+	case *ast.RangeStmt:
+		walkStmts(pkg, nn.Body.List, held, out)
+	case *ast.SwitchStmt:
+		for _, c := range nn.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmts(pkg, cc.Body, held, out)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range nn.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmts(pkg, cc.Body, held, out)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range nn.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && held {
+				*out = append(*out, diag(pkg, send, "lockdisc/chansend",
+					"select send case while a mutex is held; backpressure on the receiver becomes a deadlock"))
+			}
+			walkStmts(pkg, cc.Body, held, out)
+		}
+	case *ast.LabeledStmt:
+		return walkStmt(pkg, nn.Stmt, held, out)
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Deferred/spawned bodies run under their own lock state.
+	case *ast.AssignStmt:
+		for _, rhs := range nn.Rhs {
+			checkSendsIn(pkg, rhs, held, out)
+		}
+	}
+	return held
+}
+
+// checkSendsIn flags sends hidden inside expressions (function
+// literals excepted — they execute later).
+func checkSendsIn(pkg *Package, expr ast.Expr, held bool, out *[]Diagnostic) {
+	if !held || expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			*out = append(*out, diag(pkg, nn, "lockdisc/chansend",
+				"channel send while a mutex is held; backpressure on the receiver becomes a deadlock"))
+		}
+		return true
+	})
+}
+
+// lockCallKind classifies an expression as a mutex lock or unlock
+// call.
+func lockCallKind(expr ast.Expr) string {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return "lock"
+	case "Unlock", "RUnlock":
+		return "unlock"
+	}
+	return ""
+}

@@ -1,0 +1,111 @@
+// The nilsafe analyzer. The metrics and trace packages promise that a
+// nil handle is a valid no-op: a nil *Registry hands out nil handles,
+// instrumented components branch nowhere, and an untraced campaign
+// pays one nil check per site. The whole platform is threaded on that
+// contract, so a single exported method without its guard is a latent
+// nil-pointer crash in every pipeline stage. The rule:
+//
+//	nilsafe/guard — every exported method with a pointer receiver on a
+//	    configured handle type must establish its nil-receiver check
+//	    within its first two statements, or consist of a single
+//	    statement delegating to another method on the same receiver
+//	    (which carries the guard).
+package lint
+
+import (
+	"go/ast"
+)
+
+// NilSafeAnalyzer enforces the nil-receiver-guard contract on the
+// metrics/trace handle types.
+var NilSafeAnalyzer = &Analyzer{
+	Name: "nilsafe",
+	Doc:  "exported methods on metrics/trace handle types begin with a nil-receiver guard",
+	Run:  runNilSafe,
+}
+
+// guardWindow is how many leading statements may precede the nil
+// check (Snapshot-style methods declare their zero return value
+// first).
+const guardWindow = 2
+
+func runNilSafe(pkg *Package, opts Options) []Diagnostic {
+	var typeNames []string
+	for suffix, names := range opts.NilSafe {
+		if matchPkg(pkg.Path, []string{suffix}) {
+			typeNames = append(typeNames, names...)
+		}
+	}
+	if len(typeNames) == 0 {
+		return nil
+	}
+	guarded := map[string]bool{}
+	for _, n := range typeNames {
+		guarded[n] = true
+	}
+
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			tname, pointer := recvTypeName(fd)
+			if !pointer || !guarded[tname] {
+				continue
+			}
+			recv := recvIdent(fd)
+			if recv == nil {
+				// An unnamed receiver cannot be dereferenced, so the
+				// method is trivially nil-safe.
+				continue
+			}
+			if hasNilGuard(fd, recv.Name) || delegates(fd, recv.Name) {
+				continue
+			}
+			out = append(out, diag(pkg, fd.Name, "nilsafe/guard",
+				"exported method (*"+tname+")."+fd.Name.Name+" does not begin with a nil-receiver guard; a nil "+tname+" handle must be a no-op"))
+		}
+	}
+	return out
+}
+
+// hasNilGuard reports whether one of the method's first guardWindow
+// statements compares the receiver against nil.
+func hasNilGuard(fd *ast.FuncDecl, recv string) bool {
+	stmts := fd.Body.List
+	for i := 0; i < len(stmts) && i < guardWindow; i++ {
+		ifs, ok := stmts[i].(*ast.IfStmt)
+		if ok && isNilCheckOf(ifs.Cond, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// delegates reports whether the method body is a single statement
+// whose work is a call through the same receiver — the Inc-calls-Add
+// pattern, where the callee carries the guard.
+func delegates(fd *ast.FuncDecl, recv string) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body.List[0], func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == recv {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,119 @@
+// Suppression comments. A finding the code is right to ignore is
+// silenced in place, with the reason written down next to the code it
+// excuses:
+//
+//	//lint:allow determinism/wallclock stage timers never reach the digest
+//
+// The comment suppresses matching diagnostics on its own line and on
+// the line directly below it (so it can trail the offending statement
+// or sit on its own line above). The rule field is either a full rule
+// ID ("determinism/wallclock") or a whole category ("determinism");
+// everything after it is the mandatory reason. Suppressions are
+// themselves audited: one without a reason, or one that matches no
+// diagnostic, is reported.
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowDirective is the comment prefix that marks a suppression.
+const allowDirective = "//lint:allow"
+
+// allow is one parsed suppression comment.
+type allow struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   bool
+}
+
+// collectAllows parses every //lint:allow comment in the package,
+// returning the well-formed suppressions plus diagnostics for the
+// malformed ones (which suppress nothing).
+func collectAllows(pkg *Package) ([]*allow, []Diagnostic) {
+	var allows []*allow
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, allowDirective)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					diags = append(diags, Diagnostic{
+						Pos: pos, Rule: "lint/allow",
+						Msg: "suppression names no rule (want //lint:allow <rule> <reason>)",
+					})
+					continue
+				}
+				rule := fields[0]
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), rule))
+				if reason == "" {
+					diags = append(diags, Diagnostic{
+						Pos: pos, Rule: "lint/allow",
+						Msg: "suppression of " + rule + " carries no reason (want //lint:allow <rule> <reason>)",
+					})
+					continue
+				}
+				allows = append(allows, &allow{pos: pos, rule: rule, reason: reason})
+			}
+		}
+	}
+	return allows, diags
+}
+
+// matches reports whether the allow covers a diagnostic: same file,
+// the comment's own line or the line directly below it, and a rule
+// field equal to the diagnostic's rule ID or its category.
+func (a *allow) matches(d Diagnostic) bool {
+	if a.pos.Filename != d.Pos.Filename {
+		return false
+	}
+	if d.Pos.Line != a.pos.Line && d.Pos.Line != a.pos.Line+1 {
+		return false
+	}
+	if a.rule == d.Rule {
+		return true
+	}
+	cat, _, _ := strings.Cut(d.Rule, "/")
+	return a.rule == cat
+}
+
+// applyAllows drops every diagnostic covered by a suppression, marking
+// the suppressions that did work.
+func applyAllows(diags []Diagnostic, allows []*allow) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, a := range allows {
+			if a.matches(d) {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// unusedAllows reports suppressions that matched nothing — stale
+// comments that would otherwise hide future regressions silently.
+func unusedAllows(allows []*allow) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range allows {
+		if !a.used {
+			out = append(out, Diagnostic{
+				Pos: a.pos, Rule: "lint/unused-allow",
+				Msg: "suppression of " + a.rule + " matches no diagnostic; delete it",
+			})
+		}
+	}
+	return out
+}

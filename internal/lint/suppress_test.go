@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOnly builds a Package with syntax but no type information —
+// enough for the suppression machinery, which never consults types.
+func parseOnly(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{Path: "fixture/p", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestCollectAllows(t *testing.T) {
+	pkg := parseOnly(t, `package p
+
+//lint:allow determinism/wallclock stage timers never feed the digest
+var a = 1
+
+//lint:allow errcheck
+var b = 2
+
+//lint:allow
+var c = 3
+`)
+	allows, diags := collectAllows(pkg)
+
+	if len(allows) != 1 {
+		t.Fatalf("got %d well-formed allows, want 1", len(allows))
+	}
+	if allows[0].rule != "determinism/wallclock" {
+		t.Errorf("rule = %q, want determinism/wallclock", allows[0].rule)
+	}
+	if allows[0].reason != "stage timers never feed the digest" {
+		t.Errorf("reason = %q", allows[0].reason)
+	}
+
+	if len(diags) != 2 {
+		t.Fatalf("got %d malformed-suppression diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "lint/allow" {
+			t.Errorf("malformed suppression reported as %s, want lint/allow", d.Rule)
+		}
+	}
+	if !strings.Contains(diags[0].Msg, "no reason") {
+		t.Errorf("reasonless suppression message = %q", diags[0].Msg)
+	}
+	if !strings.Contains(diags[1].Msg, "no rule") {
+		t.Errorf("ruleless suppression message = %q", diags[1].Msg)
+	}
+}
+
+func TestAllowMatching(t *testing.T) {
+	a := &allow{
+		pos:  token.Position{Filename: "x.go", Line: 10},
+		rule: "determinism/wallclock",
+	}
+	d := func(file string, line int, rule string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: file, Line: line}, Rule: rule}
+	}
+
+	if !a.matches(d("x.go", 10, "determinism/wallclock")) {
+		t.Error("same line, exact rule: want match")
+	}
+	if !a.matches(d("x.go", 11, "determinism/wallclock")) {
+		t.Error("line below, exact rule: want match")
+	}
+	if a.matches(d("x.go", 12, "determinism/wallclock")) {
+		t.Error("two lines below: want no match")
+	}
+	if a.matches(d("x.go", 9, "determinism/wallclock")) {
+		t.Error("line above the comment: want no match")
+	}
+	if a.matches(d("y.go", 10, "determinism/wallclock")) {
+		t.Error("other file: want no match")
+	}
+	if a.matches(d("x.go", 10, "determinism/rand")) {
+		t.Error("other rule in category: want no match for a full-ID allow")
+	}
+
+	cat := &allow{pos: token.Position{Filename: "x.go", Line: 10}, rule: "determinism"}
+	if !cat.matches(d("x.go", 10, "determinism/rand")) {
+		t.Error("category allow: want match on any rule in the category")
+	}
+	if cat.matches(d("x.go", 10, "errcheck/discard")) {
+		t.Error("category allow: want no match outside the category")
+	}
+}
+
+func TestApplyAndUnusedAllows(t *testing.T) {
+	used := &allow{pos: token.Position{Filename: "x.go", Line: 5}, rule: "nilsafe/guard"}
+	stale := &allow{pos: token.Position{Filename: "x.go", Line: 40}, rule: "errcheck"}
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "x.go", Line: 6}, Rule: "nilsafe/guard", Msg: "m"},
+		{Pos: token.Position{Filename: "x.go", Line: 20}, Rule: "nilsafe/guard", Msg: "kept"},
+	}
+
+	kept := applyAllows(diags, []*allow{used, stale})
+	if len(kept) != 1 || kept[0].Msg != "kept" {
+		t.Fatalf("applyAllows kept %v, want only the uncovered diagnostic", kept)
+	}
+
+	unused := unusedAllows([]*allow{used, stale})
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused-allow diagnostics, want 1", len(unused))
+	}
+	if unused[0].Rule != "lint/unused-allow" || unused[0].Pos.Line != 40 {
+		t.Errorf("unused-allow diagnostic = %+v", unused[0])
+	}
+}

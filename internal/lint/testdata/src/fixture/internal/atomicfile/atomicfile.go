@@ -1,0 +1,35 @@
+// Package atomicfile is a lint fixture standing in for the real
+// crash-safety layer. Inside an error-source package every bare error
+// discard is flagged; an explicit `_ =` assignment is exempt.
+package atomicfile
+
+import "os"
+
+// File wraps a temp file that commits by rename.
+type File struct{ f *os.File }
+
+// Create opens the temp file.
+func Create(path string) (*File, error) {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f}, nil
+}
+
+// Commit syncs and closes; the bare Close on the error path is a
+// discard inside a crash-safety package: flagged.
+func (a *File) Commit() error {
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		return err
+	}
+	return a.f.Close()
+}
+
+// Abort discards explicitly: the `_ =` form is visible in review and
+// exempt.
+func (a *File) Abort() {
+	_ = a.f.Close()
+	_ = os.Remove(a.f.Name())
+}

@@ -1,0 +1,85 @@
+// Package cloudsim is a lint fixture for the determinism analyzer:
+// deliberate wall-clock, randomness and map-order violations next to
+// the sanctioned patterns the analyzer must leave alone.
+package cloudsim
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Bad reads the host clock and the global RNG.
+func Bad() int64 {
+	start := time.Now()
+	elapsed := time.Since(start)
+	return int64(elapsed) + rand.Int63()
+}
+
+// Entropy reaches for crypto/rand, which can never feed the digest.
+func Entropy(buf []byte) {
+	_, _ = crand.Read(buf)
+}
+
+// Seeded draws from an explicitly seeded generator: the sanctioned
+// path, not flagged.
+func Seeded(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63()
+}
+
+// Keys collects then sorts: map order never escapes, not flagged.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Leak lets map iteration order escape through an unsorted slice and
+// a channel send.
+func Leak(m map[string]int, out chan<- string) []string {
+	var order []string
+	for k := range m {
+		order = append(order, k)
+		out <- k
+	}
+	return order
+}
+
+// Local accumulates into a loop-local slice: order cannot escape, not
+// flagged.
+func Local(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		batch := []int{v}
+		batch = append(batch, v)
+		n += len(batch)
+	}
+	return n
+}
+
+// Timestamp is excused with a written reason: suppressed cleanly.
+func Timestamp() time.Time {
+	//lint:allow determinism/wallclock fixture: header timestamp, never part of the digest
+	return time.Now()
+}
+
+// CategoryAllowed demonstrates category-level suppression.
+func CategoryAllowed() int64 {
+	//lint:allow determinism fixture: category-level suppression example
+	return rand.Int63()
+}
+
+// MissingReason carries a reasonless suppression: the suppression is
+// rejected (lint/allow) and the wallclock finding still fires.
+func MissingReason() time.Time {
+	//lint:allow determinism/wallclock
+	return time.Now()
+}
+
+//lint:allow determinism/rand fixture: stale suppression, the draw below it is gone
+var Unused = 1

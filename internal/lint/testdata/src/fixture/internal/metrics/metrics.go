@@ -1,0 +1,45 @@
+// Package metrics is a lint fixture for the nilsafe analyzer: handle
+// types whose exported pointer-receiver methods must open with a
+// nil-receiver guard, delegate to one, or be flagged.
+package metrics
+
+// Counter is a configured handle type.
+type Counter struct{ n int64 }
+
+// Add carries the canonical guard: not flagged.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Inc is a single-statement delegation through the receiver; Add
+// carries the guard. Not flagged.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value dereferences a possibly-nil receiver with no guard: flagged.
+func (c *Counter) Value() int64 { return c.n }
+
+// reset is unexported and out of the contract's scope.
+func (c *Counter) reset() { c.n = 0 }
+
+// Gauge is a configured handle type.
+type Gauge struct{ v float64 }
+
+// Set establishes its guard within the two-statement window
+// (Snapshot-style methods declare a zero value first): not flagged.
+func (g *Gauge) Set(v float64) {
+	clamped := v
+	if g == nil {
+		return
+	}
+	g.v = clamped
+}
+
+// Meter is NOT a configured handle type; its unguarded method is out
+// of scope.
+type Meter struct{ n int }
+
+// Bump has no guard but Meter carries no nil-safety contract.
+func (m *Meter) Bump() { m.n++ }

@@ -1,0 +1,28 @@
+// Package scanner is a lint fixture for the ctxfirst analyzer:
+// context-position and context-minting violations in an I/O package.
+package scanner
+
+import "context"
+
+// Probe takes its context first: compliant.
+func Probe(ctx context.Context, host string) error {
+	_ = host
+	return ctx.Err()
+}
+
+// Sweep buries the context in second position: flagged.
+func Sweep(hosts []string, ctx context.Context) error {
+	_ = hosts
+	return ctx.Err()
+}
+
+// Run mints its own root context, cutting off the caller's
+// cancellation: flagged.
+func Run(host string) error {
+	ctx := context.Background()
+	return Probe(ctx, host)
+}
+
+// helper is unexported; minting a placeholder context there is
+// tolerated.
+func helper() context.Context { return context.TODO() }

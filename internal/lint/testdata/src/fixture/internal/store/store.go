@@ -1,0 +1,12 @@
+// Package store is a lint fixture error-method package: callers that
+// bare-discard its error returns are flagged at the call site.
+package store
+
+// DB is a fixture store handle.
+type DB struct{ dirty bool }
+
+// Flush persists pending mutations.
+func (d *DB) Flush() error {
+	d.dirty = false
+	return nil
+}

@@ -461,7 +461,10 @@ func (r *Registry) Names() []string {
 	return out
 }
 
-// WriteJSON writes the registry snapshot as indented JSON.
+// WriteJSON writes the registry snapshot as indented JSON. Nil-safe:
+// a nil registry writes the zero snapshot ("{}").
+//
+//lint:allow nilsafe/guard delegates to Snapshot, whose nil guard makes a nil registry encode as the zero snapshot
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
