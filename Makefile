@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz chaos trace bench pipeline-bench metrics-report
+.PHONY: all build vet lint test race fuzz chaos trace bench pipeline-bench metrics-report cloudd
 
 all: build vet lint test
 
@@ -67,6 +67,12 @@ bench:
 pipeline-bench:
 	$(GO) run ./cmd/whowas-bench -pipeline-bench BENCH_pipeline.json -ec2-scale 512
 	@echo "wrote BENCH_pipeline.json"
+
+# Cloud-boundary acceptance gate (what the CI cloudd job runs): start
+# whowas-cloudd, run the same seeded campaign over the wire and
+# in-process, and require byte-identical store digests.
+cloudd:
+	sh scripts/cloudd_gate.sh
 
 # Example pipeline-metrics report (README "Observability").
 metrics-report:

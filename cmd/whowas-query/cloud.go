@@ -1,0 +1,68 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"sort"
+	"time"
+
+	"whowas/internal/cloudapi"
+)
+
+// runCloud implements the cloud subcommand: interrogate a running
+// whowas-cloudd daemon — liveness, configuration, and a ground-truth
+// snapshot of one simulated day.
+func runCloud(args []string) error {
+	fs := flag.NewFlagSet("cloud", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8390", "whowas-cloudd control address")
+	day := fs.Int("day", -1, "snapshot this simulated day (-1 = the daemon's current day)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c, err := cloudapi.Dial(ctx, *addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Health(ctx); err != nil {
+		return err
+	}
+
+	info := c.Info()
+	fmt.Printf("cloud: %s (%s, seed %d)\n", info.Name, info.Kind, info.Seed)
+	fmt.Printf("  days: %d (current day %d)\n", info.Days, c.Day())
+	fmt.Printf("  address space: %d probed IPs across %d regions (base octet %d)\n",
+		c.Ranges().Total(), len(info.Regions), info.BaseOctet)
+	for _, r := range info.Regions {
+		fmt.Printf("    %-12s %d /22 prefixes (%d VPC)\n", r.Name, r.Prefixes22, r.VPC22)
+	}
+	fmt.Printf("  data plane: %d listeners\n", len(info.DataAddrs))
+	for _, a := range info.DataAddrs {
+		fmt.Printf("    %s\n", a)
+	}
+
+	snapDay := *day
+	if snapDay < 0 {
+		snapDay = c.Day()
+	}
+	snap, err := c.Snapshot(ctx, snapDay)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ground truth, day %d:\n", snap.Day)
+	fmt.Printf("  bound %d  web %d  slow %d  http-fail %d  down %d  services %d\n",
+		snap.Bound, snap.Web, snap.Slow, snap.HTTPFail, snap.Down, snap.Services)
+	regions := make([]string, 0, len(snap.ByRegion))
+	for r := range snap.ByRegion {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	for _, r := range regions {
+		fmt.Printf("  region %-12s %d bound\n", r, snap.ByRegion[r])
+	}
+	return nil
+}

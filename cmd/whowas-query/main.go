@@ -15,6 +15,12 @@
 //
 //	whowas-query trace -journal run.jsonl
 //	whowas-query trace -journal run.jsonl -slowest 10
+//
+// The cloud subcommand interrogates a running whowas-cloudd daemon:
+// liveness, configuration, and a ground-truth census of one day:
+//
+//	whowas-query cloud -addr 127.0.0.1:8390
+//	whowas-query cloud -addr 127.0.0.1:8390 -day 30
 package main
 
 import (
@@ -34,6 +40,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		if err := runTrace(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "whowas-query: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "cloud" {
+		if err := runCloud(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "whowas-query: %v\n", err)
 			os.Exit(1)
 		}

@@ -8,6 +8,11 @@
 //	whowas -cloud ec2 -scale 256 -out ec2.whowas
 //	whowas -cloud azure -scale 64 -rounds 10 -cluster=false
 //	whowas -faults scenarios/chaos.json -retries 3 -round-timeout 30s
+//	whowas -cloud-addr 127.0.0.1:8390 -rounds 3
+//
+// With -cloud-addr the campaign runs over the wire against a live
+// whowas-cloudd daemon instead of an in-process simulator; a seeded
+// campaign produces a byte-identical store digest either way.
 //
 // The campaign follows the paper's §6 schedule (a round every 3 days,
 // then daily for the final month) unless -rounds caps the round count.
@@ -32,7 +37,7 @@ import (
 
 	"whowas/internal/atomicfile"
 	"whowas/internal/carto"
-	"whowas/internal/cloudsim"
+	"whowas/internal/cloudapi"
 	"whowas/internal/cluster"
 	"whowas/internal/core"
 	"whowas/internal/faults"
@@ -44,6 +49,7 @@ import (
 // options collects every flag-driven knob of one CLI invocation.
 type options struct {
 	cloudName    string
+	cloudAddr    string
 	scale        int
 	seed         int64
 	out          string
@@ -64,6 +70,7 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.cloudName, "cloud", "ec2", "cloud profile: ec2 or azure")
+	flag.StringVar(&o.cloudAddr, "cloud-addr", "", "measure a running whowas-cloudd at this control address instead of an in-process cloud (-cloud/-scale/-seed are then ignored)")
 	flag.IntVar(&o.scale, "scale", 256, "address-space scale divisor (larger = smaller cloud)")
 	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
 	flag.StringVar(&o.out, "out", "", "write the collected store (gob) to this path")
@@ -91,21 +98,37 @@ func run(o options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var cfg cloudsim.Config
-	switch o.cloudName {
-	case "ec2":
-		cfg = cloudsim.DefaultEC2Config(o.scale, o.seed)
-	case "azure":
-		cfg = cloudsim.DefaultAzureConfig(o.scale, o.seed)
-	default:
-		return fmt.Errorf("unknown cloud %q (want ec2 or azure)", o.cloudName)
-	}
-
-	fmt.Printf("building %s-like cloud (%d probed IPs, %d-day campaign)...\n",
-		o.cloudName, totalIPs(cfg), cfg.Days)
-	p, err := core.NewPlatform(cfg)
-	if err != nil {
-		return err
+	var p *core.Platform
+	if o.cloudAddr != "" {
+		client, err := cloudapi.Dial(ctx, o.cloudAddr)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		info := client.Info()
+		fmt.Printf("measuring cloud %q at %s (%d probed IPs, %d-day campaign, %d data listeners)...\n",
+			info.Name, o.cloudAddr, client.Ranges().Total(), info.Days, len(info.DataAddrs))
+		p, err = core.NewPlatformCloud(client)
+		if err != nil {
+			return err
+		}
+	} else {
+		var cfg cloudapi.SimConfig
+		switch o.cloudName {
+		case "ec2":
+			cfg = cloudapi.DefaultEC2Config(o.scale, o.seed)
+		case "azure":
+			cfg = cloudapi.DefaultAzureConfig(o.scale, o.seed)
+		default:
+			return fmt.Errorf("unknown cloud %q (want ec2 or azure)", o.cloudName)
+		}
+		fmt.Printf("building %s-like cloud (%d probed IPs, %d-day campaign)...\n",
+			o.cloudName, totalIPs(cfg), cfg.Days)
+		var err error
+		p, err = core.NewPlatform(cfg)
+		if err != nil {
+			return err
+		}
 	}
 
 	if o.journalPath != "" || o.opsAddr != "" {
@@ -142,7 +165,7 @@ func run(o options) error {
 
 	camp := core.FastCampaign()
 	if o.maxRounds > 0 {
-		days := core.DefaultRoundSchedule(cfg.Days)
+		days := core.DefaultRoundSchedule(p.Cloud.Days())
 		if o.maxRounds < len(days) {
 			days = days[:o.maxRounds]
 		}
@@ -192,6 +215,13 @@ func run(o options) error {
 		return err
 	}
 	fmt.Printf("campaign complete: %d rounds collected\n", p.Store.NumRounds())
+	digest, err := p.Store.Digest()
+	if err != nil {
+		return err
+	}
+	// The digest is the campaign's identity: the cloudd CI gate diffs
+	// it between in-process and wire runs of the same seed.
+	fmt.Printf("store digest: %s\n", digest)
 
 	if o.doCarto && p.IsEC2Like() {
 		fmt.Println("running VPC cartography sweep...")
@@ -232,7 +262,7 @@ func run(o options) error {
 	return nil
 }
 
-func totalIPs(cfg cloudsim.Config) int {
+func totalIPs(cfg cloudapi.SimConfig) int {
 	n := 0
 	for _, r := range cfg.Regions {
 		n += r.Prefixes22 * 1024

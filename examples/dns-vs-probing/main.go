@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"whowas/internal/baseline"
+	"whowas/internal/cloudapi"
 	"whowas/internal/cloudsim"
 	"whowas/internal/core"
 	"whowas/internal/dnssim"
@@ -45,7 +46,7 @@ func main() {
 	})
 
 	fmt.Println("DNS interrogation: resolving the seed-list domains...")
-	resolver := dnssim.NewResolver(platform.Cloud, 0)
+	resolver := dnssim.NewResolver(cloudapi.Sim(platform.Cloud), 0)
 	for _, seedShare := range []float64{1.0, 0.8, 0.5} {
 		res, err := baseline.Sweep(context.Background(), resolver, 0, baseline.Config{
 			Rate:      1e6,

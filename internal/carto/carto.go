@@ -101,9 +101,16 @@ func (c Config) WithDefaults() Config {
 	return out
 }
 
+// Resolver is the DNS surface the sweep needs. *dnssim.Resolver
+// satisfies it directly; cloudapi resolvers put the same lookups
+// behind a wire.
+type Resolver interface {
+	LookupPublicName(ctx context.Context, name string) (dnssim.Response, error)
+}
+
 // Sweep performs the cartography measurement over every /22 in ranges,
 // querying through the resolver.
-func Sweep(ctx context.Context, resolver *dnssim.Resolver, ranges *ipaddr.RangeList, regionOf func(ipaddr.Addr) string, cfg Config) (*Map, error) {
+func Sweep(ctx context.Context, resolver Resolver, ranges *ipaddr.RangeList, regionOf func(ipaddr.Addr) string, cfg Config) (*Map, error) {
 	cfg = cfg.WithDefaults()
 	reg := cfg.Metrics
 	sp := cfg.Tracer.Start("carto", nil)
@@ -148,7 +155,7 @@ func Sweep(ctx context.Context, resolver *dnssim.Resolver, ranges *ipaddr.RangeL
 // sweepPrefix samples addresses of one /22 and reports whether any
 // resolves as VPC. Samples spread evenly across the block so clustered
 // allocations are still hit.
-func sweepPrefix(ctx context.Context, resolver *dnssim.Resolver, limiter *ratelimit.Limiter, queries *metrics.Counter, p22 ipaddr.Addr, regionOf func(ipaddr.Addr) string, samples int) (bool, error) {
+func sweepPrefix(ctx context.Context, resolver Resolver, limiter *ratelimit.Limiter, queries *metrics.Counter, p22 ipaddr.Addr, regionOf func(ipaddr.Addr) string, samples int) (bool, error) {
 	if samples > 1024 {
 		samples = 1024
 	}
@@ -163,7 +170,7 @@ func sweepPrefix(ctx context.Context, resolver *dnssim.Resolver, limiter *rateli
 		}
 		ip := p22 + ipaddr.Addr(i*step)
 		queries.Inc()
-		resp, err := resolver.LookupPublicName(dnssim.PublicName(ip, region))
+		resp, err := resolver.LookupPublicName(ctx, dnssim.PublicName(ip, region))
 		if err != nil {
 			return false, fmt.Errorf("carto: %w", err)
 		}

@@ -1,0 +1,329 @@
+package cloudapi
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"whowas/internal/faults"
+	"whowas/internal/netsim"
+)
+
+// ServerConfig sizes the daemon's two listening surfaces.
+type ServerConfig struct {
+	// DataListeners is the size of the data-plane listener fleet
+	// (default 2). Clients spread dials across the fleet.
+	DataListeners int
+	// DataHost is the data-plane bind host (default 127.0.0.1).
+	DataHost string
+	// DataBasePort, when positive, binds data listeners on
+	// deterministic consecutive ports; zero uses ephemeral ports.
+	DataBasePort int
+}
+
+// Server is the daemon side of the wire cloud: it owns an InProcess
+// cloud and serves its data plane over a TCP listener fleet and its
+// control plane as JSON over HTTP (the internal/ops mux style).
+type Server struct {
+	cloud *InProcess
+	cfg   ServerConfig
+	fleet *netsim.Fleet
+	mux   *http.ServeMux
+	srv   *http.Server
+	start time.Time
+
+	mu       sync.Mutex
+	dialer   Dialer // the cloud, or a fault injector around it
+	scenario *faults.Scenario
+}
+
+// NewServer wraps an in-process cloud for wire serving; call Start to
+// bind it.
+func NewServer(cloud *InProcess, cfg ServerConfig) *Server {
+	if cfg.DataListeners <= 0 {
+		cfg.DataListeners = 2
+	}
+	s := &Server{
+		cloud: cloud,
+		cfg:   cfg,
+		fleet: netsim.NewFleet(netsim.FleetConfig{
+			Max:      cfg.DataListeners,
+			Host:     cfg.DataHost,
+			BasePort: cfg.DataBasePort,
+		}),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		dialer: cloud,
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/cloud/info", s.handleInfo)
+	s.mux.HandleFunc("/cloud/day", s.handleDay)
+	s.mux.HandleFunc("/truth/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/dns/public", s.handleDNS)
+	s.mux.HandleFunc("/faults", s.handleFaults)
+	return s
+}
+
+// Handler returns the control-plane routing handler (tests mount it
+// on httptest servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds the data-plane fleet and the control listener, serving
+// both in background goroutines, and returns the bound control
+// address. Shut down with Shutdown.
+func (s *Server) Start(ctrlAddr string) (string, error) {
+	for i := 0; i < s.cfg.DataListeners; i++ {
+		if _, err := s.fleet.Listen(s.serveData); err != nil {
+			_ = s.fleet.Close()
+			return "", err
+		}
+	}
+	ln, err := net.Listen("tcp", ctrlAddr)
+	if err != nil {
+		_ = s.fleet.Close()
+		return "", fmt.Errorf("cloudapi: control listen %s: %w", ctrlAddr, err)
+	}
+	s.srv = &http.Server{Handler: s.mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// DataAddrs returns the data-plane listener addresses.
+func (s *Server) DataAddrs() []string { return s.fleet.Addrs() }
+
+// Shutdown stops the control server and drains the data-plane fleet
+// (closing live tunnels). Safe to call repeatedly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.srv != nil {
+		err = s.srv.Shutdown(ctx)
+	}
+	if cerr := s.fleet.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// currentDialer is the data plane with any active scenario applied.
+func (s *Server) currentDialer() Dialer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dialer
+}
+
+// serveData handles one tunneled dial: preamble in, status out, then
+// a bidirectional splice between the real socket and the simulated
+// connection. The fleet closes the socket when this returns.
+func (s *Server) serveData(c net.Conn) {
+	_ = c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	br := bufio.NewReader(c)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	_ = c.SetReadDeadline(time.Time{})
+	address, budget, hasBudget, err := parsePreamble(line)
+	if err != nil {
+		writeStatus(c, statusErr+" "+sanitize(err.Error()))
+		return
+	}
+	ctx := context.Background()
+	cancel := func() {}
+	if hasBudget {
+		ctx, cancel = context.WithTimeout(ctx, budget)
+	}
+	inner, err := s.currentDialer().DialContext(ctx, "tcp", address)
+	cancel()
+	if err != nil {
+		writeStatus(c, classifyDialErr(err))
+		return
+	}
+	defer inner.Close()
+	writeStatus(c, statusOK)
+
+	// Splice: client->simulated runs in its own goroutine (draining
+	// any bytes the client pipelined behind the preamble via br);
+	// simulated->client runs inline. Closing both conns on the way
+	// out unblocks whichever copy is still pending.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = io.Copy(inner, br)
+		_ = inner.Close()
+	}()
+	_, _ = io.Copy(c, inner)
+	_ = inner.Close()
+	_ = c.Close()
+	wg.Wait()
+}
+
+// classifyDialErr maps a simulated dial failure onto the wire status
+// vocabulary so the client can resurface an equivalent error.
+func classifyDialErr(err error) string {
+	var nerr net.Error
+	if errors.As(err, &nerr) {
+		if nerr.Timeout() {
+			return statusTimeout
+		}
+		return statusRefused
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return statusTimeout
+	}
+	return statusErr + " " + sanitize(err.Error())
+}
+
+func writeStatus(c net.Conn, status string) {
+	_ = c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	_, _ = io.WriteString(c, status+"\n")
+	_ = c.SetWriteDeadline(time.Time{})
+}
+
+// sanitize keeps wire error reasons single-line.
+func sanitize(msg string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(msg, "\n", " "), "\r", " ")
+}
+
+// --- control plane ---
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":    "ok",
+		"day":       s.cloud.Day(),
+		"uptime_ns": time.Since(s.start).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	info := s.cloud.Info()
+	info.DataAddrs = s.DataAddrs()
+	writeJSON(w, info)
+}
+
+// dayDoc is the /cloud/day document, shared by GET and POST.
+type dayDoc struct {
+	Day int `json:"day"`
+}
+
+func (s *Server) handleDay(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, dayDoc{Day: s.cloud.Day()})
+	case http.MethodPost:
+		var doc dayDoc
+		if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
+			http.Error(w, "cloudapi: bad day document: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.cloud.SetDay(r.Context(), doc.Day); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, dayDoc{Day: s.cloud.Day()})
+	default:
+		http.Error(w, "cloudapi: GET or POST", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	day := s.cloud.Day()
+	if q := r.URL.Query().Get("day"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			http.Error(w, "cloudapi: day must be an integer", http.StatusBadRequest)
+			return
+		}
+		day = v
+	}
+	snap, err := s.cloud.Snapshot(r.Context(), day)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, snap)
+}
+
+func (s *Server) handleDNS(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		http.Error(w, "cloudapi: name parameter required", http.StatusBadRequest)
+		return
+	}
+	day := s.cloud.Day()
+	if q := r.URL.Query().Get("day"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			http.Error(w, "cloudapi: day must be an integer", http.StatusBadRequest)
+			return
+		}
+		day = v
+	}
+	resp, err := s.cloud.Resolver(day).LookupPublicName(r.Context(), name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// faultsDoc is the /faults GET document.
+type faultsDoc struct {
+	Active   bool             `json:"active"`
+	Scenario *faults.Scenario `json:"scenario,omitempty"`
+}
+
+// handleFaults manages a server-side scenario: POST a faults.Scenario
+// to wrap the data plane, DELETE to restore the raw cloud. Campaigns
+// normally inject client-side (WithFaults) for transport-identical
+// digests; this endpoint is for operators degrading a shared daemon.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		doc := faultsDoc{Active: s.scenario != nil, Scenario: s.scenario}
+		s.mu.Unlock()
+		writeJSON(w, doc)
+	case http.MethodPost:
+		var sc faults.Scenario
+		if err := json.NewDecoder(r.Body).Decode(&sc); err != nil {
+			http.Error(w, "cloudapi: bad scenario: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		inj, err := faults.Wrap(s.cloud, sc, faults.Options{
+			Day:      s.cloud.Day,
+			RegionOf: s.cloud.RegionOf,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		s.dialer, s.scenario = inj, &sc
+		s.mu.Unlock()
+		writeJSON(w, faultsDoc{Active: true, Scenario: &sc})
+	case http.MethodDelete:
+		s.mu.Lock()
+		s.dialer, s.scenario = s.cloud, nil
+		s.mu.Unlock()
+		writeJSON(w, faultsDoc{Active: false})
+	default:
+		http.Error(w, "cloudapi: GET, POST or DELETE", http.StatusMethodNotAllowed)
+	}
+}

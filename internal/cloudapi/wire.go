@@ -1,0 +1,53 @@
+package cloudapi
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The data-plane wire protocol is a one-line preamble from client to
+// daemon, a one-line status back, then a raw byte tunnel onto the
+// simulated connection:
+//
+//	client: "WHOWAS1 <ip:port> <budget_ms>\n"
+//	daemon: "OK\n" | "TIMEOUT\n" | "REFUSED\n" | "ERR <reason>\n"
+//
+// budget_ms is the dialer's remaining context budget (-1 when the
+// context has no deadline). The daemon rebuilds an equivalent
+// deadline before dialing the simulated network, which is what keeps
+// deadline-sensitive semantics — the slow-host threshold, injected
+// connect latency — identical across transports.
+const (
+	wireMagic     = "WHOWAS1"
+	statusOK      = "OK"
+	statusTimeout = "TIMEOUT"
+	statusRefused = "REFUSED"
+	statusErr     = "ERR"
+)
+
+// noBudget marks a dial without a context deadline.
+const noBudget = int64(-1)
+
+// formatPreamble renders the client's opening line.
+func formatPreamble(address string, budgetMS int64) string {
+	return fmt.Sprintf("%s %s %d\n", wireMagic, address, budgetMS)
+}
+
+// parsePreamble inverts formatPreamble. hasBudget is false for a
+// dial without a deadline.
+func parsePreamble(line string) (address string, budget time.Duration, hasBudget bool, err error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 3 || fields[0] != wireMagic {
+		return "", 0, false, fmt.Errorf("cloudapi: bad preamble %.40q", line)
+	}
+	ms, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil || ms < noBudget {
+		return "", 0, false, fmt.Errorf("cloudapi: bad budget %q", fields[2])
+	}
+	if ms == noBudget {
+		return fields[1], 0, false, nil
+	}
+	return fields[1], time.Duration(ms) * time.Millisecond, true, nil
+}

@@ -1,0 +1,44 @@
+package cloudapi
+
+import (
+	"context"
+	"net"
+
+	"whowas/internal/faults"
+	"whowas/internal/metrics"
+)
+
+// WithFaults wraps a cloud's data plane with a fault-injection
+// scenario. This is the single wrap point for chaos campaigns: the
+// injector sits between the campaign and whatever transport the cloud
+// uses, so in-process and wire campaigns inject identically — the
+// precondition for the cross-process digest identity gate. The
+// control plane passes through untouched.
+func WithFaults(c Cloud, sc faults.Scenario, reg *metrics.Registry) (Cloud, error) {
+	inj, err := faults.Wrap(c, sc, faults.Options{
+		Day:      c.Day,
+		RegionOf: c.RegionOf,
+		Metrics:  reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &faultCloud{Cloud: c, inj: inj}, nil
+}
+
+// faultCloud overrides only the data plane.
+type faultCloud struct {
+	Cloud
+	inj *faults.Injector
+}
+
+// DialContext routes every dial through the injector.
+func (f *faultCloud) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	return f.inj.DialContext(ctx, network, address)
+}
+
+// Unwrap exposes the undecorated cloud for Sim and FeedsOf.
+func (f *faultCloud) Unwrap() Cloud { return f.Cloud }
+
+// Injector exposes the wrapped injector (tests inspect counters).
+func (f *faultCloud) Injector() *faults.Injector { return f.inj }

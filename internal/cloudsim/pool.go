@@ -1,7 +1,6 @@
 package cloudsim
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
 
@@ -25,29 +24,21 @@ type addressSpace struct {
 
 // newAddressSpace carves BaseOctet.0.0.0 onward into consecutive /22
 // blocks, assigning each region its configured share and marking the
-// leading VPC22 blocks of each region as VPC.
+// leading VPC22 blocks of each region as VPC. The plan itself comes
+// from Layout so remote clients reconstructing it stay in lockstep.
 func newAddressSpace(cfg *Config) (*addressSpace, error) {
-	as := &addressSpace{}
-	next := uint32(cfg.BaseOctet) << 24
-	var prefixes []ipaddr.Prefix
+	infos, rl, err := Layout(cfg.BaseOctet, cfg.Regions)
+	if err != nil {
+		return nil, err
+	}
+	as := &addressSpace{ranges: rl}
 	for _, r := range cfg.Regions {
 		as.regions = append(as.regions, r.Name)
-		for i := 0; i < r.Prefixes22; i++ {
-			p := ipaddr.Prefix{Addr: ipaddr.Addr(next), Bits: 22}
-			as.prefixes = append(as.prefixes, prefixInfo{
-				prefix: p,
-				region: r.Name,
-				vpc:    i < r.VPC22,
-			})
-			prefixes = append(prefixes, p)
-			next += 1024
-		}
 	}
-	rl, err := ipaddr.NewRangeList(prefixes)
-	if err != nil {
-		return nil, fmt.Errorf("cloudsim: building address space: %w", err)
+	as.prefixes = make([]prefixInfo, len(infos))
+	for i, pi := range infos {
+		as.prefixes[i] = prefixInfo{prefix: pi.Prefix, region: pi.Region, vpc: pi.VPC}
 	}
-	as.ranges = rl
 	return as, nil
 }
 

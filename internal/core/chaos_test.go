@@ -7,7 +7,7 @@ import (
 	"testing"
 	"time"
 
-	"whowas/internal/cloudsim"
+	"whowas/internal/cloudapi"
 	"whowas/internal/faults"
 	"whowas/internal/fetcher"
 	"whowas/internal/ipaddr"
@@ -54,18 +54,18 @@ const (
 // "east" (2048 IPs) feeds the scanner first, "south" (1024 IPs) last,
 // so a south blackout hits the tail of each round. Population mix
 // follows DefaultEC2Config minus the giants, which don't fit 3K IPs.
-func chaosCloudConfig() cloudsim.Config {
-	return cloudsim.Config{
+func chaosCloudConfig() cloudapi.SimConfig {
+	return cloudapi.SimConfig{
 		Name:      "chaos-ec2",
 		Kind:      websim.EC2Like,
 		Days:      12,
 		Seed:      chaosCloudSeed,
 		BaseOctet: 54,
-		Regions: []cloudsim.RegionConfig{
+		Regions: []cloudapi.RegionConfig{
 			{Name: "east", Prefixes22: 2, VPC22: 1},
 			{Name: "south", Prefixes22: 1, VPC22: 0},
 		},
-		Population: cloudsim.PopulationConfig{
+		Population: cloudapi.PopulationConfig{
 			TargetResponsive:     0.237,
 			Growth:               0.033,
 			SSHOnly:              0.259,

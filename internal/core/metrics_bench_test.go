@@ -4,7 +4,7 @@ import (
 	"context"
 	"testing"
 
-	"whowas/internal/cloudsim"
+	"whowas/internal/cloudapi"
 	"whowas/internal/trace"
 )
 
@@ -21,7 +21,7 @@ func benchmarkRunCampaign(b *testing.B, instrumented, traced bool) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		p, err := NewPlatform(cloudsim.DefaultEC2Config(2048, 99))
+		p, err := NewPlatform(cloudapi.DefaultEC2Config(2048, 99))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -22,21 +22,17 @@ import (
 	"time"
 
 	"whowas/internal/atomicfile"
-	"whowas/internal/blacklist"
 	"whowas/internal/carto"
-	"whowas/internal/cloudsim"
+	"whowas/internal/cloudapi"
 	"whowas/internal/cluster"
-	"whowas/internal/dnssim"
 	"whowas/internal/faults"
 	"whowas/internal/fetcher"
 	"whowas/internal/ipaddr"
 	"whowas/internal/metrics"
-	"whowas/internal/netsim"
 	"whowas/internal/ratelimit"
 	"whowas/internal/scanner"
 	"whowas/internal/store"
 	"whowas/internal/trace"
-	"whowas/internal/websim"
 )
 
 // CampaignConfig drives one measurement campaign.
@@ -176,13 +172,16 @@ func fastWorkers() int {
 	return w
 }
 
-// Platform is one cloud's measurement deployment.
+// Platform is one cloud's measurement deployment. The cloud is
+// consumed exclusively through the cloudapi boundary, so the same
+// platform code drives an in-process simulation or a remote
+// whowas-cloudd daemon.
 type Platform struct {
-	Cloud *cloudsim.Cloud
-	Net   *netsim.Network
+	Cloud cloudapi.Cloud
 	Store *store.Store
-	// Feeds are the §8.2 blacklist attachments.
-	Feeds *blacklist.Feeds
+	// Feeds are the §8.2 blacklist attachments (nil for wire clouds,
+	// whose feeds live on the daemon side).
+	Feeds *cloudapi.Feeds
 	// CartoMap is set by RunCartography (EC2-like clouds).
 	CartoMap *carto.Map
 	// Clusters is set by RunClustering.
@@ -227,24 +226,30 @@ func (p *Platform) appendReport(r RoundReport) {
 	p.Reports = append(p.Reports, r)
 }
 
-// NewPlatform builds the cloud, its network, and an empty store.
-func NewPlatform(cloudCfg cloudsim.Config) (*Platform, error) {
-	cloud, err := cloudsim.New(cloudCfg)
+// NewPlatform builds an in-process simulated cloud and an empty
+// store. It is the convenience path for local campaigns; wire-mode
+// callers Dial a daemon and hand the client to NewPlatformCloud.
+func NewPlatform(cloudCfg cloudapi.SimConfig) (*Platform, error) {
+	cloud, err := cloudapi.NewInProcess(cloudCfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: building cloud: %w", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	net, err := netsim.New(cloud)
-	if err != nil {
-		return nil, fmt.Errorf("core: building network: %w", err)
+	return NewPlatformCloud(cloud)
+}
+
+// NewPlatformCloud builds a platform over an already-constructed
+// cloud — in-process or a cloudapi.Client speaking to whowas-cloudd.
+func NewPlatformCloud(cloud cloudapi.Cloud) (*Platform, error) {
+	if cloud == nil {
+		return nil, fmt.Errorf("core: nil cloud")
 	}
 	reg := metrics.NewRegistry()
-	st := store.New(cloudCfg.Name)
+	st := store.New(cloud.Info().Name)
 	st.SetMetrics(reg)
 	return &Platform{
 		Cloud:   cloud,
-		Net:     net,
 		Store:   st,
-		Feeds:   blacklist.BuildFeeds(cloud),
+		Feeds:   cloudapi.FeedsOf(cloud),
 		Metrics: reg,
 	}, nil
 }
@@ -289,22 +294,19 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig) error {
 	if p.Tracer != nil {
 		p.Store.SetTracer(p.Tracer)
 	}
-	// Chaos campaigns dial through the fault injector; its decisions
-	// are deterministic per (ip, port, day, attempt), so the same
-	// scenario reproduces the same campaign byte for byte.
-	var dialer netsim.Dialer = p.Net
+	// Chaos campaigns wrap the cloud's data plane with the fault
+	// injector at this single point; its decisions are deterministic
+	// per (ip, port, day, attempt), so the same scenario reproduces
+	// the same campaign byte for byte — over any transport.
+	cloud := p.Cloud
 	if cfg.Faults != nil {
-		inj, err := faults.Wrap(p.Net, *cfg.Faults, faults.Options{
-			Day:      p.Net.Day,
-			RegionOf: p.Cloud.RegionOf,
-			Metrics:  p.Metrics,
-		})
+		fc, err := cloudapi.WithFaults(p.Cloud, *cfg.Faults, p.Metrics)
 		if err != nil {
 			return err
 		}
-		dialer = inj
+		cloud = fc
 	}
-	c, err := newCampaign(p, cfg, dialer)
+	c, err := newCampaign(p, cfg, cloud)
 	if err != nil {
 		return err
 	}
@@ -377,7 +379,7 @@ func (p *Platform) WriteMetricsFile(path string) error {
 // joins the labels onto every stored record. Azure-like clouds have no
 // VPC; the sweep still runs and labels everything classic.
 func (p *Platform) RunCartography(ctx context.Context, cfg carto.Config) error {
-	resolver := dnssim.NewResolver(p.Cloud, 0)
+	resolver := p.Cloud.Resolver(0)
 	if cfg.Clock == nil {
 		cfg.Clock = ratelimit.NewFakeClock(time.Unix(1380499200, 0))
 	}
@@ -400,7 +402,7 @@ func (p *Platform) RunCartography(ctx context.Context, cfg carto.Config) error {
 // and records the result on the platform.
 func (p *Platform) RunClustering(cfg cluster.Config) error {
 	if cfg.Seed == 0 {
-		cfg.Seed = p.Cloud.Config().Seed
+		cfg.Seed = p.Cloud.Info().Seed
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = p.Metrics
@@ -425,5 +427,5 @@ func (p *Platform) History(ip ipaddr.Addr) []*store.Record {
 // IsEC2Like reports whether the platform's cloud models EC2 (and thus
 // has VPC networking and a meaningful cartography).
 func (p *Platform) IsEC2Like() bool {
-	return p.Cloud.Config().Kind == websim.EC2Like
+	return p.Cloud.Info().IsEC2Like()
 }

@@ -9,7 +9,7 @@ import (
 	"testing"
 
 	"whowas/internal/carto"
-	"whowas/internal/cloudsim"
+	"whowas/internal/cloudapi"
 	"whowas/internal/cluster"
 	"whowas/internal/fetcher"
 	"whowas/internal/ipaddr"
@@ -36,7 +36,7 @@ func smallCampaign(t testing.TB) *Platform {
 		t.Skip("campaign test skipped in -short mode")
 	}
 	smallOnce.Do(func() {
-		p, err := NewPlatform(cloudsim.DefaultEC2Config(512, 61))
+		p, err := NewPlatform(cloudapi.DefaultEC2Config(512, 61))
 		if err != nil {
 			smallErr = err
 			return
@@ -128,17 +128,18 @@ func TestCampaignEndToEnd(t *testing.T) {
 
 func TestCampaignRecordsMatchGroundTruth(t *testing.T) {
 	p := smallCampaign(t)
+	sim := cloudapi.Sim(p.Cloud)
 	round := p.Store.Round(0)
 	day := round.Day
 	checked := 0
 	round.Each(func(rec *store.Record) bool {
-		st := p.Cloud.StateAt(day, rec.IP)
+		st := sim.StateAt(day, rec.IP)
 		if !st.Bound {
 			t.Errorf("record for unbound IP %s", rec.IP)
 			return true
 		}
 		if rec.HTTPStatus == 200 && checked < 200 {
-			prof, _, ok := p.Cloud.PageOn(day, rec.IP)
+			prof, _, ok := sim.PageOn(day, rec.IP)
 			if !ok {
 				t.Errorf("200 record for IP %s with no ground-truth page", rec.IP)
 				return true
@@ -162,9 +163,10 @@ func TestHistoryLookup(t *testing.T) {
 	p := smallCampaign(t)
 	// Pick an IP bound for the whole campaign: a giant service member.
 	var target ipaddr.Addr
-	for _, svc := range p.Cloud.Services() {
+	sim := cloudapi.Sim(p.Cloud)
+	for _, svc := range sim.Services() {
 		if svc.SizeOn(0) > 10 && svc.EndDay == p.Cloud.Days() && svc.DailyChurn < 0.01 {
-			ips := p.Cloud.AssignedIPs(0, svc.ID)
+			ips := sim.AssignedIPs(0, svc.ID)
 			if len(ips) > 0 {
 				target = ips[0]
 				break
@@ -251,7 +253,7 @@ func TestClusteringAttachment(t *testing.T) {
 }
 
 func TestCampaignCancellation(t *testing.T) {
-	p, err := NewPlatform(cloudsim.DefaultEC2Config(2048, 62))
+	p, err := NewPlatform(cloudapi.DefaultEC2Config(2048, 62))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +265,7 @@ func TestCampaignCancellation(t *testing.T) {
 }
 
 func TestCampaignHonorsBlacklist(t *testing.T) {
-	p, err := NewPlatform(cloudsim.DefaultEC2Config(2048, 63))
+	p, err := NewPlatform(cloudapi.DefaultEC2Config(2048, 63))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +289,7 @@ func TestCampaignHonorsBlacklist(t *testing.T) {
 }
 
 func TestObserverCallback(t *testing.T) {
-	p, err := NewPlatform(cloudsim.DefaultEC2Config(2048, 64))
+	p, err := NewPlatform(cloudapi.DefaultEC2Config(2048, 64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +337,7 @@ func TestObserverCallback(t *testing.T) {
 }
 
 func TestCampaignMetricsRegistry(t *testing.T) {
-	p, err := NewPlatform(cloudsim.DefaultEC2Config(2048, 66))
+	p, err := NewPlatform(cloudapi.DefaultEC2Config(2048, 66))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +398,7 @@ func TestCampaignHonorsUserAgent(t *testing.T) {
 	if def := (fetcher.Config{}).WithDefaults(); def.UserAgent != fetcher.DefaultUserAgent {
 		t.Errorf("empty UA resolved to %q", def.UserAgent)
 	}
-	p, err := NewPlatform(cloudsim.DefaultEC2Config(4096, 67))
+	p, err := NewPlatform(cloudapi.DefaultEC2Config(4096, 67))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +414,7 @@ func TestCampaignHonorsUserAgent(t *testing.T) {
 }
 
 func TestBadRoundDay(t *testing.T) {
-	p, err := NewPlatform(cloudsim.DefaultEC2Config(2048, 65))
+	p, err := NewPlatform(cloudapi.DefaultEC2Config(2048, 65))
 	if err != nil {
 		t.Fatal(err)
 	}

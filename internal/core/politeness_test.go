@@ -4,7 +4,7 @@ import (
 	"context"
 	"testing"
 
-	"whowas/internal/cloudsim"
+	"whowas/internal/cloudapi"
 	"whowas/internal/ipaddr"
 )
 
@@ -17,11 +17,12 @@ func TestPolitenessInvariants(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test skipped in -short mode")
 	}
-	p, err := NewPlatform(cloudsim.DefaultEC2Config(2048, 71))
+	p, err := NewPlatform(cloudapi.DefaultEC2Config(2048, 71))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.Net.RecordProbes(true)
+	inp := p.Cloud.(*cloudapi.InProcess)
+	inp.RecordProbes(true)
 
 	bl := ipaddr.NewSet()
 	for i := int64(100); i < 110; i++ {
@@ -38,13 +39,13 @@ func TestPolitenessInvariants(t *testing.T) {
 	var probeViolations, requestViolations int
 	for _, day := range cfg.RoundDays {
 		p.Cloud.Ranges().Each(func(a ipaddr.Addr) bool {
-			if n := p.Net.ProbeCount(day, a); n > 4 {
+			if n := inp.ProbeCount(day, a); n > 4 {
 				probeViolations++
 			}
-			if n := p.Net.RequestCount(day, a); n > 2 {
+			if n := inp.RequestCount(day, a); n > 2 {
 				requestViolations++
 			}
-			if bl.Contains(a) && (p.Net.ProbeCount(day, a) > 0 || p.Net.RequestCount(day, a) > 0) {
+			if bl.Contains(a) && (inp.ProbeCount(day, a) > 0 || inp.RequestCount(day, a) > 0) {
 				t.Errorf("blacklisted IP %s was contacted on day %d", a, day)
 			}
 			return true

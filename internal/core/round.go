@@ -9,11 +9,11 @@ import (
 	"fmt"
 	"time"
 
+	"whowas/internal/cloudapi"
 	"whowas/internal/features"
 	"whowas/internal/fetcher"
 	"whowas/internal/ipaddr"
 	"whowas/internal/metrics"
-	"whowas/internal/netsim"
 	"whowas/internal/pipeline"
 	"whowas/internal/scanner"
 	"whowas/internal/store"
@@ -68,7 +68,7 @@ type regionTally struct {
 // newCampaign resolves the config against the platform and builds the
 // shared components and the lane layout. cfg must already have its
 // metrics/tracer/region hooks threaded (RunCampaign does).
-func newCampaign(p *Platform, cfg CampaignConfig, dialer netsim.Dialer) (*campaign, error) {
+func newCampaign(p *Platform, cfg CampaignConfig, dialer cloudapi.Dialer) (*campaign, error) {
 	scn, err := scanner.New(dialer, cfg.Scanner)
 	if err != nil {
 		return nil, err
@@ -255,7 +255,9 @@ func (c *campaign) featurize(page *fetcher.Page, tallies []regionTally) error {
 func (c *campaign) runRound(ctx context.Context, roundIdx, day int) error {
 	p := c.p
 	roundStart := time.Now()
-	p.Net.SetDay(day)
+	if err := p.Cloud.SetDay(ctx, day); err != nil {
+		return fmt.Errorf("core: round %d: %w", roundIdx, err)
+	}
 	if _, err := p.Store.BeginRound(day); err != nil {
 		return err
 	}

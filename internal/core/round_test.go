@@ -191,7 +191,7 @@ func TestSplitRegions(t *testing.T) {
 	} {
 		cfg := quickConfig([]int{0})
 		cfg.PipelineShards = tc.shards
-		c, err := newCampaign(p, withPlatformDefaults(p, cfg), p.Net)
+		c, err := newCampaign(p, withPlatformDefaults(p, cfg), p.Cloud)
 		if err != nil {
 			t.Fatal(err)
 		}

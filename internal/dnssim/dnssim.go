@@ -13,6 +13,7 @@
 package dnssim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -101,7 +102,13 @@ func ParsePublicName(name string) (ipaddr.Addr, error) {
 //   - unbound IP -> SOA,
 //   - VPC instance -> the public IP itself,
 //   - classic instance -> the instance's private 10/8 address.
-func (r *Resolver) LookupPublicName(name string) (Response, error) {
+//
+// The context carries the sweep's cancellation: remote resolvers
+// (cloudapi) put a wire query behind the same signature.
+func (r *Resolver) LookupPublicName(ctx context.Context, name string) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	r.Queries++
 	ip, err := ParsePublicName(name)
 	if err != nil {

@@ -1,6 +1,7 @@
 package dnssim
 
 import (
+	"context"
 	"testing"
 
 	"whowas/internal/cloudsim"
@@ -47,7 +48,7 @@ func TestLookupSemantics(t *testing.T) {
 	var sawSOA, sawPublic, sawPrivate bool
 	cloud.Ranges().Each(func(a ipaddr.Addr) bool {
 		st := cloud.StateAt(0, a)
-		resp, err := r.LookupPublicName(PublicName(a, cloud.RegionOf(a)))
+		resp, err := r.LookupPublicName(context.Background(), PublicName(a, cloud.RegionOf(a)))
 		if err != nil {
 			t.Fatalf("lookup %s: %v", a, err)
 		}
@@ -83,7 +84,7 @@ func TestQueriesCounted(t *testing.T) {
 	r := NewResolver(cloud, 0)
 	ip, _ := cloud.Ranges().AtIndex(0)
 	for i := 0; i < 5; i++ {
-		_, _ = r.LookupPublicName(PublicName(ip, cloud.RegionOf(ip)))
+		_, _ = r.LookupPublicName(context.Background(), PublicName(ip, cloud.RegionOf(ip)))
 	}
 	if r.Queries != 5 {
 		t.Errorf("Queries = %d, want 5", r.Queries)

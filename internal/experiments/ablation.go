@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"whowas/internal/cloudapi"
 	"whowas/internal/cluster"
 	"whowas/internal/core"
 )
@@ -23,13 +24,14 @@ func (s *Suite) ClusteringAccuracy() string {
 		cloud string
 	}{{s.EC2, "ec2"}, {s.Azure, "azure"}} {
 		p := pc.p
+		sim := cloudapi.Sim(p.Cloud)
 		var puritySum float64
 		var clusters int
 		svcClusters := map[uint64]map[int64]bool{}
 		for _, c := range p.Clusters.Clusters {
 			counts := map[uint64]int{}
 			for _, rec := range c.Records {
-				st := p.Cloud.StateAt(rec.Day, rec.IP)
+				st := sim.StateAt(rec.Day, rec.IP)
 				counts[st.ServiceID]++
 				if st.ServiceID != 0 {
 					if svcClusters[st.ServiceID] == nil {

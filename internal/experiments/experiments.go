@@ -21,6 +21,7 @@ import (
 	"whowas/internal/baseline"
 	"whowas/internal/blacklist"
 	"whowas/internal/carto"
+	"whowas/internal/cloudapi"
 	"whowas/internal/cloudsim"
 	"whowas/internal/cluster"
 	"whowas/internal/core"
@@ -216,7 +217,7 @@ func (s *Suite) CampaignReports() map[string]core.CampaignReport {
 // Table2 regenerates the VPC prefix breakdown via the cartography map.
 func (s *Suite) Table2() string {
 	regionSizes := map[string]int{}
-	for _, r := range s.EC2.Cloud.Config().Regions {
+	for _, r := range s.EC2.Cloud.Info().Regions {
 		regionSizes[r.Name] = r.Prefixes22
 	}
 	vpc := map[ipaddr.Addr]bool{}
@@ -439,7 +440,7 @@ func (s *Suite) Linchpins() string {
 // 2 s non-responders four more times.
 func (s *Suite) Sec4TimeoutExperiment(ctx context.Context) (string, error) {
 	p := s.EC2
-	scn, err := scanner.New(p.Net, scanner.Config{Rate: scanner.UnlimitedRate, Workers: 64,
+	scn, err := scanner.New(p.Cloud, scanner.Config{Rate: scanner.UnlimitedRate, Workers: 64,
 		Clock: ratelimit.NewFakeClock(time.Unix(0, 0))})
 	if err != nil {
 		return "", err
@@ -447,7 +448,9 @@ func (s *Suite) Sec4TimeoutExperiment(ctx context.Context) (string, error) {
 	// Run on a day no campaign round scanned, so per-host transient-loss
 	// windows are fresh: the retry schedule's gain is exactly what the
 	// paper's +0.27% measured.
-	p.Net.SetDay(1)
+	if err := p.Cloud.SetDay(ctx, 1); err != nil {
+		return "", err
+	}
 
 	// Sample: every 10th address of each /24 (10%; the paper used 5%
 	// of a 4.7M-IP space — the denser draw keeps the rare slow/lossy
@@ -529,7 +532,7 @@ func (s *Suite) BaselineComparison(ctx context.Context) (string, error) {
 		cloud string
 	}{{s.EC2, "ec2"}, {s.Azure, "azure"}} {
 		day := 0
-		resolver := dnssim.NewResolver(pc.p.Cloud, day)
+		resolver := dnssim.NewResolver(cloudapi.Sim(pc.p.Cloud), day)
 		res, err := baseline.Sweep(ctx, resolver, day,
 			baseline.Config{Rate: 1e6, Clock: ratelimit.NewFakeClock(time.Unix(0, 0)), SeedShare: 0.8})
 		if err != nil {

@@ -114,6 +114,7 @@ func DefaultOptions() Options {
 			"internal/fetcher",
 			"internal/core",
 			"internal/pipeline",
+			"internal/cloudapi",
 		},
 		ErrSourcePackages: []string{"internal/atomicfile"},
 		ErrMethodPackages: []string{"internal/store", "internal/trace"},

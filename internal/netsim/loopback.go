@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"net"
@@ -14,53 +15,76 @@ import (
 // Loopback routes simulated cloud addresses to real TCP listeners on
 // 127.0.0.1, so integration tests can run the scanner and fetcher over
 // the actual kernel network stack (real dial timeouts, real sockets)
-// against a handful of addresses.
+// against a handful of addresses. The listeners are a bounded Fleet:
+// close-idempotent, goroutine-tracked, deterministic ports when
+// FleetConfig.BasePort is set.
 type Loopback struct {
-	mu        sync.Mutex
-	routes    map[string]string // "ip:port" -> "127.0.0.1:nnnn"
-	listeners []net.Listener
-	servers   []*http.Server
-	dialer    net.Dialer
+	mu     sync.Mutex
+	routes map[string]string // "ip:port" -> "127.0.0.1:nnnn"
+	fleet  *Fleet
+	dialer net.Dialer
 }
 
-// NewLoopback returns an empty farm.
+// NewLoopback returns an empty farm with default fleet sizing.
 func NewLoopback() *Loopback {
-	return &Loopback{routes: make(map[string]string)}
+	return NewLoopbackFleet(FleetConfig{Max: 64})
+}
+
+// NewLoopbackFleet returns an empty farm whose listeners follow cfg
+// (bound, host, deterministic base port).
+func NewLoopbackFleet(cfg FleetConfig) *Loopback {
+	return &Loopback{routes: make(map[string]string), fleet: NewFleet(cfg)}
 }
 
 // ServeProfile binds a real loopback listener serving the profile's
-// content and routes the simulated ip:port to it.
+// content and routes the simulated ip:port to it. The listener speaks
+// the same HTTP dialect as the in-memory network (serveHTTP), so page
+// bytes match across transports.
 func (l *Loopback) ServeProfile(ip ipaddr.Addr, port int, profile websim.Profile, revision int) error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	prof := profile // copy for the handler closure
+	addr, err := l.fleet.Listen(func(c net.Conn) {
+		serveProfileConn(c, prof, revision)
+	})
 	if err != nil {
-		return fmt.Errorf("netsim: loopback listen: %w", err)
+		return fmt.Errorf("netsim: loopback: %w", err)
 	}
-	mux := http.NewServeMux()
-	prof := profile // copy for the closures
-	mux.HandleFunc("/robots.txt", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain")
-		fmt.Fprint(w, prof.RobotsTxt())
-	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		for k, v := range prof.Headers(revision) {
-			w.Header().Set(k, v)
-		}
-		w.WriteHeader(prof.StatusCode)
-		fmt.Fprint(w, prof.RenderPage(revision))
-	})
-	srv := &http.Server{Handler: mux}
-	go func() { _ = srv.Serve(ln) }()
-
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.routes[fmt.Sprintf("%s:%d", ip, port)] = ln.Addr().String()
-	l.listeners = append(l.listeners, ln)
-	l.servers = append(l.servers, srv)
+	l.routes[fmt.Sprintf("%s:%d", ip, port)] = addr
 	return nil
+}
+
+// serveProfileConn answers HTTP requests on one real connection with a
+// fixed profile's content, mirroring Network.respond's routing.
+func serveProfileConn(c net.Conn, prof websim.Profile, revision int) {
+	br := bufio.NewReader(c)
+	for {
+		req, err := http.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		var resp *http.Response
+		switch path := req.URL.Path; {
+		case path == "/robots.txt":
+			resp = plainResponse(req, 200, "text/plain", prof.RobotsTxt(), nil)
+		case path == "/" || path == "":
+			resp = plainResponse(req, prof.StatusCode, "", prof.RenderPage(revision), prof.Headers(revision))
+		default:
+			if body := prof.RenderSubpage(path, revision); body != "" {
+				resp = plainResponse(req, 200, "text/html", body,
+					map[string]string{"Server": prof.Server})
+			} else {
+				resp = plainResponse(req, 404, "text/html", notFoundPage,
+					map[string]string{"Server": prof.Server})
+			}
+		}
+		if err := resp.Write(c); err != nil {
+			return
+		}
+		if req.Close || resp.Close {
+			return
+		}
+	}
 }
 
 // ServeRaw routes ip:port to an externally managed listener address.
@@ -84,17 +108,11 @@ func (l *Loopback) DialContext(ctx context.Context, network, address string) (ne
 	return l.dialer.DialContext(ctx, network, real)
 }
 
-// Close shuts every listener down.
+// Close shuts the whole fleet down (listeners and live connections)
+// and waits for its goroutines. Safe to call repeatedly.
 func (l *Loopback) Close() {
+	_ = l.fleet.Close()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for _, s := range l.servers {
-		_ = s.Close()
-	}
-	for _, ln := range l.listeners {
-		_ = ln.Close()
-	}
-	l.servers = nil
-	l.listeners = nil
 	l.routes = make(map[string]string)
 }

@@ -1,8 +1,9 @@
-package core
+package netsim_test
 
 import (
 	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -23,6 +24,7 @@ func TestLoopbackRealSockets(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-socket test skipped in -short mode")
 	}
+	before := runtime.NumGoroutine()
 	lb := netsim.NewLoopback()
 	defer lb.Close()
 
@@ -100,5 +102,17 @@ func TestLoopbackRealSockets(t *testing.T) {
 		if rec.Server != tc.prof.Server {
 			t.Errorf("%s: server %q, want %q", tc.ip, rec.Server, tc.prof.Server)
 		}
+	}
+
+	// Close is idempotent and unwinds every accept loop and connection
+	// goroutine the fleet started.
+	lb.Close()
+	lb.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Errorf("%d goroutines after Close, %d before: listener fleet leaked", g, before)
 	}
 }

@@ -325,6 +325,10 @@ func (n *Network) serveHTTP(c net.Conn, ip ipaddr.Addr, useTLS bool) {
 	}
 }
 
+// notFoundPage is the body every simulated server returns for an
+// unknown path (netsim and loopback serving share it).
+const notFoundPage = "<html><head><title>404 Not Found</title></head><body><h1>Not Found</h1></body></html>\n"
+
 // respond builds the HTTP response for a request to ip on the given
 // day.
 func (n *Network) respond(day int, ip ipaddr.Addr, req *http.Request) *http.Response {
@@ -347,8 +351,7 @@ func (n *Network) respond(day int, ip ipaddr.Addr, req *http.Request) *http.Resp
 			return plainResponse(req, 200, "text/html", body,
 				map[string]string{"Server": profile.Server})
 		}
-		return plainResponse(req, 404, "text/html",
-			"<html><head><title>404 Not Found</title></head><body><h1>Not Found</h1></body></html>\n",
+		return plainResponse(req, 404, "text/html", notFoundPage,
 			map[string]string{"Server": profile.Server})
 	}
 }
