@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz chaos trace bench pipeline-bench metrics-report cloudd
+.PHONY: all build vet lint test race fuzz chaos trace bench pipeline-bench metrics-report cloudd coord
 
 all: build vet lint test
 
@@ -73,6 +73,13 @@ pipeline-bench:
 # in-process, and require byte-identical store digests.
 cloudd:
 	sh scripts/cloudd_gate.sh
+
+# Distributed-campaign acceptance gate (what the CI coord job runs):
+# start whowas-cloudd, run the same seeded campaign single-process and
+# via whowas-coordinator fleets of 1/2/4 workers (one of the 4 is
+# SIGKILLed mid-campaign), and require byte-identical store digests.
+coord:
+	sh scripts/coord_gate.sh
 
 # Example pipeline-metrics report (README "Observability").
 metrics-report:

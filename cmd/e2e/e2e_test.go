@@ -1,0 +1,437 @@
+// Package e2e is the exec-based CLI test harness: TestMain builds
+// every binary under cmd/ once, and the tests run them as real
+// processes — pipes, exit codes, SIGKILL — against temp dirs and
+// ephemeral ports, asserting on the exact artifacts a user sees:
+// store digests, exit codes, and JSON output.
+//
+// The suite skips under -short (it builds binaries and runs real
+// campaigns); the full `go test ./...` tier runs it.
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if !testing.Short() {
+		dir, err := os.MkdirTemp("", "whowas-e2e-bin")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e2e:", err)
+			os.Exit(1)
+		}
+		cmd := exec.Command("go", "build", "-o", dir, "./cmd/...")
+		cmd.Dir = repoRoot()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "e2e: building binaries: %v\n%s", err, out)
+			os.Exit(1)
+		}
+		binDir = dir
+	}
+	code := m.Run()
+	if binDir != "" {
+		os.RemoveAll(binDir)
+	}
+	os.Exit(code)
+}
+
+func repoRoot() string {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		panic(err)
+	}
+	return root
+}
+
+func bin(name string) string { return filepath.Join(binDir, name) }
+
+// runCLI executes one binary to completion and returns its combined
+// output and exit code.
+func runCLI(t *testing.T, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin(name), args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %s: %v", name, strings.Join(args, " "), err)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+// proc is a long-running CLI process whose stdout/stderr are streamed
+// line by line, for daemons and workers the tests must observe and
+// kill mid-flight.
+type proc struct {
+	t     *testing.T
+	name  string
+	cmd   *exec.Cmd
+	lines chan string
+
+	mu  sync.Mutex
+	out bytes.Buffer
+
+	waitOnce sync.Once
+	waitErr  error
+}
+
+func startProc(t *testing.T, name string, args ...string) *proc {
+	t.Helper()
+	p := &proc{t: t, name: name, lines: make(chan string, 4096)}
+	p.cmd = exec.Command(bin(name), args...)
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Stderr = &stderrWriter{p: p}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", name, err)
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.out.WriteString(line + "\n")
+			p.mu.Unlock()
+			select {
+			case p.lines <- line:
+			default:
+			}
+		}
+		close(p.lines)
+	}()
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			_ = p.cmd.Process.Kill()
+			p.waitOnce.Do(func() { p.waitErr = p.cmd.Wait() })
+		}
+	})
+	return p
+}
+
+type stderrWriter struct{ p *proc }
+
+func (w *stderrWriter) Write(b []byte) (int, error) {
+	w.p.mu.Lock()
+	defer w.p.mu.Unlock()
+	return w.p.out.Write(b)
+}
+
+func (p *proc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out.String()
+}
+
+// awaitLine blocks until a stdout line containing substr appears.
+func (p *proc) awaitLine(substr string, timeout time.Duration) string {
+	p.t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line, ok := <-p.lines:
+			if !ok {
+				p.t.Fatalf("%s exited before printing %q; output:\n%s", p.name, substr, p.output())
+			}
+			if strings.Contains(line, substr) {
+				return line
+			}
+		case <-deadline:
+			p.t.Fatalf("%s never printed %q; output so far:\n%s", p.name, substr, p.output())
+		}
+	}
+}
+
+// wait blocks until the process exits and returns its exit code.
+func (p *proc) wait(timeout time.Duration) int {
+	p.t.Helper()
+	done := make(chan struct{})
+	go func() {
+		p.waitOnce.Do(func() { p.waitErr = p.cmd.Wait() })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		_ = p.cmd.Process.Kill()
+		p.t.Fatalf("%s did not exit in %s; output:\n%s", p.name, timeout, p.output())
+	}
+	if p.waitErr == nil {
+		return 0
+	}
+	if ee, ok := p.waitErr.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	p.t.Fatalf("%s wait: %v", p.name, p.waitErr)
+	return -1
+}
+
+// kill delivers SIGKILL — the chaos tests' worker death.
+func (p *proc) kill() {
+	p.t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		p.t.Fatalf("killing %s: %v", p.name, err)
+	}
+	p.waitOnce.Do(func() { p.waitErr = p.cmd.Wait() })
+}
+
+// digestFrom extracts the "store digest: <hex>" line a campaign CLI
+// prints — the identity every gate in this suite compares.
+func digestFrom(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if d, ok := strings.CutPrefix(line, "store digest: "); ok {
+			if len(d) != 64 {
+				t.Fatalf("malformed digest %q", d)
+			}
+			return d
+		}
+	}
+	t.Fatalf("no store digest in output:\n%s", out)
+	return ""
+}
+
+// e2eScale keeps the simulated clouds small enough for a CLI
+// round-trip in seconds; all processes in one test must agree on it.
+const e2eScale = "8192"
+
+// TestCampaignAndQuery runs the single-process flow a user starts
+// with: whowas collects a store, whowas-query answers questions over
+// it, bad invocations fail loudly.
+func TestCampaignAndQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e suite skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	storePath := filepath.Join(tmp, "ec2.whowas")
+	metricsPath := filepath.Join(tmp, "metrics.json")
+
+	out, code := runCLI(t, "whowas",
+		"-cloud", "ec2", "-scale", e2eScale, "-seed", "7", "-rounds", "2",
+		"-cluster=false", "-carto=false", "-q",
+		"-out", storePath, "-metrics", metricsPath)
+	if code != 0 {
+		t.Fatalf("whowas exit %d:\n%s", code, out)
+	}
+	digest := digestFrom(t, out)
+	t.Logf("campaign digest: %s", digest)
+	if !strings.Contains(out, "campaign complete: 2 rounds collected") {
+		t.Errorf("missing round count in output:\n%s", out)
+	}
+
+	var metrics map[string]any
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatalf("-metrics output is not JSON: %v", err)
+	}
+
+	out, code = runCLI(t, "whowas-query", "-store", storePath, "-summary", "-census")
+	if code != 0 {
+		t.Fatalf("whowas-query exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "rounds=2") {
+		t.Errorf("query summary missing round count:\n%s", out)
+	}
+
+	// -json exports one round as a JSON array of records, after the
+	// store header line.
+	out, code = runCLI(t, "whowas-query", "-store", storePath, "-json", "0")
+	if code != 0 {
+		t.Fatalf("whowas-query -json exit %d:\n%s", code, out)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal([]byte(out[strings.Index(out, "["):]), &records); err != nil {
+		t.Fatalf("-json 0 output is not a JSON array: %v", err)
+	}
+	if len(records) == 0 {
+		t.Fatal("-json 0 exported no records")
+	}
+	if _, ok := records[0]["ip"]; !ok {
+		t.Fatalf("-json 0 record 0 missing ip: %v", records[0])
+	}
+
+	// Misuse must exit non-zero: no store, missing store, no action.
+	if out, code := runCLI(t, "whowas-query", "-summary"); code == 0 {
+		t.Errorf("whowas-query without -store succeeded:\n%s", out)
+	}
+	if out, code := runCLI(t, "whowas-query", "-store", filepath.Join(tmp, "nope.whowas"), "-summary"); code == 0 {
+		t.Errorf("whowas-query on a missing store succeeded:\n%s", out)
+	}
+	if out, code := runCLI(t, "whowas-query", "-store", storePath); code == 0 {
+		t.Errorf("whowas-query with nothing to do succeeded:\n%s", out)
+	}
+	if out, code := runCLI(t, "whowas", "-cloud", "gcp"); code == 0 {
+		t.Errorf("whowas with unknown cloud succeeded:\n%s", out)
+	}
+}
+
+// startCloudd boots the cloud daemon on ephemeral ports and waits for
+// health via whowas-query cloud.
+func startCloudd(t *testing.T) (p *proc, addr string) {
+	t.Helper()
+	p = startProc(t, "whowas-cloudd",
+		"-cloud", "ec2", "-scale", e2eScale, "-seed", "7",
+		"-addr", "127.0.0.1:0", "-data-listeners", "2")
+	line := p.awaitLine("control plane on http://", 30*time.Second)
+	addr = line[strings.Index(line, "http://")+len("http://"):]
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, code := runCLI(t, "whowas-query", "cloud", "-addr", addr); code == 0 {
+			return p, addr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cloudd at %s never became healthy", addr)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// TestCoordinatorFleet is the CLI half of the tentpole gate: the same
+// seeded cloud measured single-process, then by a 1-worker fleet,
+// then by a 2-worker fleet with one worker SIGKILLed mid-round — all
+// three digests must be byte-identical.
+func TestCoordinatorFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e suite skipped in -short mode")
+	}
+	cloudd, cloudAddr := startCloudd(t)
+	defer cloudd.kill()
+
+	// Reference: single-process campaign over the same daemon.
+	out, code := runCLI(t, "whowas",
+		"-cloud-addr", cloudAddr, "-rounds", "2",
+		"-cluster=false", "-carto=false", "-q")
+	if code != 0 {
+		t.Fatalf("single-process whowas exit %d:\n%s", code, out)
+	}
+	want := digestFrom(t, out)
+
+	runFleet := func(t *testing.T, workers int, chaos bool) string {
+		coordArgs := []string{
+			"-cloud-addr", cloudAddr, "-addr", "127.0.0.1:0",
+			"-rounds", "2", "-q",
+		}
+		if chaos {
+			coordArgs = append(coordArgs, "-lease-ttl", "1s")
+		}
+		coord := startProc(t, "whowas-coordinator", coordArgs...)
+		line := coord.awaitLine("coordinator listening on http://", 30*time.Second)
+		coordAddr := line[strings.Index(line, "http://")+len("http://"):]
+		coordAddr = coordAddr[:strings.Index(coordAddr, " ")]
+
+		procs := make([]*proc, workers)
+		for i := range procs {
+			procs[i] = startProc(t, "whowas",
+				"-worker", "-coordinator-addr", coordAddr,
+				"-worker-id", fmt.Sprintf("e2e-w%d", i))
+		}
+		if chaos {
+			// SIGKILL the first worker the moment it starts probing a
+			// shard: no submit, no further heartbeats, no goodbye.
+			procs[0].awaitLine("running round", time.Minute)
+			procs[0].kill()
+			t.Log("killed worker e2e-w0 mid-shard")
+		}
+		if code := coord.wait(3 * time.Minute); code != 0 {
+			t.Fatalf("coordinator exit %d:\n%s", code, coord.output())
+		}
+		for i, p := range procs {
+			if chaos && i == 0 {
+				continue
+			}
+			if code := p.wait(time.Minute); code != 0 {
+				t.Fatalf("worker %d exit %d:\n%s", i, code, p.output())
+			}
+		}
+		return digestFrom(t, coord.output())
+	}
+
+	t.Run("one-worker", func(t *testing.T) {
+		if got := runFleet(t, 1, false); got != want {
+			t.Errorf("1-worker digest %s != single-process %s", got, want)
+		}
+	})
+	t.Run("two-workers-one-killed", func(t *testing.T) {
+		if got := runFleet(t, 2, true); got != want {
+			t.Errorf("chaos fleet digest %s != single-process %s", got, want)
+		}
+	})
+}
+
+// TestCoordinatorBadFlags covers the coordinator's failure exits.
+func TestCoordinatorBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e suite skipped in -short mode")
+	}
+	if out, code := runCLI(t, "whowas-coordinator"); code == 0 {
+		t.Errorf("coordinator without -cloud-addr succeeded:\n%s", out)
+	}
+	if out, code := runCLI(t, "whowas", "-worker"); code == 0 {
+		t.Errorf("whowas -worker without -coordinator-addr succeeded:\n%s", out)
+	}
+}
+
+// TestBenchPipelineSmoke exercises whowas-bench's sharded-pipeline
+// benchmark, which doubles as its own digest-identity gate.
+func TestBenchPipelineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e suite skipped in -short mode")
+	}
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	out, code := runCLI(t, "whowas-bench",
+		"-pipeline-bench", outPath, "-ec2-scale", e2eScale, "-q")
+	if code != 0 {
+		t.Fatalf("whowas-bench exit %d:\n%s", code, out)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]any
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("-pipeline-bench output is not JSON: %v", err)
+	}
+}
+
+// TestLintCLI exercises whowas-lint: the analyzer catalogue and a
+// real single-package run.
+func TestLintCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e suite skipped in -short mode")
+	}
+	out, code := runCLI(t, "whowas-lint", "-rules")
+	if code != 0 {
+		t.Fatalf("whowas-lint -rules exit %d:\n%s", code, out)
+	}
+	for _, rule := range []string{"determinism", "ctxfirst", "lockdisc"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("rule catalogue missing %q:\n%s", rule, out)
+		}
+	}
+	cmd := exec.Command(bin("whowas-lint"), "./internal/atomicfile")
+	cmd.Dir = repoRoot()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("whowas-lint ./internal/atomicfile: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,198 @@
+// Command whowas-coordinator runs the distributed campaign's control
+// plane: it owns the round schedule, assigns region shards to a fleet
+// of `whowas -worker` processes, leases each worker a slice of the
+// global §7 probe-rate budget (a lease that stops being renewed
+// expires, its tokens return to the pool, and its shards are re-queued
+// for the survivors), and merges the submitted shards into the one
+// round store — producing a store digest byte-identical to a
+// single-process `whowas` run of the same cloud and schedule, for any
+// worker count.
+//
+// Usage:
+//
+//	whowas-cloudd -scale 4096 -seed 7 &
+//	whowas-coordinator -cloud-addr 127.0.0.1:8390 -rounds 3 -out ec2.whowas &
+//	whowas -worker -coordinator-addr 127.0.0.1:8395 -worker-id w1 &
+//	whowas -worker -coordinator-addr 127.0.0.1:8395 -worker-id w2
+//
+// The coordinator's address also serves the standard ops surface
+// (/healthz, /metrics, /rounds, pprof) plus /coord/status for fleet
+// introspection.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"whowas/internal/atomicfile"
+	"whowas/internal/coord"
+	"whowas/internal/core"
+	"whowas/internal/faults"
+	"whowas/internal/metrics"
+)
+
+type options struct {
+	cloudAddr    string
+	addr         string
+	maxRounds    int
+	shards       int
+	maxWorkers   int
+	rate         float64
+	leaseTTL     time.Duration
+	roundTimeout time.Duration
+	retries      int
+	keepBodies   bool
+	faultsPath   string
+	out          string
+	metricsPath  string
+	drainWait    time.Duration
+	quiet        bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.cloudAddr, "cloud-addr", "", "control address of the shared whowas-cloudd daemon (required)")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8395", "address to serve the coordinator protocol and ops surface on (use :0 for an ephemeral port)")
+	flag.IntVar(&o.maxRounds, "rounds", 0, "cap the number of rounds (0 = full §6 schedule)")
+	flag.IntVar(&o.shards, "shards", 0, "region shards per round (0 = one per region; digests are identical for any value)")
+	flag.IntVar(&o.maxWorkers, "max-workers", coord.DefaultMaxWorkers, "fleet size bound; the global probe budget is leased in equal slices of this many")
+	flag.Float64Var(&o.rate, "rate", 0, "global probe budget shared by the whole fleet, probes/sec (0 = simulation speed)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", coord.DefaultLeaseTTL, "worker lease lifetime; a worker silent this long is declared dead and its shards re-assigned")
+	flag.DurationVar(&o.roundTimeout, "round-timeout", 0, "per-round deadline; a round missing shards at the deadline finalizes degraded (0 = none)")
+	flag.IntVar(&o.retries, "retries", 0, "probe/fetch attempts per target, forwarded to workers (0 = single attempt)")
+	flag.BoolVar(&o.keepBodies, "keep-bodies", false, "retain raw page bodies in the store (and on the wire)")
+	flag.StringVar(&o.faultsPath, "faults", "", "inject faults from this JSON scenario on every worker")
+	flag.StringVar(&o.out, "out", "", "write the merged store (gob) to this path")
+	flag.StringVar(&o.metricsPath, "metrics", "", "write the coordinator metrics snapshot as JSON to this path")
+	flag.DurationVar(&o.drainWait, "drain-wait", 10*time.Second, "how long to wait after the last round for workers to be told the campaign is done")
+	flag.BoolVar(&o.quiet, "q", false, "suppress per-round progress")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintf(os.Stderr, "whowas-coordinator: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	if o.cloudAddr == "" {
+		return fmt.Errorf("-cloud-addr is required (start whowas-cloudd first)")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := coord.Config{
+		CloudAddr:    o.cloudAddr,
+		MaxRounds:    o.maxRounds,
+		Shards:       o.shards,
+		MaxWorkers:   o.maxWorkers,
+		Rate:         o.rate,
+		LeaseTTL:     o.leaseTTL,
+		RoundTimeout: o.roundTimeout,
+		Attempts:     o.retries,
+		KeepBodies:   o.keepBodies,
+		Metrics:      metrics.NewRegistry(),
+	}
+	if o.faultsPath != "" {
+		sc, err := faults.LoadFile(o.faultsPath)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = sc
+		fmt.Printf("injecting faults from %s (scenario %q, seed %d)\n", o.faultsPath, sc.Name, sc.Seed)
+	}
+	if !o.quiet {
+		cfg.Observer = func(r core.RoundReport) {
+			line := fmt.Sprintf("  round %2d (day %2d): %d/%d responsive, %d fetched, %d errors",
+				r.Round, r.Day, r.Responsive, r.Probed, r.Fetched, r.FetchErrors)
+			if r.Retries > 0 {
+				line += fmt.Sprintf(", %d retries", r.Retries)
+			}
+			if r.Degraded {
+				line += " [degraded]"
+			}
+			fmt.Println(line)
+		}
+	}
+
+	srv, err := coord.NewServer(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+
+	addr, err := srv.Start(o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("coordinator listening on http://%s (cloud %s, %d rounds, %d shards/round, budget %s)\n",
+		addr, o.cloudAddr, srv.ScheduledRounds(), srv.NumShards(), budgetLabel(o.rate))
+
+	if err := srv.Run(ctx); err != nil {
+		return err
+	}
+	dctx, cancel := context.WithTimeout(ctx, o.drainWait)
+	defer cancel()
+	if err := srv.DrainWorkers(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "whowas-coordinator: draining workers: %v\n", err)
+	}
+
+	st := srv.Store()
+	fmt.Printf("campaign complete: %d rounds collected\n", st.NumRounds())
+	digest, err := st.Digest()
+	if err != nil {
+		return err
+	}
+	// The digest is the campaign's identity: the coord CI gate diffs it
+	// against a single-process run of the same seed.
+	fmt.Printf("store digest: %s\n", digest)
+
+	if o.out != "" {
+		f, err := atomicfile.Create(o.out)
+		if err != nil {
+			return err
+		}
+		if err := st.Save(f); err != nil {
+			f.Abort()
+			return err
+		}
+		if err := f.Commit(); err != nil {
+			return err
+		}
+		fmt.Printf("store written to %s\n", o.out)
+	}
+	if o.metricsPath != "" {
+		if err := writeMetrics(o.metricsPath, cfg.Metrics); err != nil {
+			return err
+		}
+		fmt.Printf("metrics report written to %s\n", o.metricsPath)
+	}
+	return nil
+}
+
+func writeMetrics(path string, reg *metrics.Registry) error {
+	f, err := atomicfile.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
+}
+
+func budgetLabel(rate float64) string {
+	if rate <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%.0f pps", rate)
+}

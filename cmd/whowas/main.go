@@ -65,6 +65,9 @@ type options struct {
 	opsAddr      string
 	journalPath  string
 	shards       int
+	worker       bool
+	coordAddr    string
+	workerID     string
 }
 
 func main() {
@@ -86,6 +89,9 @@ func main() {
 	flag.StringVar(&o.opsAddr, "ops-addr", "", "serve the live ops endpoint (/healthz, /metrics, /trace/*, pprof) on this address")
 	flag.StringVar(&o.journalPath, "trace-journal", "", "append completed spans as JSONL to this path (crash-safe; read with whowas-query trace)")
 	flag.IntVar(&o.shards, "pipeline-shards", 0, "round pipeline region lanes (0 = one per region, 1 = unsharded; store contents are identical either way)")
+	flag.BoolVar(&o.worker, "worker", false, "run as a distributed-campaign worker: lease a probe-budget slice from a whowas-coordinator and execute assigned shards until the campaign is done")
+	flag.StringVar(&o.coordAddr, "coordinator-addr", "", "coordinator protocol address (required with -worker)")
+	flag.StringVar(&o.workerID, "worker-id", "", "worker identity for leasing and shard ownership (default: PID-derived; must be unique per fleet)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -97,6 +103,10 @@ func main() {
 func run(o options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if o.worker {
+		return runWorker(ctx, o)
+	}
 
 	var p *core.Platform
 	if o.cloudAddr != "" {

@@ -1,0 +1,85 @@
+// The -worker mode: this process stops being a self-contained
+// campaign and becomes one lane of a distributed one. It registers
+// with a whowas-coordinator, leases a slice of the fleet's global §7
+// probe budget, and runs assigned region shards (the same
+// scan→fetch→featurize lane as the single-process round) against the
+// shared whowas-cloudd, streaming results back until the coordinator
+// says the campaign is done.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"whowas/internal/atomicfile"
+	"whowas/internal/coord"
+	"whowas/internal/metrics"
+	"whowas/internal/ops"
+)
+
+func runWorker(ctx context.Context, o options) error {
+	if o.coordAddr == "" {
+		return fmt.Errorf("-worker requires -coordinator-addr")
+	}
+	reg := metrics.NewRegistry()
+	wcfg := coord.WorkerConfig{
+		Coordinator: o.coordAddr,
+		ID:          o.workerID,
+		Metrics:     reg,
+	}
+	if !o.quiet {
+		wcfg.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	w, err := coord.NewWorker(wcfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := w.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "whowas: closing worker: %v\n", err)
+		}
+	}()
+
+	if o.opsAddr != "" {
+		srv := ops.New(ops.Config{Metrics: reg})
+		addr, err := srv.Start(o.opsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ops endpoint listening on http://%s\n", addr)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
+	}
+
+	fmt.Printf("worker %s: joining coordinator at %s\n", w.ID(), o.coordAddr)
+	if err := w.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("worker %s: done\n", w.ID())
+	if o.metricsPath != "" {
+		if err := writeWorkerMetrics(o.metricsPath, reg); err != nil {
+			return err
+		}
+		fmt.Printf("metrics report written to %s\n", o.metricsPath)
+	}
+	return nil
+}
+
+func writeWorkerMetrics(path string, reg *metrics.Registry) error {
+	f, err := atomicfile.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
+}

@@ -94,7 +94,7 @@ func (c *Client) DialContext(ctx context.Context, network, address string) (net.
 		budget = ms
 		_ = raw.SetDeadline(dl)
 	}
-	if _, err := io.WriteString(raw, formatPreamble(address, budget)); err != nil {
+	if _, err := io.WriteString(raw, formatPreamble(address, budget, netsim.ProbeSession(ctx))); err != nil {
 		_ = raw.Close()
 		return nil, fmt.Errorf("cloudapi: sending preamble: %w", err)
 	}

@@ -131,12 +131,15 @@ func (s *Server) serveData(c net.Conn) {
 		return
 	}
 	_ = c.SetReadDeadline(time.Time{})
-	address, budget, hasBudget, err := parsePreamble(line)
+	address, budget, hasBudget, session, err := parsePreamble(line)
 	if err != nil {
 		writeStatus(c, statusErr+" "+sanitize(err.Error()))
 		return
 	}
 	ctx := context.Background()
+	if session != "" {
+		ctx = netsim.WithProbeSession(ctx, session)
+	}
 	cancel := func() {}
 	if hasBudget {
 		ctx, cancel = context.WithTimeout(ctx, budget)

@@ -1,24 +1,31 @@
 package cloudapi
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 	"time"
+
+	"whowas/internal/netsim"
 )
 
 // The data-plane wire protocol is a one-line preamble from client to
 // daemon, a one-line status back, then a raw byte tunnel onto the
 // simulated connection:
 //
-//	client: "WHOWAS1 <ip:port> <budget_ms>\n"
+//	client: "WHOWAS1 <ip:port> <budget_ms> [session]\n"
 //	daemon: "OK\n" | "TIMEOUT\n" | "REFUSED\n" | "ERR <reason>\n"
 //
 // budget_ms is the dialer's remaining context budget (-1 when the
 // context has no deadline). The daemon rebuilds an equivalent
 // deadline before dialing the simulated network, which is what keeps
 // deadline-sensitive semantics — the slow-host threshold, injected
-// connect latency — identical across transports.
+// connect latency — identical across transports. session, when
+// present, is the caller's probe session (netsim.WithProbeSession):
+// the daemon re-stamps it server-side so the simulated network's
+// per-(ip, day) transient-loss bookkeeping stays scoped per session
+// across the wire, exactly as in-process.
 const (
 	wireMagic     = "WHOWAS1"
 	statusOK      = "OK"
@@ -30,24 +37,41 @@ const (
 // noBudget marks a dial without a context deadline.
 const noBudget = int64(-1)
 
-// formatPreamble renders the client's opening line.
-func formatPreamble(address string, budgetMS int64) string {
-	return fmt.Sprintf("%s %s %d\n", wireMagic, address, budgetMS)
+// WithProbeSession scopes downstream dials to a probe session (see
+// netsim.WithProbeSession). Re-exported so campaign code can stamp
+// sessions without importing the simulator directly; the Client
+// carries the session across the wire in the dial preamble.
+func WithProbeSession(ctx context.Context, id string) context.Context {
+	return netsim.WithProbeSession(ctx, id)
+}
+
+// formatPreamble renders the client's opening line. The session field
+// is omitted when empty; any whitespace in it is folded to '_' so the
+// preamble stays one line of space-separated fields.
+func formatPreamble(address string, budgetMS int64, session string) string {
+	if session == "" {
+		return fmt.Sprintf("%s %s %d\n", wireMagic, address, budgetMS)
+	}
+	return fmt.Sprintf("%s %s %d %s\n", wireMagic, address, budgetMS,
+		strings.Join(strings.Fields(session), "_"))
 }
 
 // parsePreamble inverts formatPreamble. hasBudget is false for a
-// dial without a deadline.
-func parsePreamble(line string) (address string, budget time.Duration, hasBudget bool, err error) {
+// dial without a deadline; session is "" when the field is absent.
+func parsePreamble(line string) (address string, budget time.Duration, hasBudget bool, session string, err error) {
 	fields := strings.Fields(strings.TrimSpace(line))
-	if len(fields) != 3 || fields[0] != wireMagic {
-		return "", 0, false, fmt.Errorf("cloudapi: bad preamble %.40q", line)
+	if (len(fields) != 3 && len(fields) != 4) || fields[0] != wireMagic {
+		return "", 0, false, "", fmt.Errorf("cloudapi: bad preamble %.40q", line)
+	}
+	if len(fields) == 4 {
+		session = fields[3]
 	}
 	ms, err := strconv.ParseInt(fields[2], 10, 64)
 	if err != nil || ms < noBudget {
-		return "", 0, false, fmt.Errorf("cloudapi: bad budget %q", fields[2])
+		return "", 0, false, "", fmt.Errorf("cloudapi: bad budget %q", fields[2])
 	}
 	if ms == noBudget {
-		return fields[1], 0, false, nil
+		return fields[1], 0, false, session, nil
 	}
-	return fields[1], time.Duration(ms) * time.Millisecond, true, nil
+	return fields[1], time.Duration(ms) * time.Millisecond, true, session, nil
 }

@@ -1,0 +1,90 @@
+package cloudapi
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"whowas/internal/ipaddr"
+	"whowas/internal/netsim"
+)
+
+// TestWireProbeSessionScoping proves the probe session crosses the
+// dial preamble: distinct sessions stamped client-side get independent
+// transient-loss windows on the daemon's simulated network, so a shard
+// re-run by a different worker process behaves like a first
+// measurement instead of inheriting a dead worker's attempt counts.
+func TestWireProbeSessionScoping(t *testing.T) {
+	backing, err := NewInProcess(conformanceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(backing, ServerConfig{DataListeners: 2})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	client, err := Dial(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+
+	// Find a responsive, fast host: a short-budget in-process dial
+	// filters out slow hosts (they need ~5 s) and dead addresses.
+	var ip ipaddr.Addr
+	found := false
+	backing.Ranges().Each(func(a ipaddr.Addr) bool {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		c, err := backing.DialContext(ctx, "tcp", a.String()+":22")
+		cancel()
+		if err == nil {
+			c.Close()
+			ip, found = a, true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("no responsive fast host in sample")
+	}
+
+	backing.Network().LossPerMille = 1000 // every host lossy from here on
+
+	dial := func(session, label string, wantTimeout bool) {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if session != "" {
+			ctx = netsim.WithProbeSession(ctx, session)
+		}
+		c, err := client.DialContext(ctx, "tcp", ip.String()+":22")
+		if wantTimeout {
+			var ne net.Error
+			if err == nil || !errors.As(err, &ne) || !ne.Timeout() {
+				t.Fatalf("%s = %v, want timeout", label, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		c.Close()
+	}
+	// A victim session burns part of its loss window, then "dies".
+	dial("victim", "victim attempt 1", true)
+	dial("victim", "victim attempt 2", true)
+	// The re-run session starts from a clean window: the full three
+	// drops, then recovery — exactly a first measurement.
+	for i := 1; i <= 3; i++ {
+		dial("rerun", "rerun drop", true)
+	}
+	dial("rerun", "rerun retry", false)
+}

@@ -1,0 +1,110 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"whowas/internal/cloudapi"
+	"whowas/internal/metrics"
+)
+
+// TestShutdownReleasesGoroutines cancels a campaign mid-round — a
+// worker mid-shard, the coordinator mid-wait — then shuts everything
+// down and asserts the whole stack (coordinator ops server, worker
+// HTTP client, cloud clients, cloudd fleet) unwinds: no goroutines
+// leak and every Close/Shutdown is idempotent.
+func TestShutdownReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	backing, err := cloudapi.NewInProcess(coordCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudd := cloudapi.NewServer(backing, cloudapi.ServerConfig{DataListeners: 2})
+	clouddAddr, err := cloudd.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := NewServer(ctx, Config{
+		CloudAddr: clouddAddr,
+		Rounds:    []int{0},
+		LeaseTTL:  5 * time.Second,
+		Metrics:   metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.Run(ctx) }()
+
+	w, err := NewWorker(WorkerConfig{Coordinator: addr, ID: "leakcheck"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := make(chan struct{})
+	w.testOnAssign = func(Assignment) {
+		select {
+		case <-assigned:
+		default:
+			close(assigned)
+		}
+	}
+	workErr := make(chan error, 1)
+	go func() { workErr <- w.Run(ctx) }()
+
+	select {
+	case <-assigned:
+	case <-time.After(time.Minute):
+		t.Fatal("worker never received an assignment")
+	}
+	// Let the shard get into flight, then pull the plug on everyone.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	if err := <-runErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("coordinator run = %v, want context.Canceled", err)
+	}
+	if err := <-workErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("worker run = %v, want context.Canceled", err)
+	}
+	// An aborted campaign must leave the store unwedged (no open round).
+	if _, err := srv.Store().Digest(); err != nil {
+		t.Errorf("store digest after abort: %v", err)
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Errorf("coordinator shutdown: %v", err)
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Errorf("second coordinator shutdown: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("worker close: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second worker close: %v", err)
+	}
+	if err := cloudd.Shutdown(sctx); err != nil {
+		t.Errorf("cloudd shutdown: %v", err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines: %d before, %d after shutdown", before, n)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package coord
+
+// raceDetectorOn is false without -race; see race_on_test.go.
+const raceDetectorOn = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package coord
+
+// raceDetectorOn reports whether this test binary was built with
+// -race. The detector effectively serializes the socket-heavy
+// distributed campaigns, so the shared fixture runs a shorter round
+// schedule and a smaller cloud to keep `go test -race
+// ./internal/coord` inside the default test timeout.
+const raceDetectorOn = true

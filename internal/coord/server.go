@@ -1,0 +1,652 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"whowas/internal/cloudapi"
+	"whowas/internal/core"
+	"whowas/internal/faults"
+	"whowas/internal/metrics"
+	"whowas/internal/ops"
+	"whowas/internal/ratelimit"
+	"whowas/internal/scanner"
+	"whowas/internal/store"
+)
+
+// Config drives one distributed campaign.
+type Config struct {
+	// CloudAddr is the control-plane address of the shared
+	// whowas-cloudd daemon. The coordinator dials it to own the day
+	// schedule; workers dial it to probe.
+	CloudAddr string
+	// Rounds are the campaign day offsets; nil means the paper's §6
+	// schedule over the cloud's campaign length.
+	Rounds []int
+	// MaxRounds caps the schedule (after Rounds defaulting); 0 means
+	// no cap. Mirrors the CLIs' -rounds flag.
+	MaxRounds int
+	// Shards sets how many region shards each round is split into
+	// (regions are round-robined across shards, exactly like the
+	// in-process round's lanes). 0 means one shard per region. The
+	// store digest is byte-identical for any value.
+	Shards int
+	// MaxWorkers bounds the fleet: the global probe budget is divided
+	// into MaxWorkers equal lease slices, and the MaxWorkers+1'th
+	// register attempt is refused (409) until a lease frees up.
+	// 0 means DefaultMaxWorkers.
+	MaxWorkers int
+	// Rate is the global §7 probe budget in probes per second, shared
+	// by the whole fleet. <= 0 means simulation speed (workers scan
+	// unthrottled, as core.FastCampaign does); the lease machinery
+	// still runs for liveness.
+	Rate float64
+	// LeaseTTL is how long a worker lease lives without renewal; a
+	// silent worker expires after it and its shards are re-queued.
+	// 0 means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// RoundTimeout bounds each round's wall-clock time. A round whose
+	// shards have not all been submitted by then finalizes degraded
+	// with the shards that did complete — mirroring the in-process
+	// round's graceful degradation — instead of hanging on a dead
+	// fleet. It is also forwarded to workers as their per-shard
+	// deadline. 0 means no deadline.
+	RoundTimeout time.Duration
+	// Attempts, KeepBodies and Faults mirror CampaignConfig and are
+	// forwarded to every worker so the fleet's records match a
+	// single-process run byte for byte.
+	Attempts   int
+	KeepBodies bool
+	Faults     *faults.Scenario
+	// Metrics receives the coord.* counters and backs the ops surface.
+	Metrics *metrics.Registry
+	// Observer, when non-nil, receives each completed round's report.
+	Observer func(core.RoundReport)
+	// Clock feeds the lease budget (tests install a fake). Nil means
+	// the real clock.
+	Clock ratelimit.Clock
+}
+
+// Defaults for the zero Config values.
+const (
+	DefaultMaxWorkers = 8
+	DefaultLeaseTTL   = 10 * time.Second
+	// defaultRetryMS is the poll interval handed to waiting workers.
+	defaultRetryMS = 50
+)
+
+// roundState is one in-flight round's assignment ledger.
+type roundState struct {
+	idx, day int
+	start    time.Time
+	pending  []int    // unassigned shard indexes, FIFO
+	owner    []string // assigned shard -> worker ID ("" = unassigned)
+	done     []bool
+	results  []*core.ShardResult
+	nDone    int
+	degraded bool
+}
+
+// Server is the campaign coordinator. Build with NewServer, bind the
+// protocol with Start, drive the rounds with Run, and stop with
+// Shutdown.
+type Server struct {
+	cfg       Config
+	cloud     *cloudapi.Client
+	st        *store.Store
+	budget    *ratelimit.Budget
+	ops       *ops.Server
+	slice     float64 // per-worker lease slice
+	unlimited bool
+	days      []int
+	shards    [][]string // region names per shard, fixed per campaign
+	notify    chan struct{}
+
+	mu           sync.Mutex
+	round        *roundState
+	roundsDone   int
+	campaignDone bool
+	reports      []core.RoundReport
+
+	closeOnce sync.Once
+	closeErr  error
+
+	mRounds     *metrics.Counter
+	mAssigned   *metrics.Counter
+	mCompleted  *metrics.Counter
+	mReassigned *metrics.Counter
+	mExpired    *metrics.Counter
+	mRegistered *metrics.Counter
+	mRejected   *metrics.Counter
+}
+
+// NewServer dials the shared cloud daemon and assembles the
+// coordinator: the store the shards merge into, the leased-quota
+// budget, the shard layout, and the round schedule.
+func NewServer(ctx context.Context, cfg Config) (*Server, error) {
+	if cfg.CloudAddr == "" {
+		return nil, fmt.Errorf("coord: CloudAddr required")
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = DefaultMaxWorkers
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	cloud, err := cloudapi.Dial(ctx, cfg.CloudAddr)
+	if err != nil {
+		return nil, fmt.Errorf("coord: dialing cloud: %w", err)
+	}
+	regions, err := core.CloudRegionNames(cloud)
+	if err != nil {
+		cloud.Close()
+		return nil, err
+	}
+	nShards := cfg.Shards
+	if nShards <= 0 || nShards > len(regions) {
+		nShards = len(regions)
+	}
+	shards := make([][]string, nShards)
+	for i, name := range regions {
+		shards[i%nShards] = append(shards[i%nShards], name)
+	}
+	days := cfg.Rounds
+	if days == nil {
+		days = core.DefaultRoundSchedule(cloud.Days())
+	}
+	if cfg.MaxRounds > 0 && cfg.MaxRounds < len(days) {
+		days = days[:cfg.MaxRounds]
+	}
+	for _, day := range days {
+		if day < 0 || day >= cloud.Days() {
+			cloud.Close()
+			return nil, fmt.Errorf("coord: round day %d outside campaign [0,%d)", day, cloud.Days())
+		}
+	}
+	rate, unlimited := cfg.Rate, false
+	if rate <= 0 {
+		rate, unlimited = scanner.UnlimitedRate, true
+	}
+	budget, err := ratelimit.NewBudget(rate, cfg.LeaseTTL, cfg.Clock)
+	if err != nil {
+		cloud.Close()
+		return nil, err
+	}
+	st := store.New(cloud.Info().Name)
+	st.KeepBodies = cfg.KeepBodies
+	st.SetMetrics(cfg.Metrics)
+	return &Server{
+		cfg:         cfg,
+		cloud:       cloud,
+		st:          st,
+		budget:      budget,
+		slice:       rate / float64(cfg.MaxWorkers),
+		unlimited:   unlimited,
+		days:        days,
+		shards:      shards,
+		notify:      make(chan struct{}, 1),
+		mRounds:     cfg.Metrics.Counter("coord.rounds"),
+		mAssigned:   cfg.Metrics.Counter("coord.shards_assigned"),
+		mCompleted:  cfg.Metrics.Counter("coord.shards_completed"),
+		mReassigned: cfg.Metrics.Counter("coord.shards_reassigned"),
+		mExpired:    cfg.Metrics.Counter("coord.leases_expired"),
+		mRegistered: cfg.Metrics.Counter("coord.workers_registered"),
+		mRejected:   cfg.Metrics.Counter("coord.submits_rejected"),
+	}, nil
+}
+
+// Store returns the coordinator's store (the campaign's single source
+// of truth; digest it after Run).
+func (s *Server) Store() *store.Store { return s.st }
+
+// Budget exposes the lease budget (tests assert on Leased()).
+func (s *Server) Budget() *ratelimit.Budget { return s.budget }
+
+// NumShards reports the per-round shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// ScheduledRounds reports how many rounds the campaign will run.
+func (s *Server) ScheduledRounds() int { return len(s.days) }
+
+// Reports returns a copy of the completed rounds' reports.
+func (s *Server) Reports() []core.RoundReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]core.RoundReport(nil), s.reports...)
+}
+
+// Start binds the coordinator protocol (plus the standard ops
+// observability surface) on addr and serves in the background,
+// returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	s.ops = ops.New(ops.Config{
+		Metrics: s.cfg.Metrics,
+		Rounds:  s.Reports,
+		Extra: map[string]http.HandlerFunc{
+			"/coord/register":  s.handleRegister,
+			"/coord/heartbeat": s.handleHeartbeat,
+			"/coord/next":      s.handleNext,
+			"/coord/submit":    s.handleSubmit,
+			"/coord/status":    s.handleStatus,
+		},
+	})
+	return s.ops.Start(addr)
+}
+
+// wake nudges the round loop after a state change. Always called with
+// s.mu released — a send under the lock would invert the loop's
+// lock/recv order.
+func (s *Server) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// reapLocked expires dead leases and re-queues their unfinished
+// shards. Callers hold s.mu.
+func (s *Server) reapLocked() {
+	for _, id := range s.budget.Reap() {
+		s.mExpired.Inc()
+		s.requeueLocked(id)
+	}
+}
+
+// requeueLocked returns a worker's assigned-but-unfinished shards to
+// the pending queue. Callers hold s.mu.
+func (s *Server) requeueLocked(worker string) {
+	r := s.round
+	if r == nil {
+		return
+	}
+	for shard, owner := range r.owner {
+		if owner == worker && !r.done[shard] {
+			r.owner[shard] = ""
+			r.pending = append(r.pending, shard)
+			s.mReassigned.Inc()
+		}
+	}
+}
+
+// Run drives the campaign: one round per scheduled day, each waiting
+// until every shard has been submitted (re-assigning as leases die),
+// then finalizing through the same store path as the in-process
+// round. After the last round, workers asking for work are told to
+// exit.
+func (s *Server) Run(ctx context.Context) error {
+	for i, day := range s.days {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.runRound(ctx, i, day); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.campaignDone = true
+	s.mu.Unlock()
+	s.wake()
+	return nil
+}
+
+func (s *Server) runRound(ctx context.Context, idx, day int) error {
+	if err := s.cloud.SetDay(ctx, day); err != nil {
+		return fmt.Errorf("coord: round %d: %w", idx, err)
+	}
+	if _, err := s.st.BeginRound(day); err != nil {
+		return err
+	}
+	r := &roundState{
+		idx:     idx,
+		day:     day,
+		start:   time.Now(),
+		pending: make([]int, len(s.shards)),
+		owner:   make([]string, len(s.shards)),
+		done:    make([]bool, len(s.shards)),
+		results: make([]*core.ShardResult, len(s.shards)),
+	}
+	for i := range s.shards {
+		r.pending[i] = i
+	}
+	s.mu.Lock()
+	s.round = r
+	s.mu.Unlock()
+
+	// Reap on a quarter-TTL cadence so a dead worker's shards are
+	// back in the queue well before the survivors go idle.
+	reapTick := time.NewTicker(s.cfg.LeaseTTL / 4)
+	defer reapTick.Stop()
+	var deadline <-chan time.Time
+	if s.cfg.RoundTimeout > 0 {
+		t := time.NewTimer(s.cfg.RoundTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	timedOut := false
+	for {
+		s.mu.Lock()
+		s.reapLocked()
+		complete := r.nDone == len(s.shards)
+		s.mu.Unlock()
+		if complete || timedOut {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			// A cancelled campaign must not wedge the store on an open
+			// round; drop the partial round like runRound does.
+			s.mu.Lock()
+			s.round = nil
+			s.mu.Unlock()
+			_ = s.st.AbortRound()
+			return ctx.Err()
+		case <-deadline:
+			timedOut = true
+		case <-s.notify:
+		case <-reapTick.C:
+		}
+	}
+
+	s.mu.Lock()
+	s.round = nil
+	degraded := r.degraded || timedOut
+	s.mu.Unlock()
+
+	var probed int64
+	for _, res := range r.results {
+		if res == nil {
+			continue
+		}
+		for _, reg := range res.Regions {
+			probed += reg.Stats.Probed
+		}
+	}
+	s.st.AddProbed(probed)
+	if degraded {
+		if err := s.st.MarkDegraded(); err != nil {
+			return err
+		}
+	}
+	if err := s.st.EndRound(); err != nil {
+		return err
+	}
+
+	report := s.buildReport(r, degraded)
+	s.mu.Lock()
+	s.reports = append(s.reports, report)
+	s.roundsDone++
+	s.mu.Unlock()
+	s.mRounds.Inc()
+	if s.cfg.Observer != nil {
+		s.cfg.Observer(report)
+	}
+	return nil
+}
+
+// buildReport folds the accepted shard results into a RoundReport
+// with regions in address-range order, matching the in-process
+// round's report shape. A region whose shard never completed (the
+// round timed out first) reports zero counts and Degraded.
+func (s *Server) buildReport(r *roundState, degraded bool) core.RoundReport {
+	byRegion := make(map[string]core.RegionResult)
+	shardDegraded := make(map[string]bool)
+	for shard, res := range r.results {
+		if res == nil {
+			for _, name := range s.shards[shard] {
+				shardDegraded[name] = true
+			}
+			continue
+		}
+		for _, reg := range res.Regions {
+			byRegion[reg.Region] = reg
+			if res.Degraded && !reg.ScanDone {
+				shardDegraded[reg.Region] = true
+			}
+		}
+	}
+	report := core.RoundReport{
+		Round:    r.idx,
+		Day:      r.day,
+		Degraded: degraded,
+		Total:    time.Since(r.start),
+	}
+	for _, name := range flatten(s.shards) {
+		rr, ok := byRegion[name]
+		reg := core.RegionReport{
+			Region:   name,
+			Degraded: degraded && (!ok || shardDegraded[name]),
+		}
+		if ok {
+			reg.Probed = rr.Stats.Probed
+			reg.Skipped = rr.Stats.Skipped
+			reg.Responsive = rr.Stats.Responsive
+			reg.Fetched = rr.Fetched
+			reg.Records = rr.Records
+			report.Probes += rr.Stats.Probes
+			report.Retries += rr.Stats.Retries
+			report.RobotsDenied += rr.RobotsDenied
+			report.FetchErrors += rr.FetchErrors
+			report.BodyBytes += rr.BodyBytes
+		}
+		report.Regions = append(report.Regions, reg)
+		report.Probed += reg.Probed
+		report.Skipped += reg.Skipped
+		report.Responsive += reg.Responsive
+		report.Fetched += reg.Fetched
+		report.Records += reg.Records
+	}
+	return report
+}
+
+// flatten restores the region address-range order from the
+// round-robin shard layout (shard i holds regions i, i+n, i+2n, ...).
+func flatten(shards [][]string) []string {
+	var out []string
+	for col := 0; ; col++ {
+		added := false
+		for _, sh := range shards {
+			if col < len(sh) {
+				out = append(out, sh[col])
+				added = true
+			}
+		}
+		if !added {
+			return out
+		}
+	}
+}
+
+// DrainWorkers blocks until every worker has been told the campaign
+// is done and released its lease (or ctx expires). Call after Run so
+// a clean shutdown leaves no orphaned workers polling.
+func (s *Server) DrainWorkers(ctx context.Context) error {
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if len(s.budget.Holders()) == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.notify:
+		case <-tick.C:
+		}
+	}
+}
+
+// Shutdown stops the protocol server and closes the cloud client.
+// Idempotent; safe on a server never started.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		if s.ops != nil {
+			s.closeErr = s.ops.Shutdown(ctx)
+		}
+		if err := s.cloud.Close(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}
+
+// --- protocol handlers ---
+
+func decodeBody(w http.ResponseWriter, req *http.Request, v any) bool {
+	if err := json.NewDecoder(req.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("coord: bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, req *http.Request) {
+	var rr RegisterRequest
+	if !decodeBody(w, req, &rr) {
+		return
+	}
+	if rr.Worker == "" {
+		http.Error(w, "coord: worker ID required", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.reapLocked()
+	_, err := s.budget.Acquire(rr.Worker, s.slice)
+	if err == nil {
+		// A re-registering worker lost its session state; its old
+		// assignments must go back in the queue.
+		s.requeueLocked(rr.Worker)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	s.mRegistered.Inc()
+	s.wake()
+	ops.WriteJSON(w, RegisterReply{
+		Lease:          rr.Worker,
+		Rate:           s.slice,
+		Unlimited:      s.unlimited,
+		TTLMS:          s.cfg.LeaseTTL.Milliseconds(),
+		CloudAddr:      s.cfg.CloudAddr,
+		Attempts:       s.cfg.Attempts,
+		KeepBodies:     s.cfg.KeepBodies,
+		RoundTimeoutMS: s.cfg.RoundTimeout.Milliseconds(),
+		Faults:         s.cfg.Faults,
+	})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
+	var hb HeartbeatRequest
+	if !decodeBody(w, req, &hb) {
+		return
+	}
+	if _, err := s.budget.Renew(hb.Worker); err != nil {
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	}
+	ops.WriteJSON(w, HeartbeatReply{ExpiresInMS: s.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, req *http.Request) {
+	var nr NextRequest
+	if !decodeBody(w, req, &nr) {
+		return
+	}
+	if _, err := s.budget.Renew(nr.Worker); err != nil {
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	}
+	var a Assignment
+	released := false
+	s.mu.Lock()
+	switch r := s.round; {
+	case r != nil && len(r.pending) > 0:
+		shard := r.pending[0]
+		r.pending = r.pending[1:]
+		r.owner[shard] = nr.Worker
+		a = Assignment{
+			State:   StateRun,
+			Round:   r.idx,
+			Day:     r.day,
+			Shard:   shard,
+			Regions: s.shards[shard],
+		}
+		s.mAssigned.Inc()
+	case s.campaignDone && s.round == nil:
+		a = Assignment{State: StateDone}
+		released = s.budget.Release(nr.Worker) == nil
+	default:
+		a = Assignment{State: StateWait, RetryMS: defaultRetryMS}
+	}
+	s.mu.Unlock()
+	if released {
+		s.wake()
+	}
+	ops.WriteJSON(w, a)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var sr SubmitRequest
+	if !decodeBody(w, req, &sr) {
+		return
+	}
+	accepted := false
+	var putErr error
+	s.mu.Lock()
+	r := s.round
+	if r != nil && sr.Round == r.idx &&
+		sr.Shard >= 0 && sr.Shard < len(r.done) &&
+		!r.done[sr.Shard] && r.owner[sr.Shard] == sr.Worker {
+		if putErr = s.st.PutBatch(sr.Result.Records); putErr == nil {
+			res := sr.Result
+			r.done[sr.Shard] = true
+			r.results[sr.Shard] = &res
+			r.nDone++
+			if res.Degraded {
+				r.degraded = true
+			}
+			accepted = true
+		}
+	}
+	s.mu.Unlock()
+	if putErr != nil {
+		http.Error(w, putErr.Error(), http.StatusInternalServerError)
+		return
+	}
+	if accepted {
+		s.mCompleted.Inc()
+		s.wake()
+	} else {
+		s.mRejected.Inc()
+	}
+	ops.WriteJSON(w, SubmitReply{Accepted: accepted})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	st := Status{
+		Cloud:           s.st.CloudName,
+		RoundsTotal:     len(s.days),
+		RoundsCompleted: s.roundsDone,
+		Done:            s.campaignDone,
+		Round:           -1,
+		Rate:            s.budget.Rate(),
+		Unlimited:       s.unlimited,
+	}
+	if r := s.round; r != nil {
+		st.Round = r.idx
+		st.Day = r.day
+		st.ShardsPending = len(r.pending)
+		st.ShardsDone = r.nDone
+		st.ShardsAssigned = len(s.shards) - len(r.pending) - r.nDone
+	}
+	s.mu.Unlock()
+	st.Workers = s.budget.Holders()
+	st.LeasedRate = s.budget.Leased()
+	ops.WriteJSON(w, st)
+}

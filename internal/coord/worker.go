@@ -1,0 +1,423 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"whowas/internal/cloudapi"
+	"whowas/internal/core"
+	"whowas/internal/metrics"
+)
+
+// WorkerConfig drives one worker process (or goroutine).
+type WorkerConfig struct {
+	// Coordinator is the coordinator's protocol address
+	// ("host:port" or "http://host:port").
+	Coordinator string
+	// ID names the worker (and its lease). Empty means a PID-derived
+	// default; fleets must keep IDs unique.
+	ID string
+	// PollInterval paces the /coord/next loop while waiting for work.
+	// 0 means the coordinator-suggested interval.
+	PollInterval time.Duration
+	// Metrics, when non-nil, instruments the worker's scanner/fetcher.
+	Metrics *metrics.Registry
+	// Logf, when non-nil, receives one line per lifecycle event
+	// (registered, assigned, submitted, re-registering).
+	Logf func(format string, args ...any)
+}
+
+// errReregister signals a lost lease mid-session: the worker's state
+// is stale and it must register again.
+var errReregister = errors.New("coord: lease lost; re-registering")
+
+// Worker leases a slice of the coordinator's probe budget and runs
+// assigned shards until the campaign is done. Run blocks; Close is
+// idempotent and releases the cloud connections.
+type Worker struct {
+	cfg  WorkerConfig
+	base string
+	hc   *http.Client
+
+	mu     sync.Mutex
+	closed bool
+	cloud  *cloudapi.Client
+
+	// testOnAssign, when set, runs before each assignment executes —
+	// the in-process chaos tests inject worker death through it.
+	testOnAssign func(Assignment)
+}
+
+// NewWorker validates the config and builds a worker. No network
+// traffic happens until Run.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("coord: Coordinator address required")
+	}
+	if cfg.ID == "" {
+		cfg.ID = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	base := cfg.Coordinator
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	return &Worker{
+		cfg:  cfg,
+		base: base,
+		hc:   &http.Client{Timeout: 2 * time.Minute},
+	}, nil
+}
+
+// ID returns the worker's (possibly defaulted) identity.
+func (w *Worker) ID() string { return w.cfg.ID }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Run registers with the coordinator, leases its budget slice, dials
+// the shared cloud, and loops next → run shard → submit until the
+// campaign is done (nil) or ctx is cancelled. A lost lease (410) at
+// any point re-registers and continues; a shard execution failure
+// returns the error — the worker dies and the coordinator's lease
+// expiry re-assigns its work, which is the designed failure path.
+func (w *Worker) Run(ctx context.Context) error {
+	defer w.closeIdle()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := w.session(ctx)
+		if errors.Is(err, errReregister) {
+			w.logf("worker %s: %v", w.cfg.ID, err)
+			continue
+		}
+		return err
+	}
+}
+
+// session is one register → work cycle. It returns nil when the
+// campaign is done, errReregister when the lease was lost, and a
+// terminal error otherwise.
+func (w *Worker) session(ctx context.Context) error {
+	reg, err := w.register(ctx)
+	if err != nil {
+		return err
+	}
+	w.logf("worker %s: registered (rate %.0f pps, unlimited=%v, ttl %dms)",
+		w.cfg.ID, reg.Rate, reg.Unlimited, reg.TTLMS)
+	cloud, err := w.dialCloud(ctx, reg.CloudAddr)
+	if err != nil {
+		return err
+	}
+	runner, err := core.NewShardRunner(cloud, w.shardConfig(reg))
+	if err != nil {
+		return err
+	}
+	defer runner.CloseIdle()
+
+	// The heartbeat keeps the lease alive across long shards; it is
+	// tied to the session context so Run's return always reaps it.
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var hbMu sync.Mutex
+	var hbErr error
+	ttl := time.Duration(reg.TTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-inner.Done():
+				return
+			case <-t.C:
+				if err := w.heartbeat(inner); err != nil {
+					hbMu.Lock()
+					hbErr = err
+					hbMu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+	err = w.work(inner, runner)
+	cancel()
+	wg.Wait()
+	// A heartbeat failure cancelled the work loop from outside; its
+	// verdict (re-register vs. terminal) wins over the induced
+	// context error.
+	hbMu.Lock()
+	defer hbMu.Unlock()
+	if hbErr != nil && ctx.Err() == nil {
+		return hbErr
+	}
+	return err
+}
+
+// work loops assignments until done, a lost lease, or cancellation.
+func (w *Worker) work(ctx context.Context, runner *core.ShardRunner) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		a, err := w.next(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, errReregister) {
+				return err
+			}
+			// The coordinator may be briefly unreachable (restart,
+			// listen backlog); keep polling until ctx says otherwise.
+			w.logf("worker %s: next: %v", w.cfg.ID, err)
+			if err := sleepCtx(ctx, 500*time.Millisecond); err != nil {
+				return err
+			}
+			continue
+		}
+		switch a.State {
+		case StateDone:
+			w.logf("worker %s: campaign done", w.cfg.ID)
+			return nil
+		case StateWait:
+			d := w.cfg.PollInterval
+			if d <= 0 {
+				d = time.Duration(a.RetryMS) * time.Millisecond
+			}
+			if d <= 0 {
+				d = defaultRetryMS * time.Millisecond
+			}
+			if err := sleepCtx(ctx, d); err != nil {
+				return err
+			}
+		case StateRun:
+			if w.testOnAssign != nil {
+				w.testOnAssign(*a)
+			}
+			w.logf("worker %s: running round %d shard %d (%s)",
+				w.cfg.ID, a.Round, a.Shard, strings.Join(a.Regions, ","))
+			res, err := runner.RunShard(ctx, a.Regions)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return fmt.Errorf("coord: worker %s shard %d: %w", w.cfg.ID, a.Shard, err)
+			}
+			accepted, err := w.submit(ctx, *a, res)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return err
+			}
+			w.logf("worker %s: submitted round %d shard %d (%d records, accepted=%v)",
+				w.cfg.ID, a.Round, a.Shard, len(res.Records), accepted)
+		default:
+			return fmt.Errorf("coord: unknown assignment state %q", a.State)
+		}
+	}
+}
+
+// shardConfig builds the worker's campaign config from the
+// coordinator's directives, on the same base a single-process
+// simulation campaign uses so the records match byte for byte.
+func (w *Worker) shardConfig(reg *RegisterReply) core.CampaignConfig {
+	cfg := core.FastCampaign()
+	if !reg.Unlimited {
+		cfg.Scanner.Rate = reg.Rate
+	}
+	if reg.Attempts > 0 {
+		cfg.Scanner.Attempts = reg.Attempts
+		cfg.Fetcher.Attempts = reg.Attempts
+	}
+	cfg.KeepBodies = reg.KeepBodies
+	cfg.RoundTimeout = time.Duration(reg.RoundTimeoutMS) * time.Millisecond
+	cfg.Faults = reg.Faults
+	cfg.Scanner.Metrics = w.cfg.Metrics
+	cfg.Fetcher.Metrics = w.cfg.Metrics
+	return cfg
+}
+
+// dialCloud dials the shared cloud daemon once and caches the client
+// across re-registrations.
+func (w *Worker) dialCloud(ctx context.Context, addr string) (*cloudapi.Client, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, fmt.Errorf("coord: worker closed")
+	}
+	if w.cloud != nil {
+		return w.cloud, nil
+	}
+	cloud, err := cloudapi.Dial(ctx, addr)
+	if err != nil {
+		return nil, fmt.Errorf("coord: dialing cloud: %w", err)
+	}
+	w.cloud = cloud
+	return cloud, nil
+}
+
+// register acquires a lease, retrying while the coordinator is not up
+// yet or its budget is momentarily full (a dead predecessor's lease
+// may need to expire first).
+func (w *Worker) register(ctx context.Context) (*RegisterReply, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var reply RegisterReply
+		code, err := w.post(ctx, "/coord/register", RegisterRequest{Worker: w.cfg.ID}, &reply)
+		switch {
+		case err == nil && code == http.StatusOK:
+			return &reply, nil
+		case code == http.StatusConflict:
+			w.logf("worker %s: budget full; retrying", w.cfg.ID)
+		case err != nil:
+			w.logf("worker %s: register: %v", w.cfg.ID, err)
+		default:
+			return nil, fmt.Errorf("coord: register: unexpected status %d", code)
+		}
+		if err := sleepCtx(ctx, 200*time.Millisecond); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (w *Worker) heartbeat(ctx context.Context) error {
+	var reply HeartbeatReply
+	code, err := w.post(ctx, "/coord/heartbeat", HeartbeatRequest{Worker: w.cfg.ID}, &reply)
+	if code == http.StatusGone {
+		return errReregister
+	}
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("coord: heartbeat: unexpected status %d", code)
+	}
+	return nil
+}
+
+func (w *Worker) next(ctx context.Context) (*Assignment, error) {
+	var a Assignment
+	code, err := w.post(ctx, "/coord/next", NextRequest{Worker: w.cfg.ID}, &a)
+	if code == http.StatusGone {
+		return nil, errReregister
+	}
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("coord: next: unexpected status %d", code)
+	}
+	return &a, nil
+}
+
+func (w *Worker) submit(ctx context.Context, a Assignment, res *core.ShardResult) (bool, error) {
+	var reply SubmitReply
+	req := SubmitRequest{Worker: w.cfg.ID, Round: a.Round, Shard: a.Shard, Result: *res}
+	code, err := w.post(ctx, "/coord/submit", req, &reply)
+	if code == http.StatusGone {
+		return false, errReregister
+	}
+	if err != nil {
+		return false, err
+	}
+	if code != http.StatusOK {
+		return false, fmt.Errorf("coord: submit: unexpected status %d", code)
+	}
+	return reply.Accepted, nil
+}
+
+// post sends one JSON request and decodes the JSON reply. The status
+// code is returned even on non-200 answers so callers can react to
+// protocol statuses (409, 410).
+func (w *Worker) post(ctx context.Context, path string, body, reply any) (int, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(reply); err != nil {
+		return resp.StatusCode, fmt.Errorf("coord: decoding %s reply: %w", path, err)
+	}
+	return resp.StatusCode, nil
+}
+
+// closeIdle drops pooled connections without marking the worker
+// closed (Run's exit path; Run may be retried).
+func (w *Worker) closeIdle() {
+	w.hc.CloseIdleConnections()
+	w.mu.Lock()
+	cloud := w.cloud
+	w.mu.Unlock()
+	if cloud != nil {
+		_ = cloud.Close()
+	}
+}
+
+// Close releases the worker's connections. Idempotent; safe
+// concurrently with Run (whose requests then fail and surface as a
+// terminal error).
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	cloud := w.cloud
+	w.cloud = nil
+	w.mu.Unlock()
+	w.hc.CloseIdleConnections()
+	if cloud != nil {
+		return cloud.Close()
+	}
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -194,13 +194,14 @@ func (c *campaign) laneLabel(slots []int) string {
 	return label
 }
 
-// scanLane runs one lane's regions through the shared scanner,
-// sequentially, into the lane's results stream. Per-region stats land
-// in their slots even when a later region never runs (the deadline
-// case); completion flags drive the per-region Degraded report bits.
-func (c *campaign) scanLane(ctx context.Context, slots []int, out chan<- scanner.Result, scan []scanner.Stats, done []bool) error {
+// scanSlots runs the given region slots through a scanner,
+// sequentially, into a lane's results stream. Per-region stats land in
+// their slots even when a later region never runs (the deadline case);
+// completion flags drive the per-region Degraded report bits. Shared
+// by the in-process round's lanes and the distributed ShardRunner.
+func scanSlots(ctx context.Context, scn *scanner.Scanner, regions []laneRegion, blacklist *ipaddr.Set, workers int, slots []int, out chan<- scanner.Result, scan []scanner.Stats, done []bool) error {
 	for _, slot := range slots {
-		st, err := c.scn.ScanRangesInto(ctx, c.regions[slot].ranges, c.cfg.Blacklist, out, c.scanWorkers)
+		st, err := scn.ScanRangesInto(ctx, regions[slot].ranges, blacklist, out, workers)
 		if st != nil {
 			scan[slot] = *st
 		}
@@ -227,10 +228,33 @@ func (c *campaign) scanLane(ctx context.Context, slots []int, out chan<- scanner
 	return nil
 }
 
-// featurize is the sink stage's per-page work: tally, extract
-// features, store.
-func (c *campaign) featurize(page *fetcher.Page, tallies []regionTally) error {
-	t := &tallies[c.slotOf(page.IP)]
+// scanLane runs one lane's regions through the shared scanner.
+func (c *campaign) scanLane(ctx context.Context, slots []int, out chan<- scanner.Result, scan []scanner.Stats, done []bool) error {
+	return scanSlots(ctx, c.scn, c.regions, c.cfg.Blacklist, c.scanWorkers, slots, out, scan, done)
+}
+
+// wireLane adds one scan → fetch → featurize lane to a graph: the scan
+// source feeds a fetch stage pool, whose pages drain into a
+// single-worker featurize sink. Both the in-process round and the
+// distributed ShardRunner build their lanes through it, so the two
+// execution modes stay structurally identical.
+func wireLane(g *pipeline.Graph, ftc *fetcher.Fetcher, fetchWorkers int, laneAttr trace.Attr,
+	scan func(context.Context, chan<- scanner.Result) error,
+	sink func(context.Context, fetcher.Page) error) {
+	results := pipeline.NewStream[scanner.Result](1024)
+	pages := pipeline.NewStream[fetcher.Page](1024)
+	pipeline.SourceChan(g, "scan", results, scan, laneAttr)
+	pipeline.Stage(g, "fetch", fetchWorkers, results, pages,
+		func(ctx context.Context, res scanner.Result, emit func(fetcher.Page) error) error {
+			return emit(ftc.Exchange(ctx, res))
+		}, laneAttr)
+	pipeline.Sink(g, "featurize", 1, pages, sink, laneAttr)
+}
+
+// tallyPage folds one fetched page into its region tally and extracts
+// its store record. The caller stores (or collects) the record and
+// bumps t.records on success.
+func tallyPage(page *fetcher.Page, t *regionTally) *store.Record {
 	if page.Available() {
 		t.fetched++
 	}
@@ -241,7 +265,14 @@ func (c *campaign) featurize(page *fetcher.Page, tallies []regionTally) error {
 		t.fetchErrors++
 	}
 	t.bodyBytes += int64(len(page.Body))
-	rec := features.FromPage(page)
+	return features.FromPage(page)
+}
+
+// featurize is the sink stage's per-page work: tally, extract
+// features, store.
+func (c *campaign) featurize(page *fetcher.Page, tallies []regionTally) error {
+	t := &tallies[c.slotOf(page.IP)]
+	rec := tallyPage(page, t)
 	if err := c.put(rec); err != nil {
 		return err
 	}
@@ -288,21 +319,13 @@ func (c *campaign) runRound(ctx context.Context, roundIdx, day int) error {
 	tallies := make([]regionTally, len(c.regions))
 	for _, slots := range c.lanes {
 		slots := slots
-		results := pipeline.NewStream[scanner.Result](1024)
-		pages := pipeline.NewStream[fetcher.Page](1024)
-		laneAttr := trace.String("regions", c.laneLabel(slots))
-		pipeline.SourceChan(g, "scan", results,
+		wireLane(g, c.ftc, c.fetchWorkers, trace.String("regions", c.laneLabel(slots)),
 			func(ctx context.Context, out chan<- scanner.Result) error {
 				return c.scanLane(ctx, slots, out, scan, scanDone)
-			}, laneAttr)
-		pipeline.Stage(g, "fetch", c.fetchWorkers, results, pages,
-			func(ctx context.Context, res scanner.Result, emit func(fetcher.Page) error) error {
-				return emit(c.ftc.Exchange(ctx, res))
-			}, laneAttr)
-		pipeline.Sink(g, "featurize", 1, pages,
+			},
 			func(ctx context.Context, page fetcher.Page) error {
 				return c.featurize(&page, tallies)
-			}, laneAttr)
+			})
 	}
 
 	res, runErr := g.Run(roundCtx)

@@ -1,0 +1,234 @@
+// The distributed round's worker half: a ShardRunner executes the same
+// scan → fetch → featurize lane as the in-process round (round.go) over
+// an assigned subset of the cloud's regions, but collects the records
+// instead of storing them — the coordinator owns the one store and
+// merges shard submissions exactly as EndRound merges lanes, so store
+// digests stay byte-identical for any worker count.
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"whowas/internal/cloudapi"
+	"whowas/internal/fetcher"
+	"whowas/internal/pipeline"
+	"whowas/internal/scanner"
+	"whowas/internal/store"
+	"whowas/internal/trace"
+)
+
+// shardSession distinguishes probe sessions across RunShard calls in
+// one process; os.Getpid distinguishes them across worker processes.
+var shardSession atomic.Int64
+
+// RegionResult is one region's share of a shard run. It carries the
+// scanner's counts and the fetch-side tallies the coordinator folds
+// into the round's RegionReport.
+type RegionResult struct {
+	Region       string        `json:"region"`
+	Stats        scanner.Stats `json:"stats"`
+	Fetched      int64         `json:"fetched"`
+	RobotsDenied int64         `json:"robots_denied"`
+	FetchErrors  int64         `json:"fetch_errors"`
+	Records      int64         `json:"records"`
+	BodyBytes    int64         `json:"body_bytes"`
+	// ScanDone reports whether the region's scan ran to completion; a
+	// false value under a degraded shard marks the region partial.
+	ScanDone bool `json:"scan_done"`
+}
+
+// ShardResult is everything one shard run produced: the per-region
+// counts, the extracted records, and whether the shard degraded under
+// its deadline.
+type ShardResult struct {
+	Regions  []RegionResult  `json:"regions"`
+	Records  []*store.Record `json:"records"`
+	Degraded bool            `json:"degraded"`
+}
+
+// ShardRunner executes assigned region shards against a cloud. It owns
+// a scanner and fetcher configured exactly like a campaign's — the
+// scanner's rate is the worker's leased slice of the global §7
+// budget — but never touches a store or the cloud's day schedule; both
+// belong to the coordinator.
+type ShardRunner struct {
+	cfg          CampaignConfig
+	scn          *scanner.Scanner
+	ftc          *fetcher.Fetcher
+	regions      []laneRegion
+	slots        map[string]int // region name -> slot
+	scanWorkers  int
+	fetchWorkers int
+}
+
+// NewShardRunner builds a runner over the cloud. The config is
+// resolved the same way RunCampaign resolves it: region hooks default
+// to the cloud's, and a fault scenario wraps the data plane through
+// cloudapi.WithFaults so chaos campaigns reproduce identically over
+// workers.
+func NewShardRunner(cloud cloudapi.Cloud, cfg CampaignConfig) (*ShardRunner, error) {
+	if cloud == nil {
+		return nil, fmt.Errorf("core: nil cloud")
+	}
+	if cfg.Scanner.RegionOf == nil {
+		cfg.Scanner.RegionOf = cloud.RegionOf
+	}
+	if cfg.Fetcher.RegionOf == nil {
+		cfg.Fetcher.RegionOf = cloud.RegionOf
+	}
+	var dialer cloudapi.Dialer = cloud
+	if cfg.Faults != nil {
+		fc, err := cloudapi.WithFaults(cloud, *cfg.Faults, cfg.Scanner.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		dialer = fc
+	}
+	scn, err := scanner.New(dialer, cfg.Scanner)
+	if err != nil {
+		return nil, err
+	}
+	ftc, err := fetcher.New(dialer, cfg.Fetcher)
+	if err != nil {
+		return nil, err
+	}
+	r := &ShardRunner{cfg: cfg, scn: scn, ftc: ftc}
+	r.regions, err = splitRegions(cloud.Ranges(), cfg.Scanner.RegionOf)
+	if err != nil {
+		return nil, fmt.Errorf("core: splitting regions: %w", err)
+	}
+	r.slots = make(map[string]int, len(r.regions))
+	for i, reg := range r.regions {
+		r.slots[reg.name] = i
+	}
+	// A worker runs one lane at a time, so unlike the sharded
+	// in-process round its pools are not divided.
+	r.scanWorkers = cfg.Scanner.WithDefaults().Workers
+	r.fetchWorkers = cfg.Fetcher.WithDefaults().Workers
+	return r, nil
+}
+
+// RegionNames lists the cloud's regions in address-range order — the
+// order the coordinator assigns shards in.
+func (r *ShardRunner) RegionNames() []string {
+	out := make([]string, len(r.regions))
+	for i, reg := range r.regions {
+		out[i] = reg.name
+	}
+	return out
+}
+
+// CloudRegionNames lists a cloud's regions in address-range order —
+// the same split and order the round pipeline lanes use, so a
+// coordinator's shard layout lines up with the in-process round's.
+func CloudRegionNames(cloud cloudapi.Cloud) ([]string, error) {
+	regs, err := splitRegions(cloud.Ranges(), cloud.RegionOf)
+	if err != nil {
+		return nil, fmt.Errorf("core: splitting regions: %w", err)
+	}
+	out := make([]string, len(regs))
+	for i, reg := range regs {
+		out[i] = reg.name
+	}
+	return out, nil
+}
+
+// CloseIdle drops the fetcher's pooled connections. RunShard calls it
+// on every exit path; workers call it again at shutdown.
+func (r *ShardRunner) CloseIdle() {
+	r.ftc.CloseIdle()
+}
+
+// RunShard executes one shard — the named regions, in the given
+// order — as a single scan → fetch → featurize lane and returns the
+// counts and records. When the config carries a RoundTimeout the shard
+// degrades gracefully at the deadline (partial records, Degraded set)
+// instead of failing, mirroring the in-process round.
+func (r *ShardRunner) RunShard(ctx context.Context, regions []string) (*ShardResult, error) {
+	// Every run gets a fresh probe session so the simulated network's
+	// transient-loss bookkeeping treats it as a first measurement. A
+	// shard re-run after its original worker died mid-probe must not
+	// inherit the victim's partial attempt counts — that would flip
+	// lossy IPs responsive and break 1-vs-N digest identity.
+	ctx = cloudapi.WithProbeSession(ctx,
+		fmt.Sprintf("shard-%d-%d", os.Getpid(), shardSession.Add(1)))
+	slots := make([]int, 0, len(regions))
+	label := ""
+	for i, name := range regions {
+		slot, ok := r.slots[name]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown region %q", name)
+		}
+		slots = append(slots, slot)
+		if i > 0 {
+			label += ","
+		}
+		label += name
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("core: empty shard")
+	}
+
+	shardCtx, cancel := ctx, context.CancelFunc(func() {})
+	if r.cfg.RoundTimeout > 0 {
+		shardCtx, cancel = context.WithTimeout(ctx, r.cfg.RoundTimeout)
+	}
+	defer cancel()
+	// As in runRound: pooled connections must not outlive the round —
+	// the next assignment is a different day.
+	defer r.ftc.CloseIdle()
+
+	g := pipeline.New(pipeline.Options{
+		Metrics: r.cfg.Scanner.Metrics,
+		Tracer:  r.cfg.Scanner.Tracer,
+		Outer:   ctx,
+	})
+	scan := make([]scanner.Stats, len(r.regions))
+	done := make([]bool, len(r.regions))
+	tallies := make([]regionTally, len(r.regions))
+	var recs []*store.Record
+	wireLane(g, r.ftc, r.fetchWorkers, trace.String("regions", label),
+		func(ctx context.Context, out chan<- scanner.Result) error {
+			return scanSlots(ctx, r.scn, r.regions, r.cfg.Blacklist, r.scanWorkers, slots, out, scan, done)
+		},
+		func(ctx context.Context, page fetcher.Page) error {
+			slot := 0
+			if r.cfg.Scanner.RegionOf != nil {
+				if s, ok := r.slots[r.cfg.Scanner.RegionOf(page.IP)]; ok {
+					slot = s
+				}
+			}
+			t := &tallies[slot]
+			rec := tallyPage(&page, t)
+			if !r.cfg.KeepBodies {
+				// The coordinator's EndRound would drop the body anyway;
+				// shedding it here keeps it off the wire.
+				rec.Body = ""
+			}
+			recs = append(recs, rec)
+			t.records++
+			return nil
+		})
+
+	res, runErr := g.Run(shardCtx)
+	if runErr != nil {
+		return nil, fmt.Errorf("core: shard %s: %w", label, runErr)
+	}
+	out := &ShardResult{Degraded: res.Degraded, Records: recs}
+	for _, slot := range slots {
+		out.Regions = append(out.Regions, RegionResult{
+			Region:       r.regions[slot].name,
+			Stats:        scan[slot],
+			Fetched:      tallies[slot].fetched,
+			RobotsDenied: tallies[slot].robotsDenied,
+			FetchErrors:  tallies[slot].fetchErrors,
+			Records:      tallies[slot].records,
+			BodyBytes:    tallies[slot].bodyBytes,
+			ScanDone:     done[slot],
+		})
+	}
+	return out, nil
+}

@@ -115,10 +115,11 @@ func DefaultOptions() Options {
 			"internal/core",
 			"internal/pipeline",
 			"internal/cloudapi",
+			"internal/coord",
 		},
 		ErrSourcePackages: []string{"internal/atomicfile"},
 		ErrMethodPackages: []string{"internal/store", "internal/trace"},
-		LockSendPackages:  []string{"internal/pipeline", "internal/store"},
+		LockSendPackages:  []string{"internal/pipeline", "internal/store", "internal/coord"},
 	}
 }
 

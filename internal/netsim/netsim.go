@@ -106,8 +106,32 @@ type Network struct {
 }
 
 type attemptKey struct {
-	ip  ipaddr.Addr
-	day int
+	session string
+	ip      ipaddr.Addr
+	day     int
+}
+
+// probeSessionKey carries a WithProbeSession identity through dial
+// contexts.
+type probeSessionKey struct{}
+
+// WithProbeSession scopes the network's per-(ip, day) transient-loss
+// bookkeeping to the given session identity. Dials in different
+// sessions count attempts independently, so re-measuring a range in a
+// fresh session behaves exactly like a first measurement — which is
+// what lets a distributed campaign re-run a dead worker's
+// half-probed shard and still reproduce the single-process store
+// digest. An unstamped context is the "" session; a campaign that
+// never re-measures needs no stamping.
+func WithProbeSession(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, probeSessionKey{}, id)
+}
+
+// ProbeSession returns the identity stamped by WithProbeSession, or
+// "" when the context carries none.
+func ProbeSession(ctx context.Context) string {
+	s, _ := ctx.Value(probeSessionKey{}).(string)
+	return s
 }
 
 // New builds a network over the given cloud.
@@ -228,8 +252,8 @@ func (n *Network) DialContext(ctx context.Context, network, address string) (net
 		}
 	}
 	// Transient loss: hash-selected probes fail on their first attempt
-	// and succeed on retry.
-	if n.lossDrop(ip, port, day) {
+	// and succeed on retry, counted per probe session.
+	if n.lossDrop(ProbeSession(ctx), ip, port, day) {
 		return nil, &timeoutError{addr: address}
 	}
 
@@ -252,7 +276,7 @@ func (n *Network) DialContext(ctx context.Context, network, address string) (net
 // sequence — and answers retries after that. This is what the §4
 // retry experiment measures: probing the same IP again minutes later
 // recovers a small fraction of non-responders.
-func (n *Network) lossDrop(ip ipaddr.Addr, port, day int) bool {
+func (n *Network) lossDrop(session string, ip ipaddr.Addr, port, day int) bool {
 	if n.LossPerMille <= 0 {
 		return false
 	}
@@ -263,7 +287,7 @@ func (n *Network) lossDrop(ip ipaddr.Addr, port, day int) bool {
 	if h%1000 >= uint64(n.LossPerMille) {
 		return false
 	}
-	k := attemptKey{ip: ip, day: day}
+	k := attemptKey{session: session, ip: ip, day: day}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.attempts[k]++

@@ -241,6 +241,44 @@ func TestTransientLossRecoversOnRetry(t *testing.T) {
 	}
 }
 
+func TestTransientLossScopedPerSession(t *testing.T) {
+	n, cloud := testNetwork(t)
+	n.LossPerMille = 1000 // make every host lossy today
+	ip := findIP(t, cloud, func(s cloudsim.IPState) bool { return s.Bound && !s.Slow })
+	var ne net.Error
+	mustDrop := func(ctx context.Context, label string) {
+		t.Helper()
+		_, err := n.DialContext(ctx, "tcp", ip.String()+":22")
+		if err == nil || !asNetError(err, &ne) || !ne.Timeout() {
+			t.Fatalf("%s = %v, want timeout", label, err)
+		}
+	}
+	// A victim session consumes part of the loss window, then dies
+	// mid-probe (simply stops dialing).
+	victim := WithProbeSession(context.Background(), "victim")
+	mustDrop(victim, "victim attempt 1")
+	mustDrop(victim, "victim attempt 2")
+	// A fresh session re-measuring the same IP behaves like a first
+	// measurement: the full loss window, then recovery. This is what
+	// lets a coordinator re-run a dead worker's shard and still match
+	// the single-process digest.
+	rerun := WithProbeSession(context.Background(), "rerun")
+	for attempt := 1; attempt <= 3; attempt++ {
+		mustDrop(rerun, "rerun attempt")
+	}
+	c, err := n.DialContext(rerun, "tcp", ip.String()+":22")
+	if err != nil {
+		t.Fatalf("rerun retry after loss window failed: %v", err)
+	}
+	c.Close()
+	// The unstamped (in-process) path is its own scope, untouched by
+	// either session's history.
+	mustDrop(context.Background(), "unstamped attempt 1")
+	if got := ProbeSession(context.Background()); got != "" {
+		t.Errorf("ProbeSession(background) = %q, want empty", got)
+	}
+}
+
 func TestSetDayChangesContent(t *testing.T) {
 	n, cloud := testNetwork(t)
 	// Find an IP that is web on day 0 and unbound at some later day.

@@ -37,6 +37,11 @@ type Config struct {
 	// Rounds supplies the completed rounds for /rounds
 	// (Platform.RoundReports fits directly).
 	Rounds func() []core.RoundReport
+	// Extra mounts additional routes on the server's mux. The
+	// coordinator rides an ops server this way: its control protocol
+	// (/coord/*) serves beside the standard observability surface, so
+	// one address answers both workers and operators.
+	Extra map[string]http.HandlerFunc
 }
 
 // Server is the live ops endpoint.
@@ -62,6 +67,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range cfg.Extra {
+		s.mux.HandleFunc(pattern, h)
+	}
 	return s
 }
 
@@ -90,12 +98,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.srv.Shutdown(ctx)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// WriteJSON writes v as indented JSON with the conventional content
+// type — the package's house answer format, exported for the handlers
+// Config.Extra mounts.
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
 }
+
+func writeJSON(w http.ResponseWriter, v any) { WriteJSON(w, v) }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{

@@ -1,0 +1,200 @@
+// The leased-quota service. A distributed campaign still owes the §7
+// politeness contract as a whole: the probes of every worker, summed,
+// must stay inside one global budget. Budget makes that sum
+// structural — the coordinator owns the global rate, workers lease
+// token-bucket slices of it, and a slice only counts against the
+// budget while its lease is alive. A worker that dies silently simply
+// stops renewing; its lease expires and the tokens return to the pool
+// for a replacement, so the fleet can churn without the aggregate rate
+// ever exceeding the envelope.
+package ratelimit
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Budget errors, matched by callers with errors.Is.
+var (
+	// ErrOverSubscribed reports an Acquire that would push the sum of
+	// outstanding leases past the global rate.
+	ErrOverSubscribed = errors.New("ratelimit: budget over-subscribed")
+	// ErrNoLease reports a Renew or Release of a lease that does not
+	// exist or has already expired.
+	ErrNoLease = errors.New("ratelimit: no such lease")
+)
+
+// Lease is a snapshot of one outstanding slice of the budget.
+type Lease struct {
+	ID      string
+	Rate    float64   // leased tokens per second
+	Expires time.Time // instant the lease lapses unless renewed
+}
+
+// Budget divides one global token-per-second rate among named
+// leaseholders. All methods are safe for concurrent use. The zero
+// value is not usable; construct with NewBudget.
+type Budget struct {
+	mu     sync.Mutex
+	rate   float64
+	ttl    time.Duration
+	clock  Clock
+	leases map[string]*Lease
+	// dead holds the IDs of expired leases that Reap has not yet
+	// reported. Every method reaps expired leases as a side effect;
+	// recording the deaths here keeps that from swallowing them —
+	// Reap delivers each death exactly once no matter which call
+	// happened to observe the expiry first.
+	dead map[string]struct{}
+}
+
+// NewBudget builds a budget issuing at most rate tokens per second in
+// total, with each lease living ttl past its last Acquire/Renew.
+func NewBudget(rate float64, ttl time.Duration, clock Clock) (*Budget, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("%w: rate=%v burst=1", ErrBadRate, rate)
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("ratelimit: lease ttl must be positive, got %v", ttl)
+	}
+	if clock == nil {
+		clock = realClock{}
+	}
+	return &Budget{
+		rate:   rate,
+		ttl:    ttl,
+		clock:  clock,
+		leases: make(map[string]*Lease),
+		dead:   make(map[string]struct{}),
+	}, nil
+}
+
+// Rate returns the global budget in tokens per second.
+func (b *Budget) Rate() float64 { return b.rate }
+
+// TTL returns the configured lease lifetime.
+func (b *Budget) TTL() time.Duration { return b.ttl }
+
+// reapLocked drops expired leases and records their deaths for Reap
+// to report. Callers hold mu.
+func (b *Budget) reapLocked(now time.Time) {
+	for id, l := range b.leases {
+		if now.After(l.Expires) {
+			delete(b.leases, id)
+			b.dead[id] = struct{}{}
+		}
+	}
+}
+
+// leasedLocked sums the live leases. Callers hold mu.
+func (b *Budget) leasedLocked() float64 {
+	sum := 0.0
+	for _, l := range b.leases {
+		sum += l.Rate
+	}
+	return sum
+}
+
+// Acquire leases rate tokens per second under the given ID. Expired
+// leases are reaped first; an ID that already holds a live lease is
+// re-granted (its old slice is returned before the new one is
+// counted, so a worker re-registering under its own name never
+// double-books). Fails with ErrOverSubscribed when the requested
+// slice does not fit the remaining budget.
+func (b *Budget) Acquire(id string, rate float64) (Lease, error) {
+	if rate <= 0 {
+		return Lease{}, fmt.Errorf("%w: rate=%v burst=1", ErrBadRate, rate)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock.Now()
+	b.reapLocked(now)
+	outstanding := b.leasedLocked()
+	if prev, ok := b.leases[id]; ok {
+		outstanding -= prev.Rate
+	}
+	// The epsilon absorbs float error when N workers lease rate/N.
+	if outstanding+rate > b.rate*(1+1e-9) {
+		return Lease{}, fmt.Errorf("%w: %v leased + %v requested > %v global",
+			ErrOverSubscribed, outstanding, rate, b.rate)
+	}
+	l := &Lease{ID: id, Rate: rate, Expires: now.Add(b.ttl)}
+	b.leases[id] = l
+	// A re-registering worker handles its own orphaned state at
+	// registration; its earlier expiry must not also surface from Reap
+	// as a fresh death.
+	delete(b.dead, id)
+	return *l, nil
+}
+
+// Renew extends a live lease by the budget's TTL from now.
+func (b *Budget) Renew(id string) (Lease, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock.Now()
+	b.reapLocked(now)
+	l, ok := b.leases[id]
+	if !ok {
+		return Lease{}, fmt.Errorf("%w: %q", ErrNoLease, id)
+	}
+	l.Expires = now.Add(b.ttl)
+	return *l, nil
+}
+
+// Release returns a lease's tokens to the pool immediately.
+func (b *Budget) Release(id string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reapLocked(b.clock.Now())
+	if _, ok := b.leases[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoLease, id)
+	}
+	delete(b.leases, id)
+	return nil
+}
+
+// Reap drops every expired lease and returns the IDs of all deaths
+// not yet reported, sorted — including leases another method's
+// internal reap collected first. The coordinator calls it
+// periodically: a returned ID is a worker that died silently, whose
+// shards need re-assignment. Each death is reported exactly once.
+func (b *Budget) Reap() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reapLocked(b.clock.Now())
+	if len(b.dead) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(b.dead))
+	for id := range b.dead {
+		out = append(out, id)
+	}
+	clear(b.dead)
+	sort.Strings(out)
+	return out
+}
+
+// Leased returns the summed rate of the outstanding (unexpired)
+// leases. The invariant Leased() <= Rate() holds at all times.
+func (b *Budget) Leased() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reapLocked(b.clock.Now())
+	return b.leasedLocked()
+}
+
+// Holders returns the live lease IDs, sorted.
+func (b *Budget) Holders() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reapLocked(b.clock.Now())
+	out := make([]string, 0, len(b.leases))
+	for id := range b.leases {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,322 @@
+package ratelimit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestBudget(t *testing.T, rate float64, ttl time.Duration) (*Budget, *FakeClock) {
+	t.Helper()
+	clk := NewFakeClock(time.Unix(1700000000, 0))
+	b, err := NewBudget(rate, ttl, clk)
+	if err != nil {
+		t.Fatalf("NewBudget: %v", err)
+	}
+	return b, clk
+}
+
+func TestBudgetConfigErrors(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	if _, err := NewBudget(0, time.Second, clk); !errors.Is(err, ErrBadRate) {
+		t.Errorf("rate 0: got %v, want ErrBadRate", err)
+	}
+	if _, err := NewBudget(-5, time.Second, clk); !errors.Is(err, ErrBadRate) {
+		t.Errorf("rate -5: got %v, want ErrBadRate", err)
+	}
+	if _, err := NewBudget(100, 0, clk); err == nil {
+		t.Error("ttl 0: want error, got nil")
+	}
+	b, err := NewBudget(100, time.Second, nil)
+	if err != nil {
+		t.Fatalf("nil clock: %v", err)
+	}
+	if b.Rate() != 100 || b.TTL() != time.Second {
+		t.Errorf("Rate/TTL = %v/%v, want 100/1s", b.Rate(), b.TTL())
+	}
+}
+
+func TestBudgetAcquireRelease(t *testing.T) {
+	b, _ := newTestBudget(t, 250, time.Minute)
+	l, err := b.Acquire("w1", 100)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if l.ID != "w1" || l.Rate != 100 {
+		t.Errorf("lease = %+v", l)
+	}
+	if got := b.Leased(); got != 100 {
+		t.Errorf("Leased = %v, want 100", got)
+	}
+	if _, err := b.Acquire("w2", 150); err != nil {
+		t.Fatalf("Acquire w2: %v", err)
+	}
+	if got := b.Leased(); got != 250 {
+		t.Errorf("Leased = %v, want 250", got)
+	}
+	if err := b.Release("w1"); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if got := b.Leased(); got != 150 {
+		t.Errorf("Leased after release = %v, want 150", got)
+	}
+	if err := b.Release("w1"); !errors.Is(err, ErrNoLease) {
+		t.Errorf("double Release: got %v, want ErrNoLease", err)
+	}
+	if got := b.Holders(); len(got) != 1 || got[0] != "w2" {
+		t.Errorf("Holders = %v, want [w2]", got)
+	}
+}
+
+func TestBudgetOverSubscriptionRejected(t *testing.T) {
+	b, _ := newTestBudget(t, 250, time.Minute)
+	if _, err := b.Acquire("w1", 200); err != nil {
+		t.Fatalf("Acquire w1: %v", err)
+	}
+	if _, err := b.Acquire("w2", 100); !errors.Is(err, ErrOverSubscribed) {
+		t.Fatalf("over-subscribe: got %v, want ErrOverSubscribed", err)
+	}
+	// The rejected acquire must not count against the budget.
+	if got := b.Leased(); got != 200 {
+		t.Errorf("Leased after rejection = %v, want 200", got)
+	}
+	// The remaining slice is still grantable.
+	if _, err := b.Acquire("w2", 50); err != nil {
+		t.Errorf("Acquire exact remainder: %v", err)
+	}
+	if _, err := b.Acquire("w3", 1); !errors.Is(err, ErrOverSubscribed) {
+		t.Errorf("full budget: got %v, want ErrOverSubscribed", err)
+	}
+	if _, err := b.Acquire("w3", 0); !errors.Is(err, ErrBadRate) {
+		t.Errorf("zero-rate acquire: got %v, want ErrBadRate", err)
+	}
+}
+
+func TestBudgetReacquireReplacesOwnLease(t *testing.T) {
+	b, _ := newTestBudget(t, 100, time.Minute)
+	if _, err := b.Acquire("w1", 100); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// Re-registering under the same ID swaps the old slice for the new
+	// one; it must not be double-counted against the budget.
+	if _, err := b.Acquire("w1", 60); err != nil {
+		t.Fatalf("re-Acquire: %v", err)
+	}
+	if got := b.Leased(); got != 60 {
+		t.Errorf("Leased = %v, want 60", got)
+	}
+	if _, err := b.Acquire("w2", 40); err != nil {
+		t.Errorf("Acquire freed remainder: %v", err)
+	}
+}
+
+func TestBudgetLeaseExpiry(t *testing.T) {
+	b, clk := newTestBudget(t, 250, 10*time.Second)
+	l, err := b.Acquire("w1", 250)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if want := clk.Now().Add(10 * time.Second); !l.Expires.Equal(want) {
+		t.Errorf("Expires = %v, want %v", l.Expires, want)
+	}
+	// Another worker cannot fit while the lease is alive.
+	if _, err := b.Acquire("w2", 1); !errors.Is(err, ErrOverSubscribed) {
+		t.Fatalf("live lease: got %v, want ErrOverSubscribed", err)
+	}
+	clk.Advance(10*time.Second + time.Millisecond)
+	// Expiry returns the tokens to the pool...
+	if got := b.Leased(); got != 0 {
+		t.Errorf("Leased after expiry = %v, want 0", got)
+	}
+	// ...and the dead worker's slice is grantable to a replacement.
+	if _, err := b.Acquire("w2", 250); err != nil {
+		t.Errorf("Acquire after expiry: %v", err)
+	}
+	// The dead lease can no longer be renewed or released.
+	if _, err := b.Renew("w1"); !errors.Is(err, ErrNoLease) {
+		t.Errorf("Renew expired: got %v, want ErrNoLease", err)
+	}
+	if err := b.Release("w1"); !errors.Is(err, ErrNoLease) {
+		t.Errorf("Release expired: got %v, want ErrNoLease", err)
+	}
+}
+
+func TestBudgetRenewExtendsLease(t *testing.T) {
+	b, clk := newTestBudget(t, 100, 10*time.Second)
+	if _, err := b.Acquire("w1", 100); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// Heartbeat inside the TTL keeps the lease alive indefinitely.
+	for i := 0; i < 5; i++ {
+		clk.Advance(8 * time.Second)
+		l, err := b.Renew("w1")
+		if err != nil {
+			t.Fatalf("Renew #%d: %v", i, err)
+		}
+		if want := clk.Now().Add(10 * time.Second); !l.Expires.Equal(want) {
+			t.Errorf("Renew #%d Expires = %v, want %v", i, l.Expires, want)
+		}
+	}
+	if got := b.Leased(); got != 100 {
+		t.Errorf("Leased = %v, want 100", got)
+	}
+	// Missing one heartbeat past the TTL loses the lease.
+	clk.Advance(10*time.Second + time.Millisecond)
+	if _, err := b.Renew("w1"); !errors.Is(err, ErrNoLease) {
+		t.Errorf("Renew after expiry: got %v, want ErrNoLease", err)
+	}
+	if _, err := b.Renew("ghost"); !errors.Is(err, ErrNoLease) {
+		t.Errorf("Renew unknown: got %v, want ErrNoLease", err)
+	}
+}
+
+func TestBudgetReapReportsDeadLeases(t *testing.T) {
+	b, clk := newTestBudget(t, 300, 5*time.Second)
+	for _, id := range []string{"w3", "w1", "w2"} {
+		if _, err := b.Acquire(id, 100); err != nil {
+			t.Fatalf("Acquire %s: %v", id, err)
+		}
+	}
+	if dead := b.Reap(); len(dead) != 0 {
+		t.Errorf("Reap with live leases = %v, want none", dead)
+	}
+	clk.Advance(4 * time.Second)
+	if _, err := b.Renew("w2"); err != nil {
+		t.Fatalf("Renew w2: %v", err)
+	}
+	clk.Advance(2 * time.Second)
+	dead := b.Reap()
+	if len(dead) != 2 || dead[0] != "w1" || dead[1] != "w3" {
+		t.Fatalf("Reap = %v, want [w1 w3]", dead)
+	}
+	if got := b.Leased(); got != 100 {
+		t.Errorf("Leased after reap = %v, want 100", got)
+	}
+	// Reap is idempotent: the dead IDs are gone.
+	if dead := b.Reap(); len(dead) != 0 {
+		t.Errorf("second Reap = %v, want none", dead)
+	}
+}
+
+// TestBudgetReapSurvivesSideEffectReaps is the regression test for a
+// real fleet deadlock: every Budget method reaps expired leases as a
+// side effect, so a survivor's Renew (or a status page's Holders)
+// could collect a dead worker's lease before the coordinator's Reap
+// tick — and the death, with the shard re-assignment it must trigger,
+// was silently swallowed. Deaths must reach Reap no matter which call
+// observes the expiry first.
+func TestBudgetReapSurvivesSideEffectReaps(t *testing.T) {
+	b, clk := newTestBudget(t, 300, 5*time.Second)
+	for _, id := range []string{"victim", "survivor"} {
+		if _, err := b.Acquire(id, 100); err != nil {
+			t.Fatalf("Acquire %s: %v", id, err)
+		}
+	}
+	clk.Advance(4 * time.Second)
+	if _, err := b.Renew("survivor"); err != nil {
+		t.Fatalf("Renew survivor: %v", err)
+	}
+	clk.Advance(2 * time.Second) // victim expires, survivor lives
+
+	// Each of these observes (and internally collects) the expiry
+	// before Reap gets a chance.
+	if holders := b.Holders(); len(holders) != 1 || holders[0] != "survivor" {
+		t.Fatalf("Holders = %v, want [survivor]", holders)
+	}
+	if got := b.Leased(); got != 100 {
+		t.Fatalf("Leased = %v, want 100", got)
+	}
+	if _, err := b.Renew("survivor"); err != nil {
+		t.Fatalf("Renew survivor: %v", err)
+	}
+	if _, err := b.Renew("victim"); !errors.Is(err, ErrNoLease) {
+		t.Fatalf("Renew victim = %v, want ErrNoLease", err)
+	}
+
+	if dead := b.Reap(); len(dead) != 1 || dead[0] != "victim" {
+		t.Fatalf("Reap = %v, want [victim]", dead)
+	}
+	if dead := b.Reap(); len(dead) != 0 {
+		t.Errorf("second Reap = %v, want none", dead)
+	}
+}
+
+// TestBudgetReacquireScrubsDeath: a worker whose lease expired and
+// who then re-registers under the same ID handles its own orphaned
+// state at registration — Reap must not also report it as a death
+// afterwards, or the coordinator would re-queue the live worker's
+// fresh assignments out from under it.
+func TestBudgetReacquireScrubsDeath(t *testing.T) {
+	b, clk := newTestBudget(t, 300, 5*time.Second)
+	if _, err := b.Acquire("phoenix", 100); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	clk.Advance(6 * time.Second)
+	// The expiry is observed by a side-effect reap, not by Reap.
+	if holders := b.Holders(); len(holders) != 0 {
+		t.Fatalf("Holders = %v, want none", holders)
+	}
+	if _, err := b.Acquire("phoenix", 100); err != nil {
+		t.Fatalf("re-Acquire: %v", err)
+	}
+	if dead := b.Reap(); len(dead) != 0 {
+		t.Errorf("Reap after re-acquire = %v, want none", dead)
+	}
+}
+
+// TestBudgetNeverOverSubscribed hammers the budget concurrently and
+// checks the §7 invariant after every successful acquire: the sum of
+// outstanding leases never exceeds the global rate.
+func TestBudgetNeverOverSubscribed(t *testing.T) {
+	const global = 250.0
+	b, _ := newTestBudget(t, global, time.Minute)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("w%d", w)
+			for i := 0; i < 200; i++ {
+				slice := float64(10 + (w*37+i*13)%90)
+				if _, err := b.Acquire(id, slice); err != nil {
+					if !errors.Is(err, ErrOverSubscribed) {
+						t.Errorf("Acquire: %v", err)
+					}
+					continue
+				}
+				if leased := b.Leased(); leased > global*(1+1e-9) {
+					t.Errorf("invariant violated: Leased %v > %v", leased, global)
+				}
+				if i%3 == 0 {
+					if err := b.Release(id); err != nil && !errors.Is(err, ErrNoLease) {
+						t.Errorf("Release: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if leased := b.Leased(); leased > global*(1+1e-9) {
+		t.Errorf("final Leased %v > %v", leased, global)
+	}
+}
+
+// TestBudgetFleetSlices models the coordinator's actual division: N
+// workers each lease rate/N, which must exactly fill the budget with
+// no over-subscription rejection from float error.
+func TestBudgetFleetSlices(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16} {
+		b, _ := newTestBudget(t, 250, time.Minute)
+		slice := 250.0 / float64(n)
+		for w := 0; w < n; w++ {
+			if _, err := b.Acquire(fmt.Sprintf("w%d", w), slice); err != nil {
+				t.Errorf("n=%d worker %d: %v", n, w, err)
+			}
+		}
+		if _, err := b.Acquire("extra", slice); !errors.Is(err, ErrOverSubscribed) {
+			t.Errorf("n=%d extra worker: got %v, want ErrOverSubscribed", n, err)
+		}
+	}
+}

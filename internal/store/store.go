@@ -299,6 +299,31 @@ func (s *Store) Put(rec *Record) error {
 	return nil
 }
 
+// PutBatch records a batch of observations in the open round under a
+// single round-lock acquisition. The coordinator folds a whole shard
+// submission through it; per-record semantics are exactly Put's.
+func (s *Store) PutBatch(recs []*Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := s.open
+	if r == nil {
+		return fmt.Errorf("store: no open round")
+	}
+	for _, rec := range recs {
+		rec.Round = r.Index
+		rec.Day = r.Day
+		sh := r.shardFor(rec.IP)
+		sh.mu.Lock()
+		sh.records[rec.IP] = rec
+		sh.mu.Unlock()
+	}
+	s.mRecords.Add(int64(len(recs)))
+	return nil
+}
+
 // MarkDegraded flags the open round as degraded: the round exceeded
 // its deadline and holds only the records collected before it fired.
 // The flag survives EndRound and Save/Load.

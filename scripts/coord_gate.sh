@@ -1,0 +1,124 @@
+#!/bin/sh
+# coord_gate.sh — the distributed-campaign acceptance gate (the CI
+# coord job). Builds the daemon and the CLIs, starts whowas-cloudd,
+# measures the cloud once single-process, then with whowas-coordinator
+# fleets of 1, 2 and 4 workers — the 4-worker run SIGKILLs one worker
+# mid-campaign — and hard-fails unless every store digest is
+# byte-identical to the single-process run.
+set -eu
+
+ADDR="${COORD_CLOUDD_ADDR:-127.0.0.1:8396}"
+CADDR="${COORD_ADDR:-127.0.0.1:8397}"
+SCALE="${COORD_SCALE:-4096}"
+SEED="${COORD_SEED:-7}"
+ROUNDS="${COORD_ROUNDS:-3}"
+TTL="${COORD_LEASE_TTL:-1s}"
+
+# Binaries and logs live in a scratch dir so the gate never litters
+# the repository checkout.
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/coord_gate.XXXXXX")
+
+echo "== building binaries"
+go build -o "$WORK/bin/whowas" ./cmd/whowas
+go build -o "$WORK/bin/whowas-cloudd" ./cmd/whowas-cloudd
+go build -o "$WORK/bin/whowas-coordinator" ./cmd/whowas-coordinator
+go build -o "$WORK/bin/whowas-query" ./cmd/whowas-query
+
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== starting whowas-cloudd on $ADDR (scale $SCALE, seed $SEED)"
+"$WORK"/bin/whowas-cloudd -cloud ec2 -scale "$SCALE" -seed "$SEED" \
+    -addr "$ADDR" -data-listeners 4 &
+PIDS="$PIDS $!"
+
+echo "== waiting for daemon health"
+i=0
+until "$WORK"/bin/whowas-query cloud -addr "$ADDR" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "coord_gate: cloudd never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "== single-process campaign (the reference digest)"
+"$WORK"/bin/whowas -cloud-addr "$ADDR" -rounds "$ROUNDS" \
+    -cluster=false -carto=false -q | tee "$WORK"/single.out
+BASE=$(sed -n 's/^store digest: //p' "$WORK"/single.out)
+if [ -z "$BASE" ]; then
+    echo "coord_gate: missing store digest in single-process output" >&2
+    exit 1
+fi
+
+# run_fleet WORKERS KILL_ONE — one distributed campaign; prints the
+# coordinator's digest into the scratch dir's coord.out.
+run_fleet() {
+    workers="$1"
+    kill_one="$2"
+    echo "== coordinator campaign: $workers worker(s), kill_one=$kill_one"
+    : >"$WORK"/coord.out
+    "$WORK"/bin/whowas-coordinator -cloud-addr "$ADDR" -addr "$CADDR" \
+        -rounds "$ROUNDS" -lease-ttl "$TTL" -q >"$WORK"/coord.out 2>&1 &
+    COORD=$!
+    PIDS="$PIDS $COORD"
+    i=0
+    until grep -q "coordinator listening" "$WORK"/coord.out; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "coord_gate: coordinator never started" >&2
+            cat "$WORK"/coord.out >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+    WPIDS=""
+    i=0
+    while [ "$i" -lt "$workers" ]; do
+        "$WORK"/bin/whowas -worker -coordinator-addr "$CADDR" \
+            -worker-id "gate-w$i" >"$WORK/worker$i.out" 2>&1 &
+        WPIDS="$WPIDS $!"
+        PIDS="$PIDS $!"
+        i=$((i + 1))
+    done
+    if [ "$kill_one" = 1 ]; then
+        # Give the victim time to lease a budget slice and start a
+        # shard, then kill it without ceremony: no submit, no goodbye.
+        # Lease expiry must hand its shard to the survivors.
+        sleep 2
+        VICTIM=$(echo "$WPIDS" | awk '{print $1}')
+        kill -9 "$VICTIM" 2>/dev/null || true
+        echo "== SIGKILLed worker pid $VICTIM mid-campaign"
+    fi
+    if ! wait "$COORD"; then
+        echo "coord_gate: coordinator failed" >&2
+        cat "$WORK"/coord.out >&2
+        exit 1
+    fi
+    for pid in $WPIDS; do
+        wait "$pid" 2>/dev/null || true
+    done
+    cat "$WORK"/coord.out
+    DIGEST=$(sed -n 's/^store digest: //p' "$WORK"/coord.out)
+    if [ -z "$DIGEST" ]; then
+        echo "coord_gate: missing store digest in coordinator output" >&2
+        exit 1
+    fi
+    if [ "$DIGEST" != "$BASE" ]; then
+        echo "coord_gate: DIGEST MISMATCH ($workers workers, kill_one=$kill_one): fleet=$DIGEST single=$BASE" >&2
+        exit 1
+    fi
+}
+
+run_fleet 1 0
+run_fleet 2 0
+run_fleet 4 1
+
+echo "== digest identity holds across 1/2/4-worker fleets (+worker kill): $BASE"
