@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz chaos trace bench pipeline-bench metrics-report cloudd coord
+.PHONY: all build vet lint test race fuzz chaos trace bench pipeline-bench bench-gate metrics-report cloudd coord
 
 all: build vet lint test
 
@@ -62,11 +62,18 @@ trace:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Sharded-round smoke benchmark (what the CI pipeline-bench job runs):
-# shards=1 vs shards=regions, digest identity hard-gated.
+# Regenerate the committed sharded-round benchmark baseline
+# (BENCH_pipeline.json). Commit the result; bench-gate compares
+# against it.
 pipeline-bench:
 	$(GO) run ./cmd/whowas-bench -pipeline-bench BENCH_pipeline.json -ec2-scale 512
 	@echo "wrote BENCH_pipeline.json"
+
+# Hold a fresh benchmark run to the committed baseline (what the CI
+# pipeline-bench job runs): digest and record count exact, throughput
+# within BENCH_TOLERANCE.
+bench-gate:
+	sh scripts/bench_gate.sh
 
 # Cloud-boundary acceptance gate (what the CI cloudd job runs): start
 # whowas-cloudd, run the same seeded campaign over the wire and

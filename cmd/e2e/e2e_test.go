@@ -310,7 +310,10 @@ func startCloudd(t *testing.T) (p *proc, addr string) {
 // TestCoordinatorFleet is the CLI half of the tentpole gate: the same
 // seeded cloud measured single-process, then by a 1-worker fleet,
 // then by a 2-worker fleet with one worker SIGKILLed mid-round — all
-// three digests must be byte-identical.
+// three digests must be byte-identical. Along the way it drives the
+// fleet observability surface: `whowas-query fleet` must show worker
+// rows and (after the kill) the lease_expired history event, and the
+// coordinator's merged -trace-journal must attribute worker spans.
 func TestCoordinatorFleet(t *testing.T) {
 	if testing.Short() {
 		t.Skip("e2e suite skipped in -short mode")
@@ -327,10 +330,40 @@ func TestCoordinatorFleet(t *testing.T) {
 	}
 	want := digestFrom(t, out)
 
+	// pollFleet one-shots `whowas-query fleet` against a live
+	// coordinator until the dashboard contains every wanted substring
+	// (worker rows and history events appear as heartbeats arrive).
+	pollFleet := func(t *testing.T, coordAddr string, wants ...string) string {
+		t.Helper()
+		deadline := time.Now().Add(45 * time.Second)
+		var last string
+		for {
+			out, code := runCLI(t, "whowas-query", "fleet", "-history", "64", coordAddr)
+			if code == 0 {
+				last = out
+				ok := true
+				for _, w := range wants {
+					if !strings.Contains(out, w) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return out
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("fleet dashboard never showed %q; last output:\n%s", wants, last)
+			}
+			time.Sleep(150 * time.Millisecond)
+		}
+	}
+
 	runFleet := func(t *testing.T, workers int, chaos bool) string {
+		journal := filepath.Join(t.TempDir(), "journal.jsonl")
 		coordArgs := []string{
 			"-cloud-addr", cloudAddr, "-addr", "127.0.0.1:0",
-			"-rounds", "2", "-q",
+			"-rounds", "2", "-q", "-trace-journal", journal,
 		}
 		if chaos {
 			coordArgs = append(coordArgs, "-lease-ttl", "1s")
@@ -352,6 +385,14 @@ func TestCoordinatorFleet(t *testing.T) {
 			procs[0].awaitLine("running round", time.Minute)
 			procs[0].kill()
 			t.Log("killed worker e2e-w0 mid-shard")
+			// The dashboard must record the death while the campaign is
+			// still running: an expired lease in the status history and
+			// the survivor still reporting.
+			out := pollFleet(t, coordAddr, "lease_expired", "e2e-w1")
+			t.Logf("fleet dashboard after kill:\n%s", out)
+		} else {
+			// A healthy fleet shows a live worker row for each worker.
+			pollFleet(t, coordAddr, "e2e-w0")
 		}
 		if code := coord.wait(3 * time.Minute); code != 0 {
 			t.Fatalf("coordinator exit %d:\n%s", code, coord.output())
@@ -363,6 +404,20 @@ func TestCoordinatorFleet(t *testing.T) {
 			if code := p.wait(time.Minute); code != 0 {
 				t.Fatalf("worker %d exit %d:\n%s", i, code, p.output())
 			}
+		}
+
+		// The merged journal reconstructs the distributed campaign:
+		// round spans from the coordinator, worker shard spans stamped
+		// with the identity that ran them.
+		out, code := runCLI(t, "whowas-query", "trace", "-journal", journal, "-slowest", "8")
+		if code != 0 {
+			t.Fatalf("whowas-query trace on coordinator journal exit %d:\n%s", code, out)
+		}
+		if !strings.Contains(out, "worker=e2e-w") {
+			t.Errorf("journal trace has no worker-attributed spans:\n%s", out)
+		}
+		if !strings.Contains(out, "round  0") && !strings.Contains(out, "round 0") {
+			t.Errorf("journal trace missing round breakdown:\n%s", out)
 		}
 		return digestFrom(t, coord.output())
 	}

@@ -52,6 +52,8 @@ func main() {
 		journalPath  = flag.String("trace-journal", "", "append completed spans as JSONL to this path (crash-safe; read with whowas-query trace)")
 		shards       = flag.Int("pipeline-shards", 0, "round pipeline region lanes (0 = one per region, 1 = unsharded)")
 		pipeBench    = flag.String("pipeline-bench", "", "instead of the suite, run the sharded-pipeline smoke benchmark (shards=1 vs shards=regions) and write its JSON result to this path")
+		pipeBaseline = flag.String("pipeline-baseline", "", "with -pipeline-bench: compare against this committed baseline JSON and exit non-zero on digest drift or throughput regression")
+		pipeTol      = flag.Float64("pipeline-tolerance", 0, "with -pipeline-baseline: allowed fractional throughput regression (0 = default 0.35)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,23 @@ func main() {
 		if !res.DigestsMatch {
 			fmt.Fprintln(os.Stderr, "whowas-bench: sharded and unsharded store digests diverged")
 			os.Exit(1)
+		}
+		if *pipeBaseline != "" {
+			raw, err := os.ReadFile(*pipeBaseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "whowas-bench: %v\n", err)
+				os.Exit(1)
+			}
+			var base experiments.PipelineBenchResult
+			if err := json.Unmarshal(raw, &base); err != nil {
+				fmt.Fprintf(os.Stderr, "whowas-bench: parsing %s: %v\n", *pipeBaseline, err)
+				os.Exit(1)
+			}
+			if err := experiments.ComparePipelineBench(res, &base, *pipeTol); err != nil {
+				fmt.Fprintf(os.Stderr, "whowas-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[bench] baseline gate passed against %s\n", *pipeBaseline)
 		}
 		return
 	}

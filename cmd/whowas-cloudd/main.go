@@ -6,7 +6,9 @@
 //   - a data-plane listener fleet tunneling scanner and fetcher dials
 //     onto the simulated network (the WHOWAS1 preamble protocol);
 //   - a JSON-over-HTTP control plane: /healthz, /cloud/info,
-//     /cloud/day, /truth/snapshot, /dns/public and /faults.
+//     /cloud/day, /truth/snapshot, /dns/public and /faults, plus the
+//     standard observability surface (/metrics, /metrics/prom,
+//     /debug/pprof/*) with dial, preamble and session counters.
 //
 // Usage:
 //
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"whowas/internal/cloudapi"
+	"whowas/internal/metrics"
 )
 
 func main() {
@@ -67,6 +70,7 @@ func run(cloudName string, scale int, seed int64, addr string, dataN, dataBase i
 	srv := cloudapi.NewServer(cloud, cloudapi.ServerConfig{
 		DataListeners: dataN,
 		DataBasePort:  dataBase,
+		Metrics:       metrics.NewRegistry(),
 	})
 	bound, err := srv.Start(addr)
 	if err != nil {

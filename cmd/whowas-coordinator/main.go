@@ -16,8 +16,14 @@
 //	whowas -worker -coordinator-addr 127.0.0.1:8395 -worker-id w2
 //
 // The coordinator's address also serves the standard ops surface
-// (/healthz, /metrics, /rounds, pprof) plus /coord/status for fleet
-// introspection.
+// (/healthz, /metrics, /rounds, pprof) plus /coord/status and
+// /coord/fleet for fleet introspection: workers piggyback metrics
+// snapshots and sampled spans on their heartbeats and submissions, and
+// the coordinator aggregates them into a live fleet view
+// (`whowas-query fleet` renders it), a worker-labeled Prometheus
+// exposition on /metrics/prom, and — with -trace-journal — one merged
+// span journal that reconstructs the distributed campaign
+// (`whowas-query trace` reads it).
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"whowas/internal/core"
 	"whowas/internal/faults"
 	"whowas/internal/metrics"
+	"whowas/internal/trace"
 )
 
 type options struct {
@@ -49,6 +56,7 @@ type options struct {
 	faultsPath   string
 	out          string
 	metricsPath  string
+	journalPath  string
 	drainWait    time.Duration
 	quiet        bool
 }
@@ -68,6 +76,7 @@ func main() {
 	flag.StringVar(&o.faultsPath, "faults", "", "inject faults from this JSON scenario on every worker")
 	flag.StringVar(&o.out, "out", "", "write the merged store (gob) to this path")
 	flag.StringVar(&o.metricsPath, "metrics", "", "write the coordinator metrics snapshot as JSON to this path")
+	flag.StringVar(&o.journalPath, "trace-journal", "", "append the fleet's merged spans (worker spans stamped with worker identity under each round) as JSONL to this path")
 	flag.DurationVar(&o.drainWait, "drain-wait", 10*time.Second, "how long to wait after the last round for workers to be told the campaign is done")
 	flag.BoolVar(&o.quiet, "q", false, "suppress per-round progress")
 	flag.Parse()
@@ -96,6 +105,20 @@ func run(o options) error {
 		Attempts:     o.retries,
 		KeepBodies:   o.keepBodies,
 		Metrics:      metrics.NewRegistry(),
+	}
+	if o.journalPath != "" {
+		j, err := trace.CreateJournal(o.journalPath)
+		if err != nil {
+			return err
+		}
+		cfg.Tracer = trace.New(trace.Config{Journal: j})
+		defer func() {
+			if err := cfg.Tracer.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "whowas-coordinator: closing trace journal: %v\n", err)
+			} else {
+				fmt.Printf("trace journal written to %s\n", o.journalPath)
+			}
+		}()
 	}
 	if o.faultsPath != "" {
 		sc, err := faults.LoadFile(o.faultsPath)

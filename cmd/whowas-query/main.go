@@ -21,6 +21,15 @@
 //
 //	whowas-query cloud -addr 127.0.0.1:8390
 //	whowas-query cloud -addr 127.0.0.1:8390 -day 30
+//
+// The fleet subcommand is the live dashboard over a running
+// coordinator: per-worker probe throughput, lease TTLs, budget slices,
+// shard progress, and the status-history tail (expired leases,
+// re-assigned shards, degraded rounds):
+//
+//	whowas-query fleet 127.0.0.1:8391
+//	whowas-query fleet 127.0.0.1:8391 -watch
+//	whowas-query fleet 127.0.0.1:8391 -prom        # raw exposition
 package main
 
 import (
@@ -47,6 +56,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "cloud" {
 		if err := runCloud(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "whowas-query: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		if err := runFleet(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "whowas-query: %v\n", err)
 			os.Exit(1)
 		}

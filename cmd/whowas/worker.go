@@ -45,7 +45,7 @@ func runWorker(ctx context.Context, o options) error {
 	}()
 
 	if o.opsAddr != "" {
-		srv := ops.New(ops.Config{Metrics: reg})
+		srv := ops.New(ops.Config{Metrics: reg, Tracer: w.Tracer()})
 		addr, err := srv.Start(o.opsAddr)
 		if err != nil {
 			return err

@@ -1,0 +1,122 @@
+package cloudapi
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"whowas/internal/metrics"
+	"whowas/internal/netsim"
+)
+
+// TestDaemonOpsSurface proves the daemon carries the platform's
+// standard observability surface on its control plane: /metrics and
+// /metrics/prom backed by the cloudd.* instruments, pprof mounted, and
+// the data-plane counters (dials, session dials, preamble errors)
+// moving as traffic flows.
+func TestDaemonOpsSurface(t *testing.T) {
+	backing, err := NewInProcess(conformanceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	srv := NewServer(backing, ServerConfig{DataListeners: 1, Metrics: reg})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	client, err := Dial(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+
+	// One ordinary dial and one session-stamped dial against a dead
+	// port still count as dials (the tunnel opened; the simulated dial
+	// failed). Use a short budget so the refused/timeout answer is fast.
+	dial := func(session string) {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if session != "" {
+			ctx = netsim.WithProbeSession(ctx, session)
+		}
+		if c, err := client.DialContext(ctx, "tcp", "203.0.113.1:9"); err == nil {
+			c.Close()
+		}
+	}
+	dial("")
+	dial("s1")
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("/metrics: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics not a snapshot: %v", err)
+	}
+	if snap.Counters["cloudd.dials"] < 2 {
+		t.Errorf("cloudd.dials = %d, want >= 2", snap.Counters["cloudd.dials"])
+	}
+	if snap.Counters["cloudd.session_dials"] < 1 {
+		t.Errorf("cloudd.session_dials = %d, want >= 1", snap.Counters["cloudd.session_dials"])
+	}
+	if snap.Counters["cloudd.control_requests"] < 1 {
+		t.Errorf("cloudd.control_requests = %d, want >= 1", snap.Counters["cloudd.control_requests"])
+	}
+
+	resp, body = get("/metrics/prom")
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "text/plain; version=0.0.4" {
+		t.Fatalf("/metrics/prom: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "whowas_cloudd_dials_total") {
+		t.Errorf("prom exposition missing cloudd dials: %q", body)
+	}
+
+	if resp, _ = get("/debug/pprof/cmdline"); resp.StatusCode != 200 {
+		t.Errorf("/debug/pprof/cmdline: %d", resp.StatusCode)
+	}
+
+	// A garbage preamble counts as a preamble error.
+	dataAddr := srv.DataAddrs()[0]
+	conn, err := net.Dial("tcp", dataAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.WriteString(conn, "NOT-A-PREAMBLE\n")
+	_, _ = io.ReadAll(conn)
+	conn.Close()
+	if got := reg.Counter("cloudd.preamble_errors").Load(); got < 1 {
+		t.Errorf("cloudd.preamble_errors = %d, want >= 1", got)
+	}
+
+	// A metrics-less daemon serves the surface degraded, not broken.
+	bare := NewServer(backing, ServerConfig{DataListeners: 1})
+	rr := httptest.NewRecorder()
+	bare.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Errorf("bare /metrics: %d", rr.Code)
+	}
+}

@@ -9,12 +9,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"whowas/internal/faults"
+	"whowas/internal/metrics"
 	"whowas/internal/netsim"
 )
 
@@ -28,6 +30,13 @@ type ServerConfig struct {
 	// DataBasePort, when positive, binds data listeners on
 	// deterministic consecutive ports; zero uses ephemeral ports.
 	DataBasePort int
+	// Metrics, when non-nil, instruments the daemon (cloudd.* counters
+	// and the active-tunnel gauge) and backs the /metrics and
+	// /metrics/prom endpoints. The package cannot ride internal/ops
+	// (ops imports core imports cloudapi), so the daemon mounts the
+	// standard observability surface — metrics JSON, Prometheus text,
+	// pprof — on its own control mux instead.
+	Metrics *metrics.Registry
 }
 
 // Server is the daemon side of the wire cloud: it owns an InProcess
@@ -44,6 +53,13 @@ type Server struct {
 	mu       sync.Mutex
 	dialer   Dialer // the cloud, or a fault injector around it
 	scenario *faults.Scenario
+
+	mDials        *metrics.Counter
+	mDialErrs     *metrics.Counter
+	mPreambleErrs *metrics.Counter
+	mSessionDials *metrics.Counter
+	mCtrlRequests *metrics.Counter
+	gTunnels      *metrics.Gauge
 }
 
 // NewServer wraps an in-process cloud for wire serving; call Start to
@@ -64,18 +80,36 @@ func NewServer(cloud *InProcess, cfg ServerConfig) *Server {
 		start:  time.Now(),
 		dialer: cloud,
 	}
+	s.mDials = cfg.Metrics.Counter("cloudd.dials")
+	s.mDialErrs = cfg.Metrics.Counter("cloudd.dial_errors")
+	s.mPreambleErrs = cfg.Metrics.Counter("cloudd.preamble_errors")
+	s.mSessionDials = cfg.Metrics.Counter("cloudd.session_dials")
+	s.mCtrlRequests = cfg.Metrics.Counter("cloudd.control_requests")
+	s.gTunnels = cfg.Metrics.Gauge("cloudd.active_tunnels")
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/cloud/info", s.handleInfo)
 	s.mux.HandleFunc("/cloud/day", s.handleDay)
 	s.mux.HandleFunc("/truth/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/dns/public", s.handleDNS)
 	s.mux.HandleFunc("/faults", s.handleFaults)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics/prom", s.handleMetricsProm)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
 // Handler returns the control-plane routing handler (tests mount it
-// on httptest servers).
-func (s *Server) Handler() http.Handler { return s.mux }
+// on httptest servers), with the control-request counter applied.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mCtrlRequests.Inc()
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Start binds the data-plane fleet and the control listener, serving
 // both in background goroutines, and returns the bound control
@@ -92,7 +126,7 @@ func (s *Server) Start(ctrlAddr string) (string, error) {
 		_ = s.fleet.Close()
 		return "", fmt.Errorf("cloudapi: control listen %s: %w", ctrlAddr, err)
 	}
-	s.srv = &http.Server{Handler: s.mux}
+	s.srv = &http.Server{Handler: s.Handler()}
 	go func() { _ = s.srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }
@@ -133,11 +167,14 @@ func (s *Server) serveData(c net.Conn) {
 	_ = c.SetReadDeadline(time.Time{})
 	address, budget, hasBudget, session, err := parsePreamble(line)
 	if err != nil {
+		s.mPreambleErrs.Inc()
 		writeStatus(c, statusErr+" "+sanitize(err.Error()))
 		return
 	}
+	s.mDials.Inc()
 	ctx := context.Background()
 	if session != "" {
+		s.mSessionDials.Inc()
 		ctx = netsim.WithProbeSession(ctx, session)
 	}
 	cancel := func() {}
@@ -147,10 +184,13 @@ func (s *Server) serveData(c net.Conn) {
 	inner, err := s.currentDialer().DialContext(ctx, "tcp", address)
 	cancel()
 	if err != nil {
+		s.mDialErrs.Inc()
 		writeStatus(c, classifyDialErr(err))
 		return
 	}
 	defer inner.Close()
+	s.gTunnels.Add(1)
+	defer s.gTunnels.Add(-1)
 	writeStatus(c, statusOK)
 
 	// Splice: client->simulated runs in its own goroutine (draining
@@ -204,6 +244,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.cfg.Metrics.Snapshot())
+}
+
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.cfg.Metrics.Snapshot().WriteProm(w, "whowas")
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

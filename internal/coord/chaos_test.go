@@ -132,6 +132,20 @@ func TestWorkerDeathReassignment(t *testing.T) {
 	if got := reg.Counter("coord.shards_reassigned").Load(); got < 1 {
 		t.Errorf("coord.shards_reassigned = %d, want >= 1", got)
 	}
+	// The death must be visible in the status history: a lease_expired
+	// record naming the victim, with the re-assignment tallied.
+	expired := false
+	for _, rec := range srv.Aggregator().History().Snapshot() {
+		if rec.Event == "lease_expired" && rec.Worker == "victim" {
+			expired = true
+			if rec.ShardsReassigned < 1 {
+				t.Errorf("lease_expired record shows %d reassignments, want >= 1", rec.ShardsReassigned)
+			}
+		}
+	}
+	if !expired {
+		t.Error("status history never recorded the victim's lease expiry")
+	}
 	if holders := srv.Budget().Holders(); len(holders) != 0 {
 		t.Errorf("leases outstanding after drain: %v", holders)
 	}

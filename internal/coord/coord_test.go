@@ -160,6 +160,7 @@ func runFleet(t *testing.T, clouddAddr string, cfg Config, n int) *Server {
 		w, err := NewWorker(WorkerConfig{
 			Coordinator: addr,
 			ID:          fmt.Sprintf("w%d", i),
+			Metrics:     metrics.NewRegistry(),
 			Logf:        t.Logf,
 		})
 		if err != nil {

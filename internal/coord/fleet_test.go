@@ -1,0 +1,219 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"whowas/internal/metrics"
+	"whowas/internal/trace"
+)
+
+// journalBuffer is a goroutine-safe in-memory trace journal. The
+// tracer writes it under its own lock, but the test reads it while the
+// shutdown path may still hold a reference, so lock anyway.
+type journalBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (j *journalBuffer) Write(p []byte) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.buf.Write(p)
+}
+
+func (j *journalBuffer) Bytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]byte(nil), j.buf.Bytes()...)
+}
+
+// TestFleetObservability runs a two-worker campaign with the full
+// observability surface wired and asserts the tentpole contract: the
+// fleet view aggregates per-worker metrics, the Prometheus exposition
+// carries worker labels, the status history records the campaign's
+// lifecycle, and the coordinator's merged trace journal attributes
+// every worker span to its worker — parented under the round spans —
+// so the distributed campaign reads like a single-process one.
+func TestFleetObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed campaign skipped in -short mode")
+	}
+	clouddAddr := startCloudd(t)
+	journal := &journalBuffer{}
+	tracer := trace.New(trace.Config{Journal: journal})
+	reg := metrics.NewRegistry()
+	srv := runFleet(t, clouddAddr, Config{
+		CloudAddr: clouddAddr,
+		Rounds:    []int{0, 2},
+		LeaseTTL:  5 * time.Second,
+		Metrics:   reg,
+		Tracer:    tracer,
+	}, 2)
+
+	// The contract is the HTTP surface, so assert through it.
+	base := "http://" + srv.Addr()
+
+	// --- /coord/fleet ---
+	var fleet Fleet
+	getJSON(t, base+"/coord/fleet", &fleet)
+	if !fleet.Status.Done {
+		t.Errorf("fleet status not done: %+v", fleet.Status)
+	}
+	if len(fleet.Workers) != 2 {
+		t.Fatalf("fleet workers = %d, want 2", len(fleet.Workers))
+	}
+	var probeSum int64
+	for i, wv := range fleet.Workers {
+		if want := fmt.Sprintf("w%d", i); wv.Worker != want {
+			t.Errorf("worker row %d is %q, want %q", i, wv.Worker, want)
+		}
+		if wv.Probes <= 0 {
+			t.Errorf("worker %s reported no probes", wv.Worker)
+		}
+		probeSum += wv.Probes
+	}
+	if got := fleet.Fleet.Counters["scanner.probes"]; got != probeSum {
+		t.Errorf("fleet merged probes = %d, want sum of workers %d", got, probeSum)
+	}
+	if fleet.HistoryTotal <= 0 || len(fleet.History) == 0 {
+		t.Fatalf("history empty: total=%d len=%d", fleet.HistoryTotal, len(fleet.History))
+	}
+	events := map[string]int{}
+	for _, rec := range fleet.History {
+		events[rec.Event]++
+	}
+	for _, want := range []string{"register", "round_begin", "submit", "round_end", "campaign_done"} {
+		if events[want] == 0 {
+			t.Errorf("history missing %q events (got %v)", want, events)
+		}
+	}
+	// Two rounds, two shards each: four accepted submissions.
+	if events["submit"] != 4 {
+		t.Errorf("history submit events = %d, want 4", events["submit"])
+	}
+
+	// --- /metrics/prom: worker-labeled fleet exposition ---
+	prom := getBody(t, base+"/metrics/prom")
+	for _, want := range []string{
+		`whowas_coord_rounds_total 2`,
+		`whowas_scanner_probes_total{worker="w0"}`,
+		`whowas_scanner_probes_total{worker="w1"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prom exposition missing %q", want)
+		}
+	}
+	// One TYPE declaration per metric name, no matter how many series.
+	if n := strings.Count(prom, "# TYPE whowas_scanner_probes_total "); n != 1 {
+		t.Errorf("TYPE whowas_scanner_probes_total declared %d times, want 1", n)
+	}
+
+	// --- merged trace journal: worker attribution under round spans ---
+	spans := decodeJournal(t, journal.Bytes())
+	byID := make(map[uint64]trace.SpanSnapshot, len(spans))
+	rounds := 0
+	for _, s := range spans {
+		byID[s.ID] = s
+		if s.Name == "round" {
+			rounds++
+		}
+	}
+	if rounds != 2 {
+		t.Errorf("journal has %d round spans, want 2", rounds)
+	}
+	workerSpans := 0
+	seenWorkers := map[string]bool{}
+	for _, s := range spans {
+		wid := s.Attrs["worker"]
+		if wid == "" {
+			continue
+		}
+		workerSpans++
+		seenWorkers[wid] = true
+		if s.Attrs["round"] == "" || s.Attrs["shard"] == "" {
+			t.Errorf("span %q missing round/shard stamp: %v", s.Name, s.Attrs)
+		}
+		parent, ok := byID[s.Parent]
+		for ok && parent.Name != "round" {
+			parent, ok = byID[parent.Parent]
+		}
+		if !ok {
+			t.Errorf("span %q (worker %s) does not resolve to a round span", s.Name, wid)
+		}
+	}
+	if workerSpans == 0 {
+		t.Fatal("journal has no worker-attributed spans")
+	}
+	if !seenWorkers["w0"] || !seenWorkers["w1"] {
+		t.Errorf("journal attributes spans to %v, want both w0 and w1", seenWorkers)
+	}
+	// The merged spans join the ring too, so /trace/slowest sees them.
+	stamped := false
+	for _, s := range tracer.Slowest(100) {
+		if s.Attrs["worker"] != "" {
+			stamped = true
+			break
+		}
+	}
+	if !stamped {
+		t.Error("no worker-stamped span in the coordinator tracer's ring")
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// decodeJournal parses a JSONL trace journal.
+func decodeJournal(t *testing.T, data []byte) []trace.SpanSnapshot {
+	t.Helper()
+	var out []trace.SpanSnapshot
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var s trace.SpanSnapshot
+		if err := json.Unmarshal(line, &s); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -27,6 +27,8 @@ package coord
 import (
 	"whowas/internal/core"
 	"whowas/internal/faults"
+	"whowas/internal/fleetobs"
+	"whowas/internal/trace"
 )
 
 // RegisterRequest announces a worker and asks for a budget lease.
@@ -58,9 +60,12 @@ type RegisterReply struct {
 	Faults         *faults.Scenario `json:"faults,omitempty"`
 }
 
-// HeartbeatRequest renews a worker's lease.
+// HeartbeatRequest renews a worker's lease. Obs, when present, is the
+// worker's current observability report — the fleet view's freshness
+// rides on the same cadence as liveness.
 type HeartbeatRequest struct {
-	Worker string `json:"worker"`
+	Worker string                 `json:"worker"`
+	Obs    *fleetobs.WorkerReport `json:"obs,omitempty"`
 }
 
 // HeartbeatReply reports the renewed lease's remaining lifetime.
@@ -105,6 +110,14 @@ type SubmitRequest struct {
 	Round  int              `json:"round"`
 	Shard  int              `json:"shard"`
 	Result core.ShardResult `json:"result"`
+	// Obs is the worker's observability report as of this submission.
+	Obs *fleetobs.WorkerReport `json:"obs,omitempty"`
+	// Spans is the worker's span buffer drained for this shard: the
+	// coordinator renumbers them into its own tracer, parents them
+	// under the round's span, and stamps each with the worker identity
+	// — so its journal reconstructs the distributed campaign alone.
+	// Spans from an unaccepted (stale) submission are discarded with it.
+	Spans []trace.SpanSnapshot `json:"spans,omitempty"`
 }
 
 // SubmitReply acknowledges a submission.
@@ -127,4 +140,12 @@ type Status struct {
 	Rate            float64  `json:"rate"`
 	LeasedRate      float64  `json:"leased_rate"`
 	Unlimited       bool     `json:"unlimited,omitempty"`
+}
+
+// Fleet is the /coord/fleet document: the live Status plus the
+// aggregated per-worker and fleet-total observability view (metrics,
+// probe throughput, lease states, and the status-history tail).
+type Fleet struct {
+	Status Status `json:"status"`
+	fleetobs.FleetView
 }

@@ -4,18 +4,22 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"whowas/internal/cloudapi"
 	"whowas/internal/core"
 	"whowas/internal/faults"
+	"whowas/internal/fleetobs"
 	"whowas/internal/metrics"
 	"whowas/internal/ops"
 	"whowas/internal/ratelimit"
 	"whowas/internal/scanner"
 	"whowas/internal/store"
+	"whowas/internal/trace"
 )
 
 // Config drives one distributed campaign.
@@ -64,6 +68,14 @@ type Config struct {
 	Faults     *faults.Scenario
 	// Metrics receives the coord.* counters and backs the ops surface.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, is the fleet's merged flight recorder: the
+	// coordinator opens one "round" span per round, renumbers every
+	// accepted submission's worker spans under it (stamped with worker
+	// identity), and journals the lot — so whowas-query trace
+	// reconstructs the distributed campaign from this one journal.
+	Tracer *trace.Tracer
+	// HistorySize bounds the status-history ring (default 512).
+	HistorySize int
 	// Observer, when non-nil, receives each completed round's report.
 	Observer func(core.RoundReport)
 	// Clock feeds the lease budget (tests install a fake). Nil means
@@ -89,6 +101,9 @@ type roundState struct {
 	results  []*core.ShardResult
 	nDone    int
 	degraded bool
+	// span is the coordinator's root span for the round; accepted
+	// submissions parent their worker spans under it.
+	span *trace.Span
 }
 
 // Server is the campaign coordinator. Build with NewServer, bind the
@@ -100,11 +115,13 @@ type Server struct {
 	st        *store.Store
 	budget    *ratelimit.Budget
 	ops       *ops.Server
+	opsAddr   string
 	slice     float64 // per-worker lease slice
 	unlimited bool
 	days      []int
 	shards    [][]string // region names per shard, fixed per campaign
 	notify    chan struct{}
+	agg       *fleetobs.Aggregator
 
 	mu           sync.Mutex
 	round        *roundState
@@ -179,6 +196,10 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 	st := store.New(cloud.Info().Name)
 	st.KeepBodies = cfg.KeepBodies
 	st.SetMetrics(cfg.Metrics)
+	if cfg.Tracer != nil {
+		// Store finalize spans join the merged journal too.
+		st.SetTracer(cfg.Tracer)
+	}
 	return &Server{
 		cfg:         cfg,
 		cloud:       cloud,
@@ -189,6 +210,7 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 		days:        days,
 		shards:      shards,
 		notify:      make(chan struct{}, 1),
+		agg:         fleetobs.NewAggregator(cfg.HistorySize),
 		mRounds:     cfg.Metrics.Counter("coord.rounds"),
 		mAssigned:   cfg.Metrics.Counter("coord.shards_assigned"),
 		mCompleted:  cfg.Metrics.Counter("coord.shards_completed"),
@@ -221,20 +243,124 @@ func (s *Server) Reports() []core.RoundReport {
 
 // Start binds the coordinator protocol (plus the standard ops
 // observability surface) on addr and serves in the background,
-// returning the bound address.
+// returning the bound address. /metrics/prom serves the fleet-wide
+// exposition: the coordinator's own instruments unlabeled, then every
+// worker's last-reported snapshot under a worker label.
 func (s *Server) Start(addr string) (string, error) {
 	s.ops = ops.New(ops.Config{
 		Metrics: s.cfg.Metrics,
+		Tracer:  s.cfg.Tracer,
 		Rounds:  s.Reports,
+		Prom:    s.writeProm,
 		Extra: map[string]http.HandlerFunc{
 			"/coord/register":  s.handleRegister,
 			"/coord/heartbeat": s.handleHeartbeat,
 			"/coord/next":      s.handleNext,
 			"/coord/submit":    s.handleSubmit,
 			"/coord/status":    s.handleStatus,
+			"/coord/fleet":     s.handleFleet,
 		},
 	})
-	return s.ops.Start(addr)
+	bound, err := s.ops.Start(addr)
+	if err == nil {
+		s.opsAddr = bound
+	}
+	return bound, err
+}
+
+// Addr reports the bound protocol address ("" before Start).
+func (s *Server) Addr() string { return s.opsAddr }
+
+// Aggregator exposes the fleet-view aggregator (tests assert on it).
+func (s *Server) Aggregator() *fleetobs.Aggregator { return s.agg }
+
+// now reads the coordinator's clock — the configured test clock when
+// present, so lease-expiry arithmetic in views matches the budget's.
+func (s *Server) now() time.Time {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock.Now()
+	}
+	return time.Now()
+}
+
+// leaseStates snapshots the budget's live leases as wire-form states.
+func (s *Server) leaseStates(now time.Time) []fleetobs.LeaseState {
+	leases := s.budget.Leases()
+	out := make([]fleetobs.LeaseState, len(leases))
+	for i, l := range leases {
+		out[i] = fleetobs.LeaseState{
+			Worker:      l.ID,
+			Rate:        l.Rate,
+			ExpiresInMS: l.Expires.Sub(now).Milliseconds(),
+		}
+	}
+	return out
+}
+
+// writeProm renders the fleet-wide Prometheus exposition.
+func (s *Server) writeProm(w io.Writer) error {
+	series := []metrics.LabeledSnapshot{{Snap: s.cfg.Metrics.Snapshot()}}
+	snaps := s.agg.Snapshots()
+	ids := make([]string, 0, len(snaps))
+	for id := range snaps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		series = append(series, metrics.LabeledSnapshot{
+			Labels: []metrics.Label{{Key: "worker", Value: id}},
+			Snap:   snaps[id],
+		})
+	}
+	return metrics.WritePromSeries(w, "whowas", series)
+}
+
+// recordLocked appends one status-history record for the given event.
+// Callers hold s.mu; the history ring and the budget take only leaf
+// locks, so the ordering s.mu → history/budget is safe.
+func (s *Server) recordLocked(event, worker string) {
+	s.agg.History().Append(s.statusRecordLocked(event, worker))
+}
+
+// recordRoundEndLocked appends the round_end record. It runs after
+// s.round was cleared, so the finished round's identity comes from r.
+func (s *Server) recordRoundEndLocked(r *roundState, degraded bool) {
+	rec := s.statusRecordLocked("round_end", "")
+	rec.Round = r.idx
+	rec.Day = r.day
+	rec.ShardsDone = r.nDone
+	rec.Degraded = degraded
+	s.agg.History().Append(rec)
+}
+
+// statusRecordLocked builds a history record from live state; callers
+// hold s.mu.
+func (s *Server) statusRecordLocked(event, worker string) fleetobs.StatusRecord {
+	now := s.now()
+	rec := fleetobs.StatusRecord{
+		TimeMS:           now.UnixMilli(),
+		Event:            event,
+		Worker:           worker,
+		Round:            -1,
+		RoundsDone:       s.roundsDone,
+		LeasesExpired:    s.mExpired.Load(),
+		ShardsReassigned: s.mReassigned.Load(),
+		Rate:             s.budget.Rate(),
+		LeasedRate:       s.budget.Leased(),
+		Leases:           s.leaseStates(now),
+	}
+	if r := s.round; r != nil {
+		rec.Round = r.idx
+		rec.Day = r.day
+		rec.ShardsPending = len(r.pending)
+		rec.ShardsDone = r.nDone
+		rec.ShardsAssigned = len(s.shards) - len(r.pending) - r.nDone
+		rec.Degraded = r.degraded
+	}
+	if !s.unlimited && rec.Rate > 0 {
+		rec.QuotaUtilization = rec.LeasedRate / rec.Rate
+	}
+	return rec
 }
 
 // wake nudges the round loop after a state change. Always called with
@@ -248,11 +374,13 @@ func (s *Server) wake() {
 }
 
 // reapLocked expires dead leases and re-queues their unfinished
-// shards. Callers hold s.mu.
+// shards, recording each expiry in the status history. Callers hold
+// s.mu.
 func (s *Server) reapLocked() {
 	for _, id := range s.budget.Reap() {
 		s.mExpired.Inc()
 		s.requeueLocked(id)
+		s.recordLocked("lease_expired", id)
 	}
 }
 
@@ -288,6 +416,7 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 	s.mu.Lock()
 	s.campaignDone = true
+	s.recordLocked("campaign_done", "")
 	s.mu.Unlock()
 	s.wake()
 	return nil
@@ -312,8 +441,14 @@ func (s *Server) runRound(ctx context.Context, idx, day int) error {
 	for i := range s.shards {
 		r.pending[i] = i
 	}
+	// The coordinator's round span mirrors the in-process round's root:
+	// accepted worker spans reparent under it, so the merged journal's
+	// per-round breakdown reads like a single-process campaign's.
+	r.span = s.cfg.Tracer.Start("round", nil,
+		trace.Int("round", idx), trace.Int("day", day))
 	s.mu.Lock()
 	s.round = r
+	s.recordLocked("round_begin", "")
 	s.mu.Unlock()
 
 	// Reap on a quarter-TTL cadence so a dead worker's shards are
@@ -343,6 +478,8 @@ func (s *Server) runRound(ctx context.Context, idx, day int) error {
 			s.round = nil
 			s.mu.Unlock()
 			_ = s.st.AbortRound()
+			r.span.SetAttr(trace.String("error", "cancelled"))
+			r.span.End()
 			return ctx.Err()
 		case <-deadline:
 			timedOut = true
@@ -368,17 +505,25 @@ func (s *Server) runRound(ctx context.Context, idx, day int) error {
 	s.st.AddProbed(probed)
 	if degraded {
 		if err := s.st.MarkDegraded(); err != nil {
+			r.span.End()
 			return err
 		}
 	}
 	if err := s.st.EndRound(); err != nil {
+		r.span.End()
 		return err
 	}
 
 	report := s.buildReport(r, degraded)
+	r.span.SetAttr(
+		trace.Int64("records", report.Records),
+		trace.Bool("degraded", degraded),
+	)
+	r.span.End()
 	s.mu.Lock()
 	s.reports = append(s.reports, report)
 	s.roundsDone++
+	s.recordRoundEndLocked(r, degraded)
 	s.mu.Unlock()
 	s.mRounds.Inc()
 	if s.cfg.Observer != nil {
@@ -497,7 +642,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 func decodeBody(w http.ResponseWriter, req *http.Request, v any) bool {
 	if err := json.NewDecoder(req.Body).Decode(v); err != nil {
-		http.Error(w, fmt.Sprintf("coord: bad request: %v", err), http.StatusBadRequest)
+		ops.WriteError(w, http.StatusBadRequest, fmt.Sprintf("coord: bad request: %v", err))
 		return false
 	}
 	return true
@@ -509,7 +654,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if rr.Worker == "" {
-		http.Error(w, "coord: worker ID required", http.StatusBadRequest)
+		ops.WriteError(w, http.StatusBadRequest, "coord: worker ID required")
 		return
 	}
 	s.mu.Lock()
@@ -519,10 +664,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, req *http.Request) {
 		// A re-registering worker lost its session state; its old
 		// assignments must go back in the queue.
 		s.requeueLocked(rr.Worker)
+		s.recordLocked("register", rr.Worker)
 	}
 	s.mu.Unlock()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		ops.WriteError(w, http.StatusConflict, err.Error())
 		return
 	}
 	s.mRegistered.Inc()
@@ -546,9 +692,10 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if _, err := s.budget.Renew(hb.Worker); err != nil {
-		http.Error(w, err.Error(), http.StatusGone)
+		ops.WriteError(w, http.StatusGone, err.Error())
 		return
 	}
+	s.agg.Observe(hb.Obs, s.now())
 	ops.WriteJSON(w, HeartbeatReply{ExpiresInMS: s.cfg.LeaseTTL.Milliseconds()})
 }
 
@@ -558,7 +705,7 @@ func (s *Server) handleNext(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if _, err := s.budget.Renew(nr.Worker); err != nil {
-		http.Error(w, err.Error(), http.StatusGone)
+		ops.WriteError(w, http.StatusGone, err.Error())
 		return
 	}
 	var a Assignment
@@ -597,6 +744,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	}
 	accepted := false
 	var putErr error
+	var rootID uint64
 	s.mu.Lock()
 	r := s.round
 	if r != nil && sr.Round == r.idx &&
@@ -611,14 +759,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 				r.degraded = true
 			}
 			accepted = true
+			rootID = r.span.ID()
+			s.recordLocked("submit", sr.Worker)
 		}
 	}
 	s.mu.Unlock()
 	if putErr != nil {
-		http.Error(w, putErr.Error(), http.StatusInternalServerError)
+		ops.WriteError(w, http.StatusInternalServerError, putErr.Error())
 		return
 	}
+	s.agg.Observe(sr.Obs, s.now())
 	if accepted {
+		// Merge the shard's spans into the coordinator's journal:
+		// renumber into this tracer's ID space, parent under the round
+		// span, and stamp with the worker identity. Stale submissions'
+		// spans are discarded with the records.
+		if s.cfg.Tracer != nil && len(sr.Spans) > 0 {
+			base := s.cfg.Tracer.ReserveIDs(len(sr.Spans))
+			s.cfg.Tracer.Record(fleetobs.RestampSpans(sr.Spans, base, rootID,
+				fleetobs.WorkerAttrs(sr.Worker, sr.Round, sr.Shard))...)
+		}
 		s.mCompleted.Inc()
 		s.wake()
 	} else {
@@ -627,7 +787,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	ops.WriteJSON(w, SubmitReply{Accepted: accepted})
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+// statusDoc assembles the live Status document.
+func (s *Server) statusDoc() Status {
 	s.mu.Lock()
 	st := Status{
 		Cloud:           s.st.CloudName,
@@ -648,5 +809,20 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	st.Workers = s.budget.Holders()
 	st.LeasedRate = s.budget.Leased()
-	ops.WriteJSON(w, st)
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	ops.WriteJSON(w, s.statusDoc())
+}
+
+// handleFleet serves the aggregated fleet view: the live status plus
+// per-worker throughput, lease states, merged fleet metrics, and the
+// status-history tail.
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	now := s.now()
+	ops.WriteJSON(w, Fleet{
+		Status:    s.statusDoc(),
+		FleetView: s.agg.View(now, s.leaseStates(now)),
+	})
 }

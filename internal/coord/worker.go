@@ -15,7 +15,9 @@ import (
 
 	"whowas/internal/cloudapi"
 	"whowas/internal/core"
+	"whowas/internal/fleetobs"
 	"whowas/internal/metrics"
+	"whowas/internal/trace"
 )
 
 // WorkerConfig drives one worker process (or goroutine).
@@ -31,6 +33,10 @@ type WorkerConfig struct {
 	PollInterval time.Duration
 	// Metrics, when non-nil, instruments the worker's scanner/fetcher.
 	Metrics *metrics.Registry
+	// TraceSamplePerMille sets the worker tracer's per-IP sampling
+	// rate (trace.Config.SamplePerMille): 0 takes the default,
+	// negative disables per-IP spans.
+	TraceSamplePerMille int
 	// Logf, when non-nil, receives one line per lifecycle event
 	// (registered, assigned, submitted, re-registering).
 	Logf func(format string, args ...any)
@@ -44,9 +50,12 @@ var errReregister = errors.New("coord: lease lost; re-registering")
 // assigned shards until the campaign is done. Run blocks; Close is
 // idempotent and releases the cloud connections.
 type Worker struct {
-	cfg  WorkerConfig
-	base string
-	hc   *http.Client
+	cfg    WorkerConfig
+	base   string
+	hc     *http.Client
+	tracer *trace.Tracer
+	spans  *trace.Buffer
+	col    *fleetobs.Collector
 
 	mu     sync.Mutex
 	closed bool
@@ -71,15 +80,29 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		base = "http://" + base
 	}
 	base = strings.TrimSuffix(base, "/")
+	// The worker's spans land in an in-memory buffer drained into each
+	// shard submission; the coordinator owns the durable journal.
+	spans := trace.NewBuffer(4096)
+	tracer := trace.New(trace.Config{
+		RingSize:       1024,
+		SamplePerMille: cfg.TraceSamplePerMille,
+		Journal:        spans,
+	})
 	return &Worker{
-		cfg:  cfg,
-		base: base,
-		hc:   &http.Client{Timeout: 2 * time.Minute},
+		cfg:    cfg,
+		base:   base,
+		hc:     &http.Client{Timeout: 2 * time.Minute},
+		tracer: tracer,
+		spans:  spans,
+		col:    &fleetobs.Collector{Worker: cfg.ID, Metrics: cfg.Metrics, Tracer: tracer},
 	}, nil
 }
 
 // ID returns the worker's (possibly defaulted) identity.
 func (w *Worker) ID() string { return w.cfg.ID }
+
+// Tracer exposes the worker's tracer (tests assert on its spans).
+func (w *Worker) Tracer() *trace.Tracer { return w.tracer }
 
 func (w *Worker) logf(format string, args ...any) {
 	if w.cfg.Logf != nil {
@@ -255,6 +278,8 @@ func (w *Worker) shardConfig(reg *RegisterReply) core.CampaignConfig {
 	cfg.Faults = reg.Faults
 	cfg.Scanner.Metrics = w.cfg.Metrics
 	cfg.Fetcher.Metrics = w.cfg.Metrics
+	cfg.Scanner.Tracer = w.tracer
+	cfg.Fetcher.Tracer = w.tracer
 	return cfg
 }
 
@@ -305,7 +330,8 @@ func (w *Worker) register(ctx context.Context) (*RegisterReply, error) {
 
 func (w *Worker) heartbeat(ctx context.Context) error {
 	var reply HeartbeatReply
-	code, err := w.post(ctx, "/coord/heartbeat", HeartbeatRequest{Worker: w.cfg.ID}, &reply)
+	code, err := w.post(ctx, "/coord/heartbeat",
+		HeartbeatRequest{Worker: w.cfg.ID, Obs: w.col.Report()}, &reply)
 	if code == http.StatusGone {
 		return errReregister
 	}
@@ -335,7 +361,14 @@ func (w *Worker) next(ctx context.Context) (*Assignment, error) {
 
 func (w *Worker) submit(ctx context.Context, a Assignment, res *core.ShardResult) (bool, error) {
 	var reply SubmitReply
-	req := SubmitRequest{Worker: w.cfg.ID, Round: a.Round, Shard: a.Shard, Result: *res}
+	req := SubmitRequest{
+		Worker: w.cfg.ID,
+		Round:  a.Round,
+		Shard:  a.Shard,
+		Result: *res,
+		Obs:    w.col.Report(),
+		Spans:  w.spans.Drain(),
+	}
 	code, err := w.post(ctx, "/coord/submit", req, &reply)
 	if code == http.StatusGone {
 		return false, errReregister

@@ -89,3 +89,54 @@ func PipelineBench(ctx context.Context, scale int, seed int64) (*PipelineBenchRe
 	}
 	return res, nil
 }
+
+// DefaultBenchTolerance is the allowed fractional throughput
+// regression against a committed baseline. Wall time varies across
+// hosts and runner load far more than across code changes, so the
+// tolerance is wide; the digest comparison is the exact gate.
+const DefaultBenchTolerance = 0.35
+
+// ComparePipelineBench holds a fresh benchmark result to a committed
+// baseline (BENCH_pipeline.json): the campaign shape and store digest
+// must match exactly — a digest change means the pipeline now produces
+// different records, not just different timing — and the sharded run's
+// record throughput must be within tolerance (fraction, <= 0 for the
+// default) of the baseline's. Returns nil when the gate passes.
+func ComparePipelineBench(fresh, baseline *PipelineBenchResult, tolerance float64) error {
+	if fresh == nil || baseline == nil {
+		return fmt.Errorf("experiments: bench gate: missing result")
+	}
+	if tolerance <= 0 {
+		tolerance = DefaultBenchTolerance
+	}
+	if !fresh.DigestsMatch {
+		return fmt.Errorf("experiments: bench gate: sharded and unsharded digests diverged")
+	}
+	if fresh.Cloud != baseline.Cloud || fresh.Regions != baseline.Regions || fresh.Rounds != baseline.Rounds {
+		return fmt.Errorf("experiments: bench gate: campaign shape changed: fresh %s/%d regions/%d rounds, baseline %s/%d/%d (regenerate the baseline if intentional)",
+			fresh.Cloud, fresh.Regions, fresh.Rounds, baseline.Cloud, baseline.Regions, baseline.Rounds)
+	}
+	if fresh.Digest != baseline.Digest {
+		return fmt.Errorf("experiments: bench gate: store digest drifted from baseline: fresh %s, baseline %s",
+			fresh.Digest, baseline.Digest)
+	}
+	if fresh.Records != baseline.Records {
+		return fmt.Errorf("experiments: bench gate: record count drifted: fresh %d, baseline %d",
+			fresh.Records, baseline.Records)
+	}
+	freshTP := throughput(fresh.Records, fresh.ShardedNS)
+	baseTP := throughput(baseline.Records, baseline.ShardedNS)
+	if baseTP > 0 && freshTP < baseTP*(1-tolerance) {
+		return fmt.Errorf("experiments: bench gate: sharded throughput regressed beyond %.0f%%: fresh %.1f rec/s, baseline %.1f rec/s",
+			100*tolerance, freshTP, baseTP)
+	}
+	return nil
+}
+
+// throughput is records per second over a wall-time measurement.
+func throughput(records, ns int64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(records) / (float64(ns) / 1e9)
+}

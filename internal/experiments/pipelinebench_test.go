@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchResult builds a healthy baseline-shaped result.
+func benchResult() *PipelineBenchResult {
+	return &PipelineBenchResult{
+		Cloud:        "ec2",
+		Regions:      8,
+		Rounds:       11,
+		Records:      4000,
+		Shards:       8,
+		BaselineNS:   2e9,
+		ShardedNS:    1e9,
+		Speedup:      2.0,
+		DigestsMatch: true,
+		Digest:       "sha256:abc",
+	}
+}
+
+func TestComparePipelineBench(t *testing.T) {
+	base := benchResult()
+
+	if err := ComparePipelineBench(benchResult(), base, 0); err != nil {
+		t.Errorf("identical results failed the gate: %v", err)
+	}
+
+	// Slower but inside tolerance passes; beyond tolerance fails.
+	slow := benchResult()
+	slow.ShardedNS = int64(1e9 * 1.2)
+	if err := ComparePipelineBench(slow, base, 0.35); err != nil {
+		t.Errorf("20%% slowdown rejected at 35%% tolerance: %v", err)
+	}
+	slower := benchResult()
+	slower.ShardedNS = int64(1e9 * 3)
+	err := ComparePipelineBench(slower, base, 0.35)
+	if err == nil || !strings.Contains(err.Error(), "throughput") {
+		t.Errorf("3x slowdown passed the gate: %v", err)
+	}
+
+	// Digest drift is a hard failure no matter the timing.
+	drift := benchResult()
+	drift.Digest = "sha256:def"
+	if err := ComparePipelineBench(drift, base, 0); err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Errorf("digest drift passed the gate: %v", err)
+	}
+
+	// Internal divergence (sharded != unsharded) is a hard failure.
+	div := benchResult()
+	div.DigestsMatch = false
+	if err := ComparePipelineBench(div, base, 0); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Errorf("internal divergence passed the gate: %v", err)
+	}
+
+	// Shape changes demand a baseline regeneration.
+	shape := benchResult()
+	shape.Regions = 4
+	if err := ComparePipelineBench(shape, base, 0); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Errorf("shape change passed the gate: %v", err)
+	}
+
+	// Record-count drift at identical digest should be impossible, but
+	// the gate checks it independently.
+	recs := benchResult()
+	recs.Records = 4001
+	if err := ComparePipelineBench(recs, base, 0); err == nil || !strings.Contains(err.Error(), "record count") {
+		t.Errorf("record drift passed the gate: %v", err)
+	}
+
+	if err := ComparePipelineBench(nil, base, 0); err == nil {
+		t.Error("nil fresh result passed the gate")
+	}
+}

@@ -1,0 +1,110 @@
+// Package fleetobs spans the process boundary that distributed
+// campaigns (internal/coord) opened in the platform's observability:
+// each worker owns a metrics Registry and a span Tracer, but the
+// operator runs one coordinator — so the workers fold compact
+// WorkerReports into every heartbeat and submit, and the coordinator
+// side of this package aggregates them into a fleet view (per-worker
+// and fleet-total metrics, probe throughput, slowest spans), a bounded
+// history of status records (round progress, lease states, quota
+// utilization, reassignments), and a merged trace journal whose shard
+// spans carry worker identity.
+//
+// The package deliberately stays a leaf: it imports only metrics and
+// trace, never coord, so both sides of the protocol can embed its
+// types in their wire documents.
+package fleetobs
+
+import (
+	"strconv"
+
+	"whowas/internal/metrics"
+	"whowas/internal/trace"
+)
+
+// WorkerReport is the compact observability payload a worker attaches
+// to /coord/heartbeat and /coord/submit: its full metrics snapshot
+// (scanner/fetcher/store/faults counters and stage-timer quantiles)
+// plus its slowest sampled spans so far.
+type WorkerReport struct {
+	Worker  string               `json:"worker"`
+	Metrics metrics.Snapshot     `json:"metrics"`
+	Slowest []trace.SpanSnapshot `json:"slowest,omitempty"`
+}
+
+// Collector is the worker-side half: it snapshots the worker's
+// registry and tracer into a WorkerReport on demand.
+type Collector struct {
+	// Worker is the reporting worker's identity.
+	Worker string
+	// Metrics is the worker's registry (nil yields empty snapshots).
+	Metrics *metrics.Registry
+	// Tracer supplies the slowest-span window (nil yields none).
+	Tracer *trace.Tracer
+	// SlowestN bounds the slowest spans per report (default 8).
+	SlowestN int
+}
+
+// Report builds the worker's current observability payload.
+func (c *Collector) Report() *WorkerReport {
+	if c == nil {
+		return nil
+	}
+	n := c.SlowestN
+	if n <= 0 {
+		n = 8
+	}
+	return &WorkerReport{
+		Worker:  c.Worker,
+		Metrics: c.Metrics.Snapshot(),
+		Slowest: c.Tracer.Slowest(n),
+	}
+}
+
+// RestampSpans renumbers a worker's drained spans into a foreign
+// tracer's ID space and stamps each with the given attributes (worker
+// identity, round, shard). IDs map in order onto [base, base+len);
+// parents that point inside the batch follow the remap, while parents
+// outside it — the worker's stage spans are roots, and a bounded
+// buffer may have dropped an ancestor — reparent onto root (the
+// coordinator's round span), so every merged span hangs off the round
+// it ran under. The input is not modified.
+func RestampSpans(spans []trace.SpanSnapshot, base, root uint64, attrs map[string]string) []trace.SpanSnapshot {
+	if len(spans) == 0 {
+		return nil
+	}
+	idMap := make(map[uint64]uint64, len(spans))
+	for i, s := range spans {
+		idMap[s.ID] = base + uint64(i)
+	}
+	out := make([]trace.SpanSnapshot, len(spans))
+	for i, s := range spans {
+		s.ID = base + uint64(i)
+		if p, ok := idMap[s.Parent]; ok && s.Parent != 0 {
+			s.Parent = p
+		} else {
+			s.Parent = root
+		}
+		if len(attrs) > 0 {
+			merged := make(map[string]string, len(s.Attrs)+len(attrs))
+			for k, v := range s.Attrs {
+				merged[k] = v
+			}
+			for k, v := range attrs {
+				merged[k] = v
+			}
+			s.Attrs = merged
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// WorkerAttrs builds the attribute stamp RestampSpans applies to one
+// shard submission's spans.
+func WorkerAttrs(worker string, round, shard int) map[string]string {
+	return map[string]string{
+		"worker": worker,
+		"round":  strconv.Itoa(round),
+		"shard":  strconv.Itoa(shard),
+	}
+}

@@ -119,7 +119,7 @@ func DefaultOptions() Options {
 		},
 		ErrSourcePackages: []string{"internal/atomicfile"},
 		ErrMethodPackages: []string{"internal/store", "internal/trace"},
-		LockSendPackages:  []string{"internal/pipeline", "internal/store", "internal/coord"},
+		LockSendPackages:  []string{"internal/pipeline", "internal/store", "internal/coord", "internal/fleetobs"},
 	}
 }
 

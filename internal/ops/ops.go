@@ -14,6 +14,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -42,6 +43,11 @@ type Config struct {
 	// (/coord/*) serves beside the standard observability surface, so
 	// one address answers both workers and operators.
 	Extra map[string]http.HandlerFunc
+	// Prom, when non-nil, replaces the /metrics/prom body. The mux
+	// panics on duplicate patterns, so overriding the exposition must
+	// be a hook, not an Extra route — the coordinator substitutes its
+	// fleet-wide, worker-labeled exposition here.
+	Prom func(w io.Writer) error
 }
 
 // Server is the live ops endpoint.
@@ -110,33 +116,81 @@ func WriteJSON(w http.ResponseWriter, v any) {
 
 func writeJSON(w http.ResponseWriter, v any) { WriteJSON(w, v) }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// ErrorDoc is the house error shape: every handler failure is a JSON
+// document, never bare text, so scripted clients can always decode the
+// body.
+type ErrorDoc struct {
+	Error string `json:"error"`
+}
+
+// WriteError writes an ErrorDoc with the given status — exported for
+// the handlers Config.Extra mounts, so the whole surface shares one
+// error shape.
+func WriteError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(ErrorDoc{Error: msg})
+}
+
+// requireGet rejects non-GET/HEAD methods with a JSON 405. The
+// read-only surface answers nothing else.
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	WriteError(w, http.StatusMethodNotAllowed, "ops: "+r.Method+" not allowed; use GET")
+	return false
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	writeJSON(w, map[string]any{
 		"status":    "ok",
 		"uptime_ns": time.Since(s.start).Nanoseconds(),
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	writeJSON(w, s.cfg.Metrics.Snapshot())
 }
 
-func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if s.cfg.Prom != nil {
+		_ = s.cfg.Prom(w)
+		return
+	}
 	_ = s.cfg.Metrics.Snapshot().WriteProm(w, "whowas")
 }
 
-func (s *Server) handleRounds(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	rounds := []core.RoundReport{}
 	if s.cfg.Rounds != nil {
-		if r := s.cfg.Rounds(); r != nil {
-			rounds = r
+		if rr := s.cfg.Rounds(); rr != nil {
+			rounds = rr
 		}
 	}
 	writeJSON(w, rounds)
 }
 
-func (s *Server) handleTraceActive(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleTraceActive(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	spans := s.cfg.Tracer.Active()
 	if spans == nil {
 		spans = []trace.SpanSnapshot{}
@@ -144,12 +198,20 @@ func (s *Server) handleTraceActive(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, spans)
 }
 
+// maxSlowest bounds /trace/slowest?n=: the ring holds a few thousand
+// spans at most, so anything beyond this is a typo, not a query.
+const maxSlowest = 10000
+
 func (s *Server) handleTraceSlowest(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	n := 10
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
-		if err != nil || v < 1 {
-			http.Error(w, "ops: n must be a positive integer", http.StatusBadRequest)
+		if err != nil || v < 1 || v > maxSlowest {
+			WriteError(w, http.StatusBadRequest,
+				fmt.Sprintf("ops: n must be an integer in [1, %d], got %q", maxSlowest, q))
 			return
 		}
 		n = v

@@ -186,6 +186,21 @@ func (b *Budget) Leased() float64 {
 	return b.leasedLocked()
 }
 
+// Leases snapshots the outstanding (unexpired) leases, sorted by ID —
+// the fleet dashboard's per-worker lease-state view, with each slice's
+// rate and expiry instant.
+func (b *Budget) Leases() []Lease {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reapLocked(b.clock.Now())
+	out := make([]Lease, 0, len(b.leases))
+	for _, l := range b.leases {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Holders returns the live lease IDs, sorted.
 func (b *Budget) Holders() []string {
 	b.mu.Lock()

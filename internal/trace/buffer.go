@@ -1,0 +1,123 @@
+// An in-memory journal sink for processes whose spans belong to
+// someone else's journal: a distributed campaign's worker plugs a
+// Buffer into Config.Journal, and every completed span accumulates as
+// a parsed SpanSnapshot until the worker drains the buffer into its
+// next /coord/submit. The coordinator then renumbers the drained spans
+// into its own tracer (Tracer.Record), producing one merged journal
+// for the whole fleet.
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+)
+
+// Buffer is a bounded, in-memory Config.Journal sink. It parses each
+// JSONL line back into a SpanSnapshot and keeps the most recent Cap of
+// them (drop-oldest), so a worker that cannot reach its coordinator
+// for a while loses the oldest spans, not the newest. Safe for
+// concurrent use; the zero value is unusable — call NewBuffer.
+type Buffer struct {
+	mu      sync.Mutex
+	max     int
+	spans   []SpanSnapshot
+	next    int // ring cursor once len(spans) == max
+	dropped int64
+	partial []byte // incomplete trailing line across Write calls
+}
+
+// NewBuffer builds a buffer holding up to max spans (default 4096).
+func NewBuffer(max int) *Buffer {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Buffer{max: max}
+}
+
+// Write accepts journal bytes — one JSON line per completed span. The
+// sink never fails the tracer: malformed lines count as dropped, and
+// an incomplete trailing line is held until the rest arrives.
+func (b *Buffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data := p
+	if len(b.partial) > 0 {
+		data = append(b.partial, p...)
+		b.partial = nil
+	}
+	for {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			break
+		}
+		line := bytes.TrimSpace(data[:i])
+		data = data[i+1:]
+		if len(line) == 0 {
+			continue
+		}
+		var snap SpanSnapshot
+		if err := json.Unmarshal(line, &snap); err != nil {
+			b.dropped++
+			continue
+		}
+		b.addLocked(snap)
+	}
+	if len(data) > 0 {
+		b.partial = append([]byte(nil), data...)
+	}
+	return len(p), nil
+}
+
+// addLocked files one span into the ring, dropping the oldest at
+// capacity; callers hold b.mu.
+func (b *Buffer) addLocked(snap SpanSnapshot) {
+	if len(b.spans) < b.max {
+		b.spans = append(b.spans, snap)
+		return
+	}
+	b.spans[b.next] = snap
+	b.next = (b.next + 1) % len(b.spans)
+	b.dropped++
+}
+
+// Drain returns the buffered spans in arrival order and empties the
+// buffer. A nil buffer drains nothing.
+func (b *Buffer) Drain() []SpanSnapshot {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []SpanSnapshot
+	if b.next > 0 {
+		out = make([]SpanSnapshot, 0, len(b.spans))
+		out = append(out, b.spans[b.next:]...)
+		out = append(out, b.spans[:b.next]...)
+	} else {
+		out = b.spans
+	}
+	b.spans, b.next = nil, 0
+	return out
+}
+
+// Len reports how many spans are currently buffered.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.spans)
+}
+
+// Dropped reports how many spans were lost to capacity or parse
+// failures over the buffer's lifetime.
+func (b *Buffer) Dropped() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBufferCollectsTracerSpans(t *testing.T) {
+	b := NewBuffer(16)
+	tr := New(Config{Journal: b, SamplePerMille: 1000})
+	root := tr.Start("round", nil, Int("round", 0))
+	child := tr.Start("scan", root, String("regions", "r1"))
+	child.End()
+	root.End()
+
+	if b.Len() != 2 {
+		t.Fatalf("buffered %d spans, want 2", b.Len())
+	}
+	spans := b.Drain()
+	if len(spans) != 2 {
+		t.Fatalf("drained %d spans, want 2", len(spans))
+	}
+	// Journal order is completion order: child first.
+	if spans[0].Name != "scan" || spans[1].Name != "round" {
+		t.Errorf("unexpected order: %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Errorf("child parent %d does not match root id %d", spans[0].Parent, spans[1].ID)
+	}
+	if spans[0].Attr("regions") != "r1" {
+		t.Errorf("attrs lost in round trip: %+v", spans[0].Attrs)
+	}
+	if b.Len() != 0 {
+		t.Errorf("drain left %d spans behind", b.Len())
+	}
+}
+
+func TestBufferDropsOldestAtCapacity(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		line := fmt.Sprintf("{\"id\":%d,\"name\":\"s%d\",\"start_ns\":%d,\"dur_ns\":1}\n", i+1, i, i)
+		if _, err := b.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", b.Dropped())
+	}
+	spans := b.Drain()
+	if len(spans) != 4 {
+		t.Fatalf("drained %d, want 4", len(spans))
+	}
+	// The survivors are the newest four, oldest first.
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", i+6); s.Name != want {
+			t.Errorf("span %d = %q, want %q", i, s.Name, want)
+		}
+	}
+}
+
+func TestBufferPartialAndMalformedLines(t *testing.T) {
+	b := NewBuffer(8)
+	if _, err := b.Write([]byte(`{"id":1,"name":"a","sta`)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("partial line buffered early")
+	}
+	if _, err := b.Write([]byte("rt_ns\":5,\"dur_ns\":2}\nnot json\n")); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("buffered %d, want 1", b.Len())
+	}
+	if b.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1 (the malformed line)", b.Dropped())
+	}
+	if got := b.Drain()[0]; got.Name != "a" || got.StartNS != 5 {
+		t.Errorf("reassembled span wrong: %+v", got)
+	}
+}
+
+func TestBufferNilSafe(t *testing.T) {
+	var b *Buffer
+	if b.Drain() != nil || b.Len() != 0 || b.Dropped() != 0 {
+		t.Error("nil buffer not inert")
+	}
+}
+
+func TestTracerRecordAndReserveIDs(t *testing.T) {
+	b := NewBuffer(8)
+	tr := New(Config{Journal: b})
+	local := tr.Start("round", nil)
+
+	base := tr.ReserveIDs(3)
+	if base == 0 {
+		t.Fatal("ReserveIDs returned 0")
+	}
+	if base <= local.ID() {
+		t.Fatalf("reserved base %d collides with live span %d", base, local.ID())
+	}
+	next := tr.Start("after", nil)
+	if next.ID() >= base && next.ID() < base+3 {
+		t.Fatalf("later span id %d landed inside reserved range [%d,%d)", next.ID(), base, base+3)
+	}
+
+	foreign := []SpanSnapshot{
+		{ID: base, Name: "scan", StartNS: 1, DurNS: 100, Attrs: map[string]string{"worker": "w0"}},
+		{ID: base + 1, Parent: base, Name: "probe", StartNS: 2, DurNS: 50, Active: true},
+	}
+	tr.Record(foreign...)
+	if got := tr.Completed(); got != 2 {
+		t.Errorf("completed = %d, want 2 recorded spans", got)
+	}
+	spans := b.Drain()
+	if len(spans) != 2 {
+		t.Fatalf("journal received %d spans, want 2", len(spans))
+	}
+	if spans[1].Active {
+		t.Error("Record left a span marked active")
+	}
+	if spans[0].Attr("worker") != "w0" {
+		t.Errorf("attrs lost: %+v", spans[0].Attrs)
+	}
+	// Recorded spans appear in Slowest like native ones.
+	slow := tr.Slowest(1)
+	if len(slow) != 1 || slow[0].Name != "scan" {
+		t.Errorf("slowest = %+v, want the recorded scan span", slow)
+	}
+
+	var nilTr *Tracer
+	if nilTr.ReserveIDs(5) != 0 {
+		t.Error("nil tracer reserved ids")
+	}
+	nilTr.Record(SpanSnapshot{ID: 1})
+	if tr.ReserveIDs(0) != 0 {
+		t.Error("ReserveIDs(0) must return 0")
+	}
+	local.End()
+	next.End()
+}

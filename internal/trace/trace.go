@@ -245,6 +245,13 @@ func (s *Span) End() {
 	t := s.tr
 	t.mu.Lock()
 	delete(t.active, s.id)
+	t.recordLocked(snap)
+	t.mu.Unlock()
+}
+
+// recordLocked files one completed span into the ring and journal;
+// callers hold t.mu.
+func (t *Tracer) recordLocked(snap SpanSnapshot) {
 	t.completed++
 	if len(t.ring) < t.cfg.RingSize {
 		t.ring = append(t.ring, snap)
@@ -260,7 +267,35 @@ func (s *Span) End() {
 		}
 		t.jerr = err
 	}
-	t.mu.Unlock()
+}
+
+// ReserveIDs allocates n consecutive span IDs from this tracer's
+// sequence and returns the first, so foreign spans can be renumbered
+// into the local ID space without colliding with concurrently started
+// spans. Returns 0 (an invalid ID) on a nil tracer or n <= 0.
+func (t *Tracer) ReserveIDs(n int) uint64 {
+	if t == nil || n <= 0 {
+		return 0
+	}
+	return t.ids.Add(uint64(n)) - uint64(n) + 1
+}
+
+// Record ingests already-completed foreign spans — a worker's drained
+// span buffer the coordinator merges into its own journal. The spans
+// enter the ring and journal exactly as if they had ended here, in the
+// order given. Callers renumber IDs into this tracer's space first
+// (ReserveIDs plus a parent remap; see fleetobs.RestampSpans) so they
+// cannot collide with locally issued spans.
+func (t *Tracer) Record(snaps ...SpanSnapshot) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, snap := range snaps {
+		snap.Active = false
+		t.recordLocked(snap)
+	}
 }
 
 // Active snapshots the currently open spans, ordered by start time

@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench_gate.sh — hold a fresh sharded-pipeline benchmark run to the
+# committed baseline (BENCH_pipeline.json).
+#
+# The gate is two-layered:
+#   - exact: the fresh run's store digest and record count must equal
+#     the committed baseline's (the campaign is seeded; any drift means
+#     the pipeline changed what it measures, not how fast);
+#   - tolerant: the sharded run's record throughput must be within
+#     BENCH_TOLERANCE (default 0.35, i.e. 35%) of the baseline's —
+#     wide because runner hardware varies far more than code does.
+#
+# Regenerate the baseline intentionally with: make pipeline-bench
+#
+# Environment:
+#   BENCH_SCALE      scale divisor matching the baseline (default 512)
+#   BENCH_TOLERANCE  fractional throughput regression allowed
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=${BASELINE:-BENCH_pipeline.json}
+SCALE=${BENCH_SCALE:-512}
+TOL=${BENCH_TOLERANCE:-0.35}
+
+[ -f "$BASELINE" ] || { echo "bench_gate: baseline $BASELINE missing (run make pipeline-bench and commit it)" >&2; exit 1; }
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "bench_gate: fresh run (scale $SCALE) vs $BASELINE (tolerance $TOL)"
+go run ./cmd/whowas-bench \
+    -pipeline-bench "$WORK/fresh.json" \
+    -pipeline-baseline "$BASELINE" \
+    -pipeline-tolerance "$TOL" \
+    -ec2-scale "$SCALE"
+
+echo "bench_gate: PASS"

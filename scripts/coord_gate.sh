@@ -5,6 +5,12 @@
 # fleets of 1, 2 and 4 workers — the 4-worker run SIGKILLs one worker
 # mid-campaign — and hard-fails unless every store digest is
 # byte-identical to the single-process run.
+#
+# Each fleet run also drives the observability surface while the
+# campaign is live: `whowas-query fleet` must show worker rows, the
+# Prometheus exposition must carry worker labels, the status history
+# must record the SIGKILLed worker's expired lease, and the merged
+# -trace-journal must attribute shard spans to worker identities.
 set -eu
 
 ADDR="${COORD_CLOUDD_ADDR:-127.0.0.1:8396}"
@@ -58,6 +64,25 @@ if [ -z "$BASE" ]; then
     exit 1
 fi
 
+# poll_fleet PATTERN — one-shot the live dashboard against the running
+# coordinator until it shows PATTERN (worker rows and history events
+# appear as heartbeats and submissions arrive).
+poll_fleet() {
+    pat="$1"
+    i=0
+    until "$WORK"/bin/whowas-query fleet -history 64 "$CADDR" 2>/dev/null \
+            | grep -q "$pat"; do
+        i=$((i + 1))
+        if [ "$i" -ge 150 ]; then
+            echo "coord_gate: fleet dashboard never showed '$pat'" >&2
+            "$WORK"/bin/whowas-query fleet -history 64 "$CADDR" >&2 || true
+            exit 1
+        fi
+        sleep 0.2
+    done
+    echo "== fleet dashboard shows '$pat'"
+}
+
 # run_fleet WORKERS KILL_ONE — one distributed campaign; prints the
 # coordinator's digest into the scratch dir's coord.out.
 run_fleet() {
@@ -65,8 +90,10 @@ run_fleet() {
     kill_one="$2"
     echo "== coordinator campaign: $workers worker(s), kill_one=$kill_one"
     : >"$WORK"/coord.out
+    JOURNAL="$WORK/journal-$workers-$kill_one.jsonl"
     "$WORK"/bin/whowas-coordinator -cloud-addr "$ADDR" -addr "$CADDR" \
-        -rounds "$ROUNDS" -lease-ttl "$TTL" -q >"$WORK"/coord.out 2>&1 &
+        -rounds "$ROUNDS" -lease-ttl "$TTL" -q \
+        -trace-journal "$JOURNAL" >"$WORK"/coord.out 2>&1 &
     COORD=$!
     PIDS="$PIDS $COORD"
     i=0
@@ -88,6 +115,21 @@ run_fleet() {
         PIDS="$PIDS $!"
         i=$((i + 1))
     done
+    # The live dashboard must show a labeled worker row once the
+    # first heartbeat or shard submission lands, and the Prometheus
+    # exposition must carry the same worker label.
+    poll_fleet "gate-w"
+    i=0
+    until "$WORK"/bin/whowas-query fleet -prom "$CADDR" 2>/dev/null \
+            | grep -q 'worker="gate-w'; do
+        i=$((i + 1))
+        if [ "$i" -ge 150 ]; then
+            echo "coord_gate: /metrics/prom never showed a worker label" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+    echo "== /metrics/prom carries worker labels"
     if [ "$kill_one" = 1 ]; then
         # Give the victim time to lease a budget slice and start a
         # shard, then kill it without ceremony: no submit, no goodbye.
@@ -96,6 +138,10 @@ run_fleet() {
         VICTIM=$(echo "$WPIDS" | awk '{print $1}')
         kill -9 "$VICTIM" 2>/dev/null || true
         echo "== SIGKILLed worker pid $VICTIM mid-campaign"
+        # The death must surface in the status history while the
+        # campaign is still running: an expired lease, its shards
+        # re-queued for the survivors.
+        poll_fleet "lease_expired"
     fi
     if ! wait "$COORD"; then
         echo "coord_gate: coordinator failed" >&2
@@ -115,6 +161,15 @@ run_fleet() {
         echo "coord_gate: DIGEST MISMATCH ($workers workers, kill_one=$kill_one): fleet=$DIGEST single=$BASE" >&2
         exit 1
     fi
+    # The merged journal must reconstruct the campaign with shard
+    # spans attributed to the workers that ran them.
+    if ! "$WORK"/bin/whowas-query trace -journal "$JOURNAL" -slowest 8 \
+            | grep -q "worker=gate-w"; then
+        echo "coord_gate: journal $JOURNAL has no worker-attributed spans" >&2
+        "$WORK"/bin/whowas-query trace -journal "$JOURNAL" -slowest 8 >&2 || true
+        exit 1
+    fi
+    echo "== journal attributes shard spans to workers"
 }
 
 run_fleet 1 0
