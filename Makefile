@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz chaos trace bench pipeline-bench bench-gate metrics-report cloudd coord
+.PHONY: all build vet lint test race fuzz chaos trace bench pipeline-bench store-bench bench-gate metrics-report cloudd coord store
 
 all: build vet lint test
 
@@ -69,9 +69,17 @@ pipeline-bench:
 	$(GO) run ./cmd/whowas-bench -pipeline-bench BENCH_pipeline.json -ec2-scale 512
 	@echo "wrote BENCH_pipeline.json"
 
-# Hold a fresh benchmark run to the committed baseline (what the CI
-# pipeline-bench job runs): digest and record count exact, throughput
-# within BENCH_TOLERANCE.
+# Regenerate the committed store-engine benchmark baseline
+# (BENCH_store.json): per-op latency and on-disk bytes for the
+# in-memory and columnar backends on one synthetic campaign. Commit
+# the result; bench-gate compares against it.
+store-bench:
+	$(GO) run ./cmd/whowas-bench -store-bench BENCH_store.json
+	@echo "wrote BENCH_store.json"
+
+# Hold fresh benchmark runs to the committed baselines (what the CI
+# pipeline-bench job runs): digests, record counts, and on-disk bytes
+# exact; throughput/latency within BENCH_TOLERANCE.
 bench-gate:
 	sh scripts/bench_gate.sh
 
@@ -87,6 +95,14 @@ cloudd:
 # SIGKILLed mid-campaign), and require byte-identical store digests.
 coord:
 	sh scripts/coord_gate.sh
+
+# Storage-engine acceptance gate (what the CI store job runs): the
+# same seeded campaign on the in-memory and columnar backends at 1/2/4
+# pipeline shards plus a 2-worker fleet on -store-dir, all digests and
+# -out gobs byte-identical, and gob->columnar conversion
+# digest-identical.
+store:
+	sh scripts/store_gate.sh
 
 # Example pipeline-metrics report (README "Observability").
 metrics-report:

@@ -286,6 +286,99 @@ func TestCampaignAndQuery(t *testing.T) {
 	}
 }
 
+// TestColumnarStoreCLI is the CLI face of the storage-engine
+// refactor: the same seeded campaign run on the in-memory backend and
+// on the columnar backend (-store-dir) must print the same digest and
+// write byte-identical -out gobs, whowas-query must answer from a
+// segment directory directly, and -to-dir must convert gob to
+// columnar with the digest intact.
+func TestColumnarStoreCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e suite skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	memOut := filepath.Join(tmp, "mem.whowas")
+	colOut := filepath.Join(tmp, "col.whowas")
+	colDir := filepath.Join(tmp, "colstore")
+
+	campaign := []string{
+		"-cloud", "ec2", "-scale", e2eScale, "-seed", "7", "-rounds", "2",
+		"-cluster=false", "-carto=false", "-q",
+	}
+	out, code := runCLI(t, "whowas", append(campaign, "-out", memOut)...)
+	if code != 0 {
+		t.Fatalf("in-memory whowas exit %d:\n%s", code, out)
+	}
+	want := digestFrom(t, out)
+
+	out, code = runCLI(t, "whowas", append(campaign, "-out", colOut, "-store-dir", colDir)...)
+	if code != 0 {
+		t.Fatalf("columnar whowas exit %d:\n%s", code, out)
+	}
+	if got := digestFrom(t, out); got != want {
+		t.Errorf("columnar campaign digest %s != in-memory %s", got, want)
+	}
+	memBytes, err := os.ReadFile(memOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colBytes, err := os.ReadFile(colOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(memBytes, colBytes) {
+		t.Error("-out gobs from the two backends are not byte-identical")
+	}
+	segs, err := filepath.Glob(filepath.Join(colDir, "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Errorf("segment directory holds %d segments, want 2: %v", len(segs), segs)
+	}
+
+	// whowas-query opens the segment directory directly.
+	out, code = runCLI(t, "whowas-query", "-store-dir", colDir, "-summary")
+	if code != 0 {
+		t.Fatalf("whowas-query -store-dir exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "cloud=ec2 rounds=2") {
+		t.Errorf("columnar query missing store banner:\n%s", out)
+	}
+	out, code = runCLI(t, "whowas-query", "-store-dir", colDir, "-digest")
+	if code != 0 {
+		t.Fatalf("whowas-query -store-dir -digest exit %d:\n%s", code, out)
+	}
+	if got := digestFrom(t, out); got != want {
+		t.Errorf("columnar directory digest %s != campaign digest %s", got, want)
+	}
+
+	// Gob -> columnar conversion preserves the digest.
+	convDir := filepath.Join(tmp, "converted")
+	if out, code := runCLI(t, "whowas-query", "-store", memOut, "-to-dir", convDir); code != 0 {
+		t.Fatalf("whowas-query -to-dir exit %d:\n%s", code, out)
+	}
+	out, code = runCLI(t, "whowas-query", "-store-dir", convDir, "-digest")
+	if code != 0 {
+		t.Fatalf("whowas-query on converted dir exit %d:\n%s", code, out)
+	}
+	if got := digestFrom(t, out); got != want {
+		t.Errorf("converted directory digest %s != campaign digest %s", got, want)
+	}
+
+	// Misuse fails loudly: both sources at once, a non-store directory,
+	// converting onto a non-empty target.
+	if out, code := runCLI(t, "whowas-query", "-store", memOut, "-store-dir", colDir, "-summary"); code == 0 {
+		t.Errorf("whowas-query with both -store and -store-dir succeeded:\n%s", out)
+	}
+	if out, code := runCLI(t, "whowas-query", "-store-dir", tmp, "-summary"); code == 0 {
+		t.Errorf("whowas-query on a non-store directory succeeded:\n%s", out)
+	}
+	if out, code := runCLI(t, "whowas-query", "-store", memOut, "-to-dir", colDir); code == 0 {
+		t.Errorf("whowas-query -to-dir onto a non-empty store succeeded:\n%s", out)
+	}
+}
+
 // startCloudd boots the cloud daemon on ephemeral ports and waits for
 // health via whowas-query cloud.
 func startCloudd(t *testing.T) (p *proc, addr string) {

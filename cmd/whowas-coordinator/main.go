@@ -55,6 +55,7 @@ type options struct {
 	keepBodies   bool
 	faultsPath   string
 	out          string
+	storeDir     string
 	metricsPath  string
 	journalPath  string
 	drainWait    time.Duration
@@ -75,6 +76,7 @@ func main() {
 	flag.BoolVar(&o.keepBodies, "keep-bodies", false, "retain raw page bodies in the store (and on the wire)")
 	flag.StringVar(&o.faultsPath, "faults", "", "inject faults from this JSON scenario on every worker")
 	flag.StringVar(&o.out, "out", "", "write the merged store (gob) to this path")
+	flag.StringVar(&o.storeDir, "store-dir", "", "back the merged store with the on-disk columnar engine at this directory (one segment file per round)")
 	flag.StringVar(&o.metricsPath, "metrics", "", "write the coordinator metrics snapshot as JSON to this path")
 	flag.StringVar(&o.journalPath, "trace-journal", "", "append the fleet's merged spans (worker spans stamped with worker identity under each round) as JSONL to this path")
 	flag.DurationVar(&o.drainWait, "drain-wait", 10*time.Second, "how long to wait after the last round for workers to be told the campaign is done")
@@ -104,7 +106,11 @@ func run(o options) error {
 		RoundTimeout: o.roundTimeout,
 		Attempts:     o.retries,
 		KeepBodies:   o.keepBodies,
+		StoreDir:     o.storeDir,
 		Metrics:      metrics.NewRegistry(),
+	}
+	if o.storeDir != "" {
+		fmt.Printf("columnar store at %s\n", o.storeDir)
 	}
 	if o.journalPath != "" {
 		j, err := trace.CreateJournal(o.journalPath)

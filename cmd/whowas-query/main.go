@@ -8,6 +8,16 @@
 //	whowas-query -store ec2.whowas -summary          # Tables 3/4/5/7
 //	whowas-query -store ec2.whowas -census           # §8.3 census
 //	whowas-query -store ec2.whowas -trackers         # Table 20
+//	whowas-query -store-dir ec2.colstore -summary    # columnar store
+//	whowas-query -store ec2.whowas -to-dir ec2.colstore  # gob → columnar
+//	whowas-query -store-dir ec2.colstore -digest     # identity check
+//
+// Gob stores open lazily: single-round commands such as -summary and
+// -json decode only the rounds they touch instead of loading the whole
+// file. -store-dir reads a columnar segment directory written by
+// whowas -store-dir, and -to-dir converts either form to one,
+// streaming round by round. -digest prints the backend-independent
+// store digest.
 //
 // The trace subcommand reads a span journal written with
 // -trace-journal and prints each round's stage latency breakdown plus
@@ -43,6 +53,7 @@ import (
 	"whowas/internal/analysis"
 	"whowas/internal/ipaddr"
 	"whowas/internal/store"
+	"whowas/internal/store/colstore"
 	"whowas/internal/trace"
 )
 
@@ -68,38 +79,79 @@ func main() {
 		}
 		return
 	}
-	var (
-		storePath = flag.String("store", "", "path to a store written by whowas -out")
-		ip        = flag.String("ip", "", "IP address to look up")
-		clusterID = flag.Int64("cluster", 0, "cluster ID to inspect")
-		summary   = flag.Bool("summary", false, "print usage tables (3/4/5/7)")
-		census    = flag.Bool("census", false, "print the §8.3 software census")
-		trackers  = flag.Bool("trackers", false, "print the Table 20 tracker census")
-		jsonRound = flag.Int("json", -1, "export the given round as JSON to stdout")
-	)
+	var o queryOptions
+	flag.StringVar(&o.storePath, "store", "", "path to a store written by whowas -out")
+	flag.StringVar(&o.storeDir, "store-dir", "", "path to a columnar segment directory written by whowas -store-dir")
+	flag.StringVar(&o.ip, "ip", "", "IP address to look up")
+	flag.Int64Var(&o.clusterID, "cluster", 0, "cluster ID to inspect")
+	flag.BoolVar(&o.summary, "summary", false, "print usage tables (3/4/5/7)")
+	flag.BoolVar(&o.census, "census", false, "print the §8.3 software census")
+	flag.BoolVar(&o.trackers, "trackers", false, "print the Table 20 tracker census")
+	flag.IntVar(&o.jsonRound, "json", -1, "export the given round as JSON to stdout")
+	flag.BoolVar(&o.digest, "digest", false, "print the store digest (identical across gob and columnar backends)")
+	flag.StringVar(&o.toDir, "to-dir", "", "convert the store to a columnar segment directory at this path, one round at a time")
 	flag.Parse()
-	if err := run(*storePath, *ip, *clusterID, *summary, *census, *trackers, *jsonRound); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "whowas-query: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(storePath, ip string, clusterID int64, summary, census, trackers bool, jsonRound int) error {
-	if storePath == "" {
-		return fmt.Errorf("-store is required")
+// queryOptions collects the store-querying flags (the trace/cloud/fleet
+// subcommands parse their own).
+type queryOptions struct {
+	storePath string
+	storeDir  string
+	ip        string
+	clusterID int64
+	summary   bool
+	census    bool
+	trackers  bool
+	jsonRound int
+	digest    bool
+	toDir     string
+}
+
+// openStore opens the requested store without decoding its rounds: gob
+// files through the lazy FileBackend (frames are scanned, records stay
+// on disk until a command asks for a round), segment directories
+// through the columnar backend.
+func openStore(o queryOptions) (*store.Store, error) {
+	switch {
+	case o.storePath != "" && o.storeDir != "":
+		return nil, fmt.Errorf("-store and -store-dir are mutually exclusive")
+	case o.storeDir != "":
+		b, err := colstore.Open(o.storeDir, colstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if b.NumRounds() == 0 {
+			_ = b.Close()
+			return nil, fmt.Errorf("%s holds no round segments (not a store directory?)", o.storeDir)
+		}
+		return store.NewWithBackend(b.CloudName(), b), nil
+	case o.storePath != "":
+		return store.OpenFile(o.storePath)
+	default:
+		return nil, fmt.Errorf("-store or -store-dir is required")
 	}
-	f, err := os.Open(storePath)
+}
+
+func run(o queryOptions) error {
+	st, err := openStore(o)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	st, err := store.Load(f)
-	if err != nil {
-		return err
-	}
+	defer func() {
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "whowas-query: closing store: %v\n", err)
+		}
+	}()
 	fmt.Printf("store: cloud=%s rounds=%d\n", st.CloudName, st.NumRounds())
 
 	did := false
+	ip, clusterID := o.ip, o.clusterID
+	summary, census, trackers, jsonRound := o.summary, o.census, o.trackers, o.jsonRound
 	if ip != "" {
 		did = true
 		addr, err := ipaddr.ParseAddr(ip)
@@ -135,10 +187,56 @@ func run(storePath, ip string, clusterID int64, summary, census, trackers bool, 
 			return err
 		}
 	}
+	if o.digest {
+		did = true
+		digest, err := st.Digest()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("store digest: %s\n", digest)
+	}
+	if o.toDir != "" {
+		did = true
+		if err := convertToDir(st, o.toDir); err != nil {
+			return err
+		}
+		fmt.Printf("columnar store written to %s (%d rounds)\n", o.toDir, st.NumRounds())
+	}
 	if !did {
-		return fmt.Errorf("nothing to do: pass -ip, -cluster, -summary, -census, -trackers or -json")
+		return fmt.Errorf("nothing to do: pass -ip, -cluster, -summary, -census, -trackers, -json, -digest or -to-dir")
 	}
 	return nil
+}
+
+// convertToDir streams the open store into a columnar segment
+// directory, one round at a time — a gob file is never fully resident.
+func convertToDir(st *store.Store, dir string) error {
+	src := st.Backend()
+	dst, err := colstore.Open(dir, colstore.Options{CloudName: st.CloudName})
+	if err != nil {
+		return err
+	}
+	if n := dst.NumRounds(); n != 0 {
+		_ = dst.Close()
+		return fmt.Errorf("convert: %s already holds %d rounds", dir, n)
+	}
+	for i := 0; i < src.NumRounds(); i++ {
+		meta, err := src.Meta(i)
+		if err != nil {
+			_ = dst.Close()
+			return err
+		}
+		recs, err := src.Records(i)
+		if err != nil {
+			_ = dst.Close()
+			return err
+		}
+		if err := dst.Append(meta, recs); err != nil {
+			_ = dst.Close()
+			return err
+		}
+	}
+	return dst.Close()
 }
 
 // runTrace is the trace subcommand: load a span journal and print the
@@ -214,7 +312,7 @@ func printCluster(st *store.Store, id int64) {
 	rounds := map[int]*roundInfo{}
 	var sample *store.Record
 	total := map[ipaddr.Addr]bool{}
-	for _, r := range st.Rounds() {
+	st.EachRound(func(r *store.Round) bool {
 		r.Each(func(rec *store.Record) bool {
 			if rec.Cluster != id {
 				return true
@@ -231,7 +329,8 @@ func printCluster(st *store.Store, id int64) {
 			}
 			return true
 		})
-	}
+		return true
+	})
 	if sample == nil {
 		fmt.Printf("cluster %d: not found\n", id)
 		return

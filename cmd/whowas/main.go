@@ -43,6 +43,7 @@ import (
 	"whowas/internal/faults"
 	"whowas/internal/ipaddr"
 	"whowas/internal/ops"
+	"whowas/internal/store/colstore"
 	"whowas/internal/trace"
 )
 
@@ -53,6 +54,7 @@ type options struct {
 	scale        int
 	seed         int64
 	out          string
+	storeDir     string
 	maxRounds    int
 	doCluster    bool
 	doCarto      bool
@@ -77,6 +79,7 @@ func main() {
 	flag.IntVar(&o.scale, "scale", 256, "address-space scale divisor (larger = smaller cloud)")
 	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
 	flag.StringVar(&o.out, "out", "", "write the collected store (gob) to this path")
+	flag.StringVar(&o.storeDir, "store-dir", "", "back the store with the on-disk columnar engine at this directory (one segment file per round; bounds memory on large campaigns)")
 	flag.IntVar(&o.maxRounds, "rounds", 0, "cap the number of rounds (0 = full §6 schedule)")
 	flag.BoolVar(&o.doCluster, "cluster", true, "run the §5 clustering after collection")
 	flag.BoolVar(&o.doCarto, "carto", true, "run the §5 VPC cartography (EC2 only)")
@@ -140,6 +143,22 @@ func run(o options) error {
 			return err
 		}
 	}
+
+	if o.storeDir != "" {
+		backend, err := colstore.Open(o.storeDir, colstore.Options{CloudName: p.Store.CloudName})
+		if err != nil {
+			return err
+		}
+		if err := p.UseStoreBackend(backend); err != nil {
+			return err
+		}
+		fmt.Printf("columnar store at %s\n", o.storeDir)
+	}
+	defer func() {
+		if err := p.Store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "whowas: closing store: %v\n", err)
+		}
+	}()
 
 	if o.journalPath != "" || o.opsAddr != "" {
 		tcfg := trace.Config{}

@@ -91,7 +91,7 @@ func Census(st *store.Store) CensusResult {
 	var availSum, serverSum, backendSum, templateSum float64
 	var wpTotal, wpVulnerable float64
 
-	for _, r := range st.Rounds() {
+	st.EachRound(func(r *store.Round) bool {
 		sc := map[string]int{}
 		bc := map[string]int{}
 		tc := map[string]int{}
@@ -157,7 +157,8 @@ func Census(st *store.Store) CensusResult {
 		phpV.addRound(pv)
 		iisV.addRound(iv)
 		wpV.addRound(wv)
-	}
+		return true
+	})
 
 	out := CensusResult{
 		ServerFamilies:    servers.shares(),
@@ -239,11 +240,11 @@ type TrackerStudy struct {
 // the whole campaign.
 func Trackers(st *store.Store) TrackerStudy {
 	out := TrackerStudy{}
-	rounds := st.Rounds()
-	if len(rounds) == 0 {
+	n := st.NumRounds()
+	if n == 0 {
 		return out
 	}
-	last := rounds[len(rounds)-1]
+	last := st.Round(n - 1)
 	out.Round = last.Index
 
 	ipCounts := map[string]int{}
@@ -291,7 +292,7 @@ func Trackers(st *store.Store) TrackerStudy {
 	// GA accounts across the whole campaign.
 	ids := map[string]bool{}
 	accounts := map[string]map[string]bool{} // account -> profiles
-	for _, r := range rounds {
+	st.EachRound(func(r *store.Round) bool {
 		r.Each(func(rec *store.Record) bool {
 			if rec.AnalyticsID == "" {
 				return true
@@ -305,7 +306,8 @@ func Trackers(st *store.Store) TrackerStudy {
 			}
 			return true
 		})
-	}
+		return true
+	})
 	out.UniqueGAIDs = len(ids)
 	out.GAAccounts = len(accounts)
 	var oneProf, twoProf float64

@@ -36,10 +36,16 @@ type ChurnSummary struct {
 
 // Churn computes the §8.1 IP-status churn between consecutive rounds.
 func Churn(st *store.Store) *ChurnSummary {
-	rounds := st.Rounds()
 	out := &ChurnSummary{}
-	for i := 1; i < len(rounds); i++ {
-		prev, cur := rounds[i-1], rounds[i]
+	// Sliding two-round window: consecutive-round comparison needs prev
+	// and cur together but never more, so the fold stays within the
+	// lazy backends' decoded-round cache.
+	var prev *store.Round
+	st.EachRound(func(cur *store.Round) bool {
+		if prev == nil {
+			prev = cur
+			return true
+		}
 		probed := cur.Probed
 		if probed == 0 {
 			probed = prev.Probed
@@ -107,7 +113,9 @@ func Churn(st *store.Store) *ChurnSummary {
 			p.RelOverall = anyFlips / uniqueResponsive
 		}
 		out.Points = append(out.Points, p)
-	}
+		prev = cur
+		return true
+	})
 	n := float64(len(out.Points))
 	if n == 0 {
 		return out

@@ -23,14 +23,15 @@ type ClusteringSummary struct {
 // Clustering computes Table 6 from the store and clustering result.
 func Clustering(st *store.Store, res *cluster.Result) ClusteringSummary {
 	ips := map[ipaddr.Addr]bool{}
-	for _, r := range st.Rounds() {
+	st.EachRound(func(r *store.Round) bool {
 		r.Each(func(rec *store.Record) bool {
 			if rec.Responsive() {
 				ips[rec.IP] = true
 			}
 			return true
 		})
-	}
+		return true
+	})
 	return ClusteringSummary{
 		ResponsiveIPs:   len(ips),
 		UniqueSimhashes: res.UniqueHashes,

@@ -30,10 +30,11 @@ func Departures(st *store.Store, res *cluster.Result, topN int) []DepartureEvent
 	if nRounds < 2 {
 		return nil
 	}
-	dayOf := make([]int, nRounds)
-	for i, r := range st.Rounds() {
-		dayOf[i] = r.Day
-	}
+	dayOf := make([]int, 0, nRounds)
+	st.EachRound(func(r *store.Round) bool {
+		dayOf = append(dayOf, r.Day)
+		return true
+	})
 	events := make([]DepartureEvent, nRounds)
 	for i := range events {
 		events[i] = DepartureEvent{Round: i, Day: dayOf[i]}

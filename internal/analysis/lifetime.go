@@ -241,7 +241,7 @@ func Linchpins(st *store.Store, minURLs int, flagged func(url string, day int) b
 		minURLs = 20
 	}
 	byIP := map[ipaddr.Addr]*Linchpin{}
-	for _, round := range st.Rounds() {
+	st.EachRound(func(round *store.Round) bool {
 		round.Each(func(rec *store.Record) bool {
 			n := 0
 			domains := map[string]bool{}
@@ -268,7 +268,8 @@ func Linchpins(st *store.Store, minURLs int, flagged func(url string, day int) b
 			lp.LastRound = rec.Round
 			return true
 		})
-	}
+		return true
+	})
 	out := make([]Linchpin, 0, len(byIP))
 	for _, lp := range byIP {
 		out = append(out, *lp)

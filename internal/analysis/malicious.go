@@ -38,7 +38,7 @@ func SafeBrowsing(st *store.Store, feed *blacklist.SafeBrowsing) SBStudy {
 	}
 	infos := map[ipaddr.Addr]*ipInfo{}
 	urls := map[string]bool{}
-	for _, round := range st.Rounds() {
+	st.EachRound(func(round *store.Round) bool {
 		day := round.Day
 		round.Each(func(rec *store.Record) bool {
 			var hit bool
@@ -70,7 +70,8 @@ func SafeBrowsing(st *store.Store, feed *blacklist.SafeBrowsing) SBStudy {
 			}
 			return true
 		})
-	}
+		return true
+	})
 	out := SBStudy{MaliciousIPs: len(infos), MaliciousURLs: len(urls)}
 	clusters := map[int64]bool{}
 	var all, classic, vpc []float64

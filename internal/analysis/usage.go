@@ -62,8 +62,7 @@ func clusterCountInRound(r *store.Round) int {
 // run for the cluster columns to be populated.
 func Usage(st *store.Store) *UsageSummary {
 	out := &UsageSummary{}
-	rounds := st.Rounds()
-	for _, r := range rounds {
+	st.EachRound(func(r *store.Round) bool {
 		resp, avail := roundCounts(r)
 		out.RespSeries = append(out.RespSeries, float64(resp))
 		out.AvailSeries = append(out.AvailSeries, float64(avail))
@@ -72,7 +71,8 @@ func Usage(st *store.Store) *UsageSummary {
 		if r.Probed > out.Probed {
 			out.Probed = r.Probed
 		}
-	}
+		return true
+	})
 	out.Responsive = timeseries.Summarize(out.RespSeries)
 	out.Available = timeseries.Summarize(out.AvailSeries)
 	out.Clusters = timeseries.Summarize(out.ClusterSeries)
@@ -114,11 +114,9 @@ type PortMix struct {
 // Ports computes Table 3.
 func Ports(st *store.Store) PortMix {
 	var mix PortMix
-	rounds := st.Rounds()
-	if len(rounds) == 0 {
-		return mix
-	}
-	for _, r := range rounds {
+	rounds := 0
+	st.EachRound(func(r *store.Round) bool {
+		rounds++
 		var ssh, h, hs, both, total float64
 		r.Each(func(rec *store.Record) bool {
 			if !rec.Responsive() {
@@ -140,14 +138,18 @@ func Ports(st *store.Store) PortMix {
 			return true
 		})
 		if total == 0 {
-			continue
+			return true
 		}
 		mix.SSHOnly += ssh / total
 		mix.HTTPOnly += h / total
 		mix.HTTPSOnly += hs / total
 		mix.Both += both / total
+		return true
+	})
+	if rounds == 0 {
+		return mix
 	}
-	n := float64(len(rounds))
+	n := float64(rounds)
 	mix.SSHOnly /= n
 	mix.HTTPOnly /= n
 	mix.HTTPSOnly /= n
@@ -170,11 +172,9 @@ type StatusMix struct {
 // Statuses computes Table 4.
 func Statuses(st *store.Store) StatusMix {
 	var mix StatusMix
-	rounds := st.Rounds()
-	if len(rounds) == 0 {
-		return mix
-	}
-	for _, r := range rounds {
+	rounds := 0
+	st.EachRound(func(r *store.Round) bool {
+		rounds++
 		var ok, c4, c5, other, total float64
 		r.Each(func(rec *store.Record) bool {
 			if rec.HTTPStatus == 0 {
@@ -194,14 +194,18 @@ func Statuses(st *store.Store) StatusMix {
 			return true
 		})
 		if total == 0 {
-			continue
+			return true
 		}
 		mix.OK200 += ok / total
 		mix.C4xx += c4 / total
 		mix.C5xx += c5 / total
 		mix.Other += other / total
+		return true
+	})
+	if rounds == 0 {
+		return mix
 	}
-	n := float64(len(rounds))
+	n := float64(rounds)
 	mix.OK200 /= n
 	mix.C4xx /= n
 	mix.C5xx /= n
@@ -226,7 +230,7 @@ type ContentTypeShare struct {
 func ContentTypes(st *store.Store, topN int) []ContentTypeShare {
 	counts := map[string]int{}
 	total := 0
-	for _, r := range st.Rounds() {
+	st.EachRound(func(r *store.Round) bool {
 		r.Each(func(rec *store.Record) bool {
 			if rec.HTTPStatus != 0 && rec.ContentType != "" {
 				counts[rec.ContentType]++
@@ -234,7 +238,8 @@ func ContentTypes(st *store.Store, topN int) []ContentTypeShare {
 			}
 			return true
 		})
-	}
+		return true
+	})
 	out := make([]ContentTypeShare, 0, len(counts))
 	for t, n := range counts {
 		out = append(out, ContentTypeShare{Type: t, Share: float64(n) / float64(total)})

@@ -24,7 +24,7 @@ type VPCSeries struct {
 // records).
 func VPCUsage(st *store.Store) VPCSeries {
 	var out VPCSeries
-	for _, r := range st.Rounds() {
+	st.EachRound(func(r *store.Round) bool {
 		var cr, ca, vr, va int
 		r.Each(func(rec *store.Record) bool {
 			if rec.VPC {
@@ -49,7 +49,8 @@ func VPCUsage(st *store.Store) VPCSeries {
 		out.ClassicAvailable = append(out.ClassicAvailable, ca)
 		out.VPCResponsive = append(out.VPCResponsive, vr)
 		out.VPCAvailable = append(out.VPCAvailable, va)
-	}
+		return true
+	})
 	return out
 }
 

@@ -57,14 +57,21 @@ func (m *Map) CountByRegion(regionOf func(ipaddr.Addr) string) map[string]int {
 	return out
 }
 
-// Apply writes the VPC label into every record of every round.
-func (m *Map) Apply(st *store.Store) {
-	for _, round := range st.Rounds() {
+// Apply writes the VPC label into every record of every round,
+// persisting through the store's update path so the join survives a
+// lazy storage backend.
+func (m *Map) Apply(st *store.Store) error {
+	return st.UpdateRounds(func(round *store.Round) bool {
+		changed := false
 		round.Each(func(rec *store.Record) bool {
-			rec.VPC = m.IsVPC(rec.IP)
+			if vpc := m.IsVPC(rec.IP); rec.VPC != vpc {
+				rec.VPC = vpc
+				changed = true
+			}
 			return true
 		})
-	}
+		return changed
+	})
 }
 
 // Config tunes the sweep.

@@ -107,7 +107,9 @@ func TestApplyLabelsRecords(t *testing.T) {
 		return true
 	})
 	_ = st.EndRound()
-	m.Apply(st)
+	if err := m.Apply(st); err != nil {
+		t.Fatal(err)
+	}
 	var vpcRecs int
 	st.Round(0).Each(func(rec *store.Record) bool {
 		if rec.VPC != m.IsVPC(rec.IP) {

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"sync"
 
+	"whowas/internal/ipaddr"
 	"whowas/internal/metrics"
 	"whowas/internal/simhash"
 	"whowas/internal/store"
@@ -282,15 +283,59 @@ func Run(st *store.Store, cfg Config) (*Result, error) {
 	root.SetAttr(trace.Int("records_in", len(records)), trace.Int("final", len(final)))
 	root.End()
 
-	// Re-number final clusters and label records.
+	// Re-number final clusters and label records. The collected copies
+	// are mutated directly so the Result's cluster members carry their
+	// IDs; the same assignment is then persisted through the store's
+	// update path, which is what survives a lazy storage backend.
+	type recKey struct {
+		round int
+		ip    ipaddr.Addr
+	}
+	// The changed-round set must be computed against the records'
+	// pre-clustering IDs, before the in-place labeling below: on a
+	// caching backend the records seen here and the records seen by
+	// UpdateRounds can be the same pointers, so an after-the-fact
+	// "did it change" comparison inside the update would read its own
+	// mutation and skip the rewrite, leaving the on-disk round stale.
+	assigned := make(map[recKey]int64, len(records))
+	orig := make(map[recKey]int64, len(records))
 	for _, rec := range records {
+		k := recKey{rec.Round, rec.IP}
+		orig[k] = rec.Cluster
 		rec.Cluster = 0
+		assigned[k] = 0
 	}
 	for i, c := range final {
 		c.ID = int64(i + 1)
 		for _, rec := range c.Records {
 			rec.Cluster = c.ID
+			assigned[recKey{rec.Round, rec.IP}] = c.ID
 		}
+	}
+	changedRounds := make(map[int]bool)
+	for k, id := range assigned {
+		if orig[k] != id {
+			changedRounds[k.round] = true
+		}
+	}
+	err := st.UpdateRounds(func(round *store.Round) bool {
+		changed := false
+		round.Each(func(rec *store.Record) bool {
+			if id, ok := assigned[recKey{rec.Round, rec.IP}]; ok {
+				if rec.Cluster != id {
+					rec.Cluster = id
+					changed = true
+				}
+				if changedRounds[rec.Round] {
+					changed = true
+				}
+			}
+			return true
+		})
+		return changed
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: persisting assignments: %w", err)
 	}
 
 	return &Result{

@@ -8,6 +8,7 @@ import (
 	"whowas/internal/ipaddr"
 	"whowas/internal/simhash"
 	"whowas/internal/store"
+	"whowas/internal/store/colstore"
 )
 
 // page builds a record with the given level-1 features and content.
@@ -349,6 +350,78 @@ func TestUnavailableRecordsExcluded(t *testing.T) {
 		}
 	}
 	_ = res
+}
+
+// TestRunPersistsThroughCachingBackend: clustering's write-back must
+// reach the disk even when the backend's round cache holds the whole
+// store — the cached records are the same pointers Run labels in
+// place, so a naive changed-detection inside UpdateRounds would read
+// its own mutation and skip every rewrite (regression: stale segments
+// after a fully-cached columnar campaign).
+func TestRunPersistsThroughCachingBackend(t *testing.T) {
+	rounds := [][]*store.Record{
+		{page("1.0.0.1", "Shop", "nginx", bodyA), page("1.0.0.2", "Shop", "nginx", bodyA)},
+		{page("1.0.0.1", "Shop", "nginx", bodyA), page("1.0.0.3", "Corp", "apache", bodyB)},
+	}
+	mem := buildStore(t, rounds)
+
+	dir := t.TempDir()
+	backend, err := colstore.Open(dir, colstore.Options{CloudName: "test", CacheRounds: len(rounds)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := store.NewWithBackend("test", backend)
+	for i, recs := range rounds {
+		if _, err := col.BeginRound(i * 2); err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			cp := *rec
+			if err := col.Put(&cp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := col.EndRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := Run(mem, Config{Threshold: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(col, Config{Threshold: 3}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := mem.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := col.Digest(); err != nil || got != want {
+		t.Fatalf("columnar digest diverges before reopen: got %s (%v), want %s", got, err, want)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from disk alone: the cache is gone, so only rewritten
+	// segments can reproduce the post-clustering digest.
+	reBackend, err := colstore.Open(dir, colstore.Options{CloudName: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := store.NewWithBackend("test", reBackend)
+	defer func() {
+		if err := re.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := re.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("on-disk digest after clustering = %s, want %s (write-back skipped on cached rounds)", got, want)
+	}
 }
 
 func BenchmarkRun1000Records(b *testing.B) {

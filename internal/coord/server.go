@@ -19,6 +19,7 @@ import (
 	"whowas/internal/ratelimit"
 	"whowas/internal/scanner"
 	"whowas/internal/store"
+	"whowas/internal/store/colstore"
 	"whowas/internal/trace"
 )
 
@@ -66,6 +67,11 @@ type Config struct {
 	Attempts   int
 	KeepBodies bool
 	Faults     *faults.Scenario
+	// StoreDir, when non-empty, backs the coordinator's store with the
+	// on-disk columnar engine (internal/store/colstore) in that
+	// directory instead of holding every round in memory. Digests are
+	// byte-identical either way.
+	StoreDir string
 	// Metrics receives the coord.* counters and backs the ops surface.
 	Metrics *metrics.Registry
 	// Tracer, when non-nil, is the fleet's merged flight recorder: the
@@ -194,6 +200,14 @@ func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	st := store.New(cloud.Info().Name)
+	if cfg.StoreDir != "" {
+		backend, err := colstore.Open(cfg.StoreDir, colstore.Options{CloudName: cloud.Info().Name})
+		if err != nil {
+			cloud.Close()
+			return nil, fmt.Errorf("coord: opening store dir: %w", err)
+		}
+		st = store.NewWithBackend(cloud.Info().Name, backend)
+	}
 	st.KeepBodies = cfg.KeepBodies
 	st.SetMetrics(cfg.Metrics)
 	if cfg.Tracer != nil {
@@ -624,14 +638,22 @@ func (s *Server) DrainWorkers(ctx context.Context) error {
 	}
 }
 
-// Shutdown stops the protocol server and closes the cloud client.
-// Idempotent; safe on a server never started.
+// Shutdown stops the protocol server, closes the cloud client and
+// releases the store backend. Idempotent; safe on a server never
+// started.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closeOnce.Do(func() {
 		if s.ops != nil {
 			s.closeErr = s.ops.Shutdown(ctx)
 		}
 		if err := s.cloud.Close(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+		// A shutdown mid-round abandons the open round — the backend
+		// holds only finalized rounds either way — so the abort error
+		// ("no open round" in the normal case) is deliberately ignored.
+		_ = s.st.AbortRound()
+		if err := s.st.Close(); err != nil && s.closeErr == nil {
 			s.closeErr = err
 		}
 	})

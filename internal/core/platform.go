@@ -254,6 +254,24 @@ func NewPlatformCloud(cloud cloudapi.Cloud) (*Platform, error) {
 	}, nil
 }
 
+// UseStoreBackend replaces the platform's store with a fresh one over
+// the given backend — the hook through which the CLIs select the
+// columnar engine (-store-dir). Call it before the campaign starts;
+// any rounds already collected in the old store are not migrated. The
+// platform's metrics registry and tracer are re-attached so store
+// instrumentation is uninterrupted.
+func (p *Platform) UseStoreBackend(b store.Backend) error {
+	if p.Store.NumRounds() > 0 {
+		return fmt.Errorf("core: store already holds %d rounds; select the backend before collecting", p.Store.NumRounds())
+	}
+	st := store.NewWithBackend(p.Store.CloudName, b)
+	st.SetMetrics(p.Metrics)
+	st.SetTracer(p.Tracer)
+	st.KeepBodies = p.Store.KeepBodies
+	p.Store = st
+	return nil
+}
+
 // withPlatformDefaults threads the platform registry, tracer and
 // region map through the pipeline components unless the caller
 // supplied component-specific ones.
@@ -394,7 +412,9 @@ func (p *Platform) RunCartography(ctx context.Context, cfg carto.Config) error {
 		return err
 	}
 	p.CartoMap = m
-	m.Apply(p.Store)
+	if err := m.Apply(p.Store); err != nil {
+		return err
+	}
 	return nil
 }
 

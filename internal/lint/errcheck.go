@@ -24,7 +24,7 @@ import (
 // ErrCheckAnalyzer flags discarded errors on crash-safety write paths.
 var ErrCheckAnalyzer = &Analyzer{
 	Name: "errcheck",
-	Doc:  "no discarded errors from atomicfile, store/trace mutations, or write-path file closes",
+	Doc:  "no discarded errors from atomicfile, store/colstore/trace mutations, or write-path file closes",
 	Run:  runErrCheck,
 }
 

@@ -26,7 +26,7 @@ import (
 // discipline.
 var LockDiscAnalyzer = &Analyzer{
 	Name: "lockdisc",
-	Doc:  "no mutex value copies; no channel send while holding a lock in pipeline/store",
+	Doc:  "no mutex value copies; no channel send while holding a lock in pipeline/store/colstore",
 	Run:  runLockDisc,
 }
 

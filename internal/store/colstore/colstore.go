@@ -1,0 +1,365 @@
+// Package colstore is the on-disk columnar store backend: each
+// finalized round becomes one append-only segment file
+// (round-00000.seg, round-00001.seg, ...) written crash-safely through
+// internal/atomicfile, so a campaign's resident memory is bounded by
+// the open round plus a small LRU of decoded segments instead of the
+// whole history. Segments are validated — framing, CRC, block bounds —
+// once at Open; a torn final write (a leftover *.tmp sibling) is
+// ignored and a truncated or mangled segment reports store.ErrCorrupt
+// before any read path runs.
+//
+// The backend honors the store.Backend byte-identity contract: records
+// round-trip through the column encodings field-for-field, so
+// Save/Digest/ExportJSON/History over a colstore-backed Store are
+// byte-identical to the in-memory backend's output.
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"whowas/internal/atomicfile"
+	"whowas/internal/ipaddr"
+	"whowas/internal/store"
+)
+
+// Options configures Open.
+type Options struct {
+	// CloudName names the store when the directory is empty. When
+	// segments already exist their recorded cloud name wins; a non-empty
+	// CloudName that disagrees with it is an error.
+	CloudName string
+	// CacheRounds bounds the LRU of decoded rounds. Zero means the
+	// default (2: the round being read plus its predecessor, the shape
+	// churn analyses walk). Negative disables caching.
+	CacheRounds int
+}
+
+const defaultCacheRounds = 2
+
+// Backend implements store.Backend over a directory of per-round
+// columnar segments.
+type Backend struct {
+	dir       string
+	cloudName string
+	cacheCap  int
+
+	// mu guards segs, cache and closed. The store frontend allows
+	// concurrent readers; they serialize here, which is the price of
+	// sharing one LRU — segment decode, not lock hold time, dominates.
+	mu     sync.Mutex
+	segs   []*segFooter
+	cache  []cachedRound // LRU order: most recently used last
+	closed bool
+}
+
+type cachedRound struct {
+	index int
+	recs  []*store.Record
+}
+
+var _ store.Backend = (*Backend)(nil)
+
+// segName is the canonical segment filename for a round index.
+func segName(i int) string { return fmt.Sprintf("round-%05d.seg", i) }
+
+func (b *Backend) segPath(i int) string { return filepath.Join(b.dir, segName(i)) }
+
+// Open opens (creating if needed) a segment directory. Every existing
+// segment is fully validated — magic, CRC over the whole file, block
+// bounds, sequential round indexes — so later reads operate on proven
+// data; any damage surfaces here as an error wrapping store.ErrCorrupt.
+// Leftover .tmp files from an interrupted atomic write are ignored:
+// the rename never happened, so the directory's committed state is
+// intact without them.
+func Open(dir string, opts Options) (*Backend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if filepath.Ext(name) == ".seg" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	cacheCap := opts.CacheRounds
+	switch {
+	case cacheCap == 0:
+		cacheCap = defaultCacheRounds
+	case cacheCap < 0:
+		cacheCap = 0
+	}
+	b := &Backend{dir: dir, cloudName: opts.CloudName, cacheCap: cacheCap}
+	for i, name := range names {
+		if name != segName(i) {
+			return nil, fmt.Errorf("%w: expected segment %s, found %s", store.ErrCorrupt, segName(i), name)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("colstore: %w", err)
+		}
+		foot, err := parseFooter(data)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: segment %s: %w", name, err)
+		}
+		if foot.Meta.Index != i {
+			return nil, fmt.Errorf("%w: segment %s carries round index %d", store.ErrCorrupt, name, foot.Meta.Index)
+		}
+		if i == 0 && opts.CloudName == "" {
+			b.cloudName = foot.CloudName
+		} else if foot.CloudName != b.cloudName {
+			return nil, fmt.Errorf("%w: segment %s is for cloud %q, store is %q", store.ErrCorrupt, name, foot.CloudName, b.cloudName)
+		}
+		b.segs = append(b.segs, foot)
+	}
+	return b, nil
+}
+
+// CloudName returns the store's cloud name (from existing segments, or
+// Options for a fresh directory).
+func (b *Backend) CloudName() string { return b.cloudName }
+
+// NumRounds returns how many segments the directory holds.
+func (b *Backend) NumRounds() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.segs)
+}
+
+// Meta returns a round's metadata from its segment footer — no block
+// is touched.
+func (b *Backend) Meta(i int) (store.RoundMeta, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if i < 0 || i >= len(b.segs) {
+		return store.RoundMeta{}, fmt.Errorf("colstore: no round %d", i)
+	}
+	return b.segs[i].Meta, nil
+}
+
+// Append encodes the round into a new segment and commits it with an
+// atomic write; the encoded records stay in the LRU so the round just
+// finalized reads back without a decode.
+func (b *Backend) Append(meta store.RoundMeta, recs []*store.Record) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("colstore: backend closed")
+	}
+	if meta.Index != len(b.segs) {
+		return fmt.Errorf("colstore: append round %d, have %d rounds", meta.Index, len(b.segs))
+	}
+	foot, err := b.writeSegment(meta, recs)
+	if err != nil {
+		return err
+	}
+	b.segs = append(b.segs, foot)
+	b.cachePut(meta.Index, recs)
+	return nil
+}
+
+// Rewrite re-encodes an existing round in place (UpdateRounds
+// write-backs: cartography's VPC labels, clustering's assignments).
+func (b *Backend) Rewrite(i int, meta store.RoundMeta, recs []*store.Record) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("colstore: backend closed")
+	}
+	if i < 0 || i >= len(b.segs) {
+		return fmt.Errorf("colstore: no round %d", i)
+	}
+	if meta.Index != i {
+		return fmt.Errorf("colstore: rewrite round %d with meta for round %d", i, meta.Index)
+	}
+	foot, err := b.writeSegment(meta, recs)
+	if err != nil {
+		return err
+	}
+	b.segs[i] = foot
+	b.cacheDrop(i)
+	b.cachePut(i, recs)
+	return nil
+}
+
+// writeSegment encodes and atomically writes one segment, returning
+// its parsed footer. Caller holds mu.
+func (b *Backend) writeSegment(meta store.RoundMeta, recs []*store.Record) (*segFooter, error) {
+	data, err := encodeSegment(meta, b.cloudName, recs)
+	if err != nil {
+		return nil, err
+	}
+	// Re-parsing what was just encoded both yields the footer to retain
+	// and proves the segment passes the exact validation Open applies.
+	foot, err := parseFooter(data)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: freshly encoded segment invalid: %w", err)
+	}
+	if err := atomicfile.WriteFile(b.segPath(meta.Index), data); err != nil {
+		return nil, err
+	}
+	return foot, nil
+}
+
+// Records returns a round's records, decoding its segment unless the
+// LRU still holds it.
+func (b *Backend) Records(i int) ([]*store.Record, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.recordsLocked(i)
+}
+
+func (b *Backend) recordsLocked(i int) ([]*store.Record, error) {
+	if b.closed {
+		return nil, fmt.Errorf("colstore: backend closed")
+	}
+	if i < 0 || i >= len(b.segs) {
+		return nil, fmt.Errorf("colstore: no round %d", i)
+	}
+	if recs, ok := b.cacheGet(i); ok {
+		return recs, nil
+	}
+	data, err := os.ReadFile(b.segPath(i))
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	recs, err := decodeSegment(data, b.segs[i])
+	if err != nil {
+		return nil, fmt.Errorf("colstore: segment %s: %w", segName(i), err)
+	}
+	b.cachePut(i, recs)
+	return recs, nil
+}
+
+// History walks the per-IP record trail without materializing rounds
+// wholesale: the footer's IP bounds rule most segments out, and a
+// candidate segment's membership is tested against its IP column alone
+// (one partial file read) before the full round is decoded.
+func (b *Backend) History(ip ipaddr.Addr) ([]*store.Record, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, fmt.Errorf("colstore: backend closed")
+	}
+	var out []*store.Record
+	for i, foot := range b.segs {
+		if foot.Meta.Records == 0 || uint32(ip) < foot.MinIP || uint32(ip) > foot.MaxIP {
+			continue
+		}
+		if recs, ok := b.cacheGet(i); ok {
+			if rec := searchRecs(recs, ip); rec != nil {
+				out = append(out, rec)
+			}
+			continue
+		}
+		hit, err := b.ipInSegment(i, foot, ip)
+		if err != nil {
+			return nil, err
+		}
+		if !hit {
+			continue
+		}
+		recs, err := b.recordsLocked(i)
+		if err != nil {
+			return nil, err
+		}
+		if rec := searchRecs(recs, ip); rec != nil {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// ipInSegment tests membership by decoding only the segment's IP
+// column, read with one ReadAt of the block's byte range.
+func (b *Backend) ipInSegment(i int, foot *segFooter, ip ipaddr.Addr) (bool, error) {
+	blk, err := foot.block(ipCol)
+	if err != nil {
+		return false, err
+	}
+	f, err := os.Open(b.segPath(i))
+	if err != nil {
+		return false, fmt.Errorf("colstore: %w", err)
+	}
+	defer f.Close()
+	comp := make([]byte, blk.CompLen)
+	if _, err := f.ReadAt(comp, blk.Off); err != nil {
+		return false, fmt.Errorf("colstore: reading %s ip column: %w", segName(i), err)
+	}
+	raw, err := decompress(comp, int(blk.RawLen))
+	if err != nil {
+		return false, fmt.Errorf("%w: segment %s ip column: %v", store.ErrCorrupt, segName(i), err)
+	}
+	ips, err := decodeIPColumn(raw, foot.Meta.Records)
+	if err != nil {
+		return false, err
+	}
+	j := sort.Search(len(ips), func(k int) bool { return ips[k] >= uint32(ip) })
+	return j < len(ips) && ips[j] == uint32(ip), nil
+}
+
+// searchRecs binary searches an IP-sorted record slice.
+func searchRecs(recs []*store.Record, ip ipaddr.Addr) *store.Record {
+	j := sort.Search(len(recs), func(k int) bool { return recs[k].IP >= ip })
+	if j < len(recs) && recs[j].IP == ip {
+		return recs[j]
+	}
+	return nil
+}
+
+// Close marks the backend closed. Segment files are opened per read,
+// so there is nothing else to release; Close is idempotent.
+func (b *Backend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	return nil
+}
+
+// cacheGet returns a cached round, refreshing its recency.
+func (b *Backend) cacheGet(i int) ([]*store.Record, bool) {
+	for k := range b.cache {
+		if b.cache[k].index == i {
+			c := b.cache[k]
+			b.cache = append(append(b.cache[:k:k], b.cache[k+1:]...), c)
+			return c.recs, true
+		}
+	}
+	return nil, false
+}
+
+// cachePut inserts a round as most-recent, evicting the oldest beyond
+// the cap.
+func (b *Backend) cachePut(i int, recs []*store.Record) {
+	if b.cacheCap == 0 {
+		return
+	}
+	b.cacheDrop(i)
+	b.cache = append(b.cache, cachedRound{index: i, recs: recs})
+	if len(b.cache) > b.cacheCap {
+		b.cache = append(b.cache[:0:0], b.cache[len(b.cache)-b.cacheCap:]...)
+	}
+}
+
+// cacheDrop removes a round from the cache if present.
+func (b *Backend) cacheDrop(i int) {
+	for k := range b.cache {
+		if b.cache[k].index == i {
+			b.cache = append(b.cache[:k:k], b.cache[k+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// The segment byte compressor: an LZ77-family byte codec in the
+// snappy/LZ4 spirit — greedy hash-chain matching, literal runs and
+// back-references, no entropy stage — small enough to own outright
+// (the repo takes no dependencies) and fast enough that column
+// encoding stays I/O-bound. The format is deliberately simple:
+//
+//	control byte c < 0x80: literal run of c+1 bytes follows
+//	control byte c >= 0x80: copy of (c&0x7f)+minMatch bytes from
+//	    offset o (2 bytes little-endian, 1..maxOffset) back
+//
+// Compression is deterministic: the same input always yields the same
+// output, so segment bytes — like everything else in the store — are
+// reproducible across runs.
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	minMatch      = 4
+	maxLiteralRun = 128 // control 0x00..0x7f
+	maxCopyLen    = 0x7f + minMatch
+	maxOffset     = 1<<16 - 1
+	hashBits      = 14
+)
+
+// hash4 mixes 4 bytes into a table index.
+func hash4(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - hashBits)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// compress appends the compressed form of src to dst.
+func compress(dst, src []byte) []byte {
+	var table [1 << hashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	litStart := 0
+	emitLiterals := func(end int) {
+		for litStart < end {
+			n := end - litStart
+			if n > maxLiteralRun {
+				n = maxLiteralRun
+			}
+			dst = append(dst, byte(n-1))
+			dst = append(dst, src[litStart:litStart+n]...)
+			litStart += n
+		}
+	}
+	i := 0
+	for i+minMatch <= len(src) {
+		h := hash4(load32(src, i))
+		cand := table[h]
+		table[h] = int32(i)
+		if cand >= 0 && i-int(cand) <= maxOffset && load32(src, int(cand)) == load32(src, i) {
+			// Extend the match.
+			length := minMatch
+			for i+length < len(src) && length < maxCopyLen && src[int(cand)+length] == src[i+length] {
+				length++
+			}
+			emitLiterals(i)
+			dst = append(dst, byte(0x80|(length-minMatch)))
+			var off [2]byte
+			binary.LittleEndian.PutUint16(off[:], uint16(i-int(cand)))
+			dst = append(dst, off[0], off[1])
+			i += length
+			litStart = i
+			continue
+		}
+		i++
+	}
+	emitLiterals(len(src))
+	return dst
+}
+
+// decompress expands src into a fresh buffer of exactly rawLen bytes,
+// bounds-checking every step: mangled input returns an error, never a
+// panic or an overrun.
+func decompress(src []byte, rawLen int) ([]byte, error) {
+	if rawLen < 0 {
+		return nil, fmt.Errorf("colstore: negative raw length %d", rawLen)
+	}
+	dst := make([]byte, 0, rawLen)
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		i++
+		if c < 0x80 {
+			n := int(c) + 1
+			if i+n > len(src) {
+				return nil, fmt.Errorf("colstore: literal run overruns input")
+			}
+			dst = append(dst, src[i:i+n]...)
+			i += n
+			continue
+		}
+		length := int(c&0x7f) + minMatch
+		if i+2 > len(src) {
+			return nil, fmt.Errorf("colstore: copy overruns input")
+		}
+		off := int(binary.LittleEndian.Uint16(src[i:]))
+		i += 2
+		if off == 0 || off > len(dst) {
+			return nil, fmt.Errorf("colstore: copy offset %d outside window of %d", off, len(dst))
+		}
+		// Overlapping copies (off < length) are legal and replicate
+		// runs, so copy byte by byte.
+		for j := 0; j < length; j++ {
+			dst = append(dst, dst[len(dst)-off])
+		}
+	}
+	if len(dst) != rawLen {
+		return nil, fmt.Errorf("colstore: decompressed %d bytes, want %d", len(dst), rawLen)
+	}
+	return dst, nil
+}

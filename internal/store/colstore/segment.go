@@ -1,0 +1,679 @@
+// Segment encoding: one file per finalized round. Records are stored
+// column-wise — each field across all records becomes one block,
+// encoded to its shape (delta+uvarint IPs, packed flag bits, a shared
+// string dictionary for the feature columns) and byte-compressed — so
+// a segment is both much smaller than its gob form and decodable one
+// column at a time (History reads just the IP column to test
+// membership). The layout:
+//
+//	[magic "WWCOLSG1"]
+//	[compressed column blocks, back to back]
+//	[footer: hand-rolled varint encoding of segFooter — round meta,
+//	         cloud name, IP bounds, block directory]
+//	[uint32 BE footer length]
+//	[uint32 BE CRC-32 (IEEE) over everything above]
+//	[tail magic "WWCOLEND"]
+//
+// The CRC covers the whole file, so Open proves a segment intact once
+// and reads never fail afterwards; a torn or truncated write is
+// detected up front and reported as store.ErrCorrupt.
+package colstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"whowas/internal/ipaddr"
+	"whowas/internal/simhash"
+	"whowas/internal/store"
+)
+
+const (
+	headMagic = "WWCOLSG1"
+	tailMagic = "WWCOLEND"
+	// tailLen is footerLen (4) + CRC (4) + tail magic (8).
+	tailLen = 16
+)
+
+// segFooter is the segment's directory, written before the tail with
+// the hand-rolled varint encoding below. Gob would be simpler but its
+// type IDs come from a process-global registry, so its bytes depend on
+// what else the process encoded first — and segment files (like store
+// digests) must be byte-reproducible no matter who writes them.
+type segFooter struct {
+	Meta      store.RoundMeta
+	CloudName string
+	// MinIP/MaxIP bound the round's (sorted) IPs; History skips the
+	// segment without touching its blocks when the probe is outside.
+	MinIP, MaxIP uint32
+	Blocks       []blockInfo
+}
+
+// blockInfo locates one compressed column block.
+type blockInfo struct {
+	Name    string
+	Off     int64 // absolute file offset
+	CompLen int64
+	RawLen  int64
+}
+
+// Column block names, in file order. ipCol is decodable on its own.
+const (
+	ipCol       = "ip"
+	portsCol    = "ports"
+	flagsCol    = "flags"
+	schemeCol   = "scheme"
+	statusCol   = "status"
+	fetchErrCol = "fetcherr"
+	ctypeCol    = "ctype"
+	bodyLenCol  = "bodylen"
+	bodyCol     = "body"
+	poweredCol  = "poweredby"
+	descCol     = "desc"
+	hdrCol      = "hdrnames"
+	titleCol    = "title"
+	templateCol = "template"
+	serverCol   = "server"
+	keywordsCol = "keywords"
+	gaCol       = "gaid"
+	simhashCol  = "simhash"
+	linksCol    = "links"
+	trackersCol = "trackers"
+	subpagesCol = "subpages"
+	clusterCol  = "cluster"
+	dictCol     = "dict"
+)
+
+// Flag bits for the packed flags column.
+const (
+	flagFetched = 1 << 0
+	flagRobots  = 1 << 1
+	flagVPC     = 1 << 2
+)
+
+// colWriter accumulates one raw (pre-compression) column.
+type colWriter struct{ buf []byte }
+
+func (w *colWriter) uvarint(x uint64) { w.buf = binary.AppendUvarint(w.buf, x) }
+func (w *colWriter) varint(x int64)   { w.buf = binary.AppendVarint(w.buf, x) }
+func (w *colWriter) byte(b byte)      { w.buf = append(w.buf, b) }
+func (w *colWriter) bytes(p []byte)   { w.buf = append(w.buf, p...) }
+func (w *colWriter) str(dict map[string]uint64, s string) {
+	w.uvarint(dict[s])
+}
+
+// colReader walks one decompressed column.
+type colReader struct {
+	buf []byte
+	pos int
+	col string
+}
+
+func (r *colReader) overrun() error {
+	return fmt.Errorf("%w: column %q overruns its block", store.ErrCorrupt, r.col)
+}
+
+func (r *colReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, r.overrun()
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *colReader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, r.overrun()
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *colReader) byte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, r.overrun()
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *colReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.buf) {
+		return nil, r.overrun()
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+// buildDict collects every string any dictionary column references,
+// sorted for a deterministic encoding. Index 0 is always "".
+func buildDict(recs []*store.Record) ([]string, map[string]uint64) {
+	set := map[string]struct{}{"": {}}
+	add := func(s string) { set[s] = struct{}{} }
+	for _, rec := range recs {
+		add(rec.Scheme)
+		add(rec.FetchErr)
+		add(rec.ContentType)
+		add(rec.PoweredBy)
+		add(rec.Description)
+		add(rec.HeaderNames)
+		add(rec.Title)
+		add(rec.Template)
+		add(rec.Server)
+		add(rec.Keywords)
+		add(rec.AnalyticsID)
+		for _, s := range rec.Links {
+			add(s)
+		}
+		for _, s := range rec.Trackers {
+			add(s)
+		}
+	}
+	words := make([]string, 0, len(set))
+	for s := range set {
+		words = append(words, s)
+	}
+	sort.Strings(words)
+	// "" sorts first, so index 0 is the empty string by construction.
+	idx := make(map[string]uint64, len(words))
+	for i, s := range words {
+		idx[s] = uint64(i)
+	}
+	return words, idx
+}
+
+// encodeSegment renders one finalized round (records sorted by IP)
+// into segment bytes.
+func encodeSegment(meta store.RoundMeta, cloudName string, recs []*store.Record) ([]byte, error) {
+	if meta.Records != len(recs) {
+		return nil, fmt.Errorf("colstore: meta says %d records, got %d", meta.Records, len(recs))
+	}
+	words, dict := buildDict(recs)
+
+	cols := make(map[string]*colWriter)
+	col := func(name string) *colWriter {
+		w := cols[name]
+		if w == nil {
+			w = &colWriter{}
+			cols[name] = w
+		}
+		return w
+	}
+
+	prevIP := uint64(0)
+	for i, rec := range recs {
+		ip := uint64(uint32(rec.IP))
+		if i > 0 && ip <= prevIP {
+			return nil, fmt.Errorf("colstore: records not strictly IP-sorted")
+		}
+		col(ipCol).uvarint(ip - prevIP)
+		prevIP = ip
+		col(portsCol).byte(rec.OpenPorts)
+		var flags byte
+		if rec.Fetched {
+			flags |= flagFetched
+		}
+		if rec.RobotsDenied {
+			flags |= flagRobots
+		}
+		if rec.VPC {
+			flags |= flagVPC
+		}
+		col(flagsCol).byte(flags)
+		col(schemeCol).str(dict, rec.Scheme)
+		col(statusCol).uvarint(uint64(rec.HTTPStatus))
+		col(fetchErrCol).str(dict, rec.FetchErr)
+		col(ctypeCol).str(dict, rec.ContentType)
+		col(bodyLenCol).uvarint(uint64(rec.BodyLen))
+		body := col(bodyCol)
+		body.uvarint(uint64(len(rec.Body)))
+		body.bytes([]byte(rec.Body))
+		col(poweredCol).str(dict, rec.PoweredBy)
+		col(descCol).str(dict, rec.Description)
+		col(hdrCol).str(dict, rec.HeaderNames)
+		col(titleCol).str(dict, rec.Title)
+		col(templateCol).str(dict, rec.Template)
+		col(serverCol).str(dict, rec.Server)
+		col(keywordsCol).str(dict, rec.Keywords)
+		col(gaCol).str(dict, rec.AnalyticsID)
+		var sh [12]byte
+		binary.BigEndian.PutUint32(sh[:4], rec.Simhash.Hi)
+		binary.BigEndian.PutUint64(sh[4:], rec.Simhash.Lo)
+		col(simhashCol).bytes(sh[:])
+		links := col(linksCol)
+		links.uvarint(uint64(len(rec.Links)))
+		for _, s := range rec.Links {
+			links.str(dict, s)
+		}
+		trackers := col(trackersCol)
+		trackers.uvarint(uint64(len(rec.Trackers)))
+		for _, s := range rec.Trackers {
+			trackers.str(dict, s)
+		}
+		col(subpagesCol).uvarint(uint64(rec.Subpages))
+		col(clusterCol).varint(rec.Cluster)
+	}
+	dw := col(dictCol)
+	dw.uvarint(uint64(len(words)))
+	for _, s := range words {
+		dw.uvarint(uint64(len(s)))
+		dw.bytes([]byte(s))
+	}
+
+	var out bytes.Buffer
+	out.WriteString(headMagic)
+	f := segFooter{Meta: meta, CloudName: cloudName}
+	if len(recs) > 0 {
+		f.MinIP = uint32(recs[0].IP)
+		f.MaxIP = uint32(recs[len(recs)-1].IP)
+	}
+	for _, name := range colOrder() {
+		// col() rather than the map: an empty round never wrote the
+		// record columns, but every block must exist in the directory.
+		w := col(name)
+		comp := compress(nil, w.buf)
+		f.Blocks = append(f.Blocks, blockInfo{
+			Name:    name,
+			Off:     int64(out.Len()),
+			CompLen: int64(len(comp)),
+			RawLen:  int64(len(w.buf)),
+		})
+		out.Write(comp)
+	}
+	footStart := out.Len()
+	out.Write(encodeFooter(&f))
+	var tail [tailLen]byte
+	binary.BigEndian.PutUint32(tail[0:4], uint32(out.Len()-footStart))
+	out.Write(tail[0:4])
+	crc := crc32.ChecksumIEEE(out.Bytes())
+	binary.BigEndian.PutUint32(tail[4:8], crc)
+	copy(tail[8:], tailMagic)
+	out.Write(tail[4:])
+	return out.Bytes(), nil
+}
+
+// colOrder is the fixed on-disk block order.
+func colOrder() []string {
+	return []string{
+		ipCol, portsCol, flagsCol, schemeCol, statusCol, fetchErrCol,
+		ctypeCol, bodyLenCol, bodyCol, poweredCol, descCol, hdrCol,
+		titleCol, templateCol, serverCol, keywordsCol, gaCol,
+		simhashCol, linksCol, trackersCol, subpagesCol, clusterCol,
+		dictCol,
+	}
+}
+
+// parseFooter validates a whole segment's framing and CRC and decodes
+// its footer. data is the complete file contents.
+func parseFooter(data []byte) (*segFooter, error) {
+	if len(data) < len(headMagic)+tailLen {
+		return nil, fmt.Errorf("%w: segment of %d bytes is too short", store.ErrCorrupt, len(data))
+	}
+	if string(data[:len(headMagic)]) != headMagic {
+		return nil, fmt.Errorf("%w: bad segment magic", store.ErrCorrupt)
+	}
+	if string(data[len(data)-8:]) != tailMagic {
+		return nil, fmt.Errorf("%w: bad segment tail (torn write?)", store.ErrCorrupt)
+	}
+	crcOff := len(data) - 12
+	wantCRC := binary.BigEndian.Uint32(data[crcOff : crcOff+4])
+	if got := crc32.ChecksumIEEE(data[:crcOff]); got != wantCRC {
+		return nil, fmt.Errorf("%w: segment CRC mismatch (%08x != %08x)", store.ErrCorrupt, got, wantCRC)
+	}
+	footerLen := int(binary.BigEndian.Uint32(data[crcOff-4 : crcOff]))
+	footEnd := crcOff - 4
+	footStart := footEnd - footerLen
+	if footerLen <= 0 || footStart < len(headMagic) {
+		return nil, fmt.Errorf("%w: bad footer length %d", store.ErrCorrupt, footerLen)
+	}
+	f, err := decodeFooter(data[footStart:footEnd])
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range f.Blocks {
+		if b.Off < int64(len(headMagic)) || b.CompLen < 0 || b.Off+b.CompLen > int64(footStart) || b.RawLen < 0 {
+			return nil, fmt.Errorf("%w: block %q outside segment bounds", store.ErrCorrupt, b.Name)
+		}
+	}
+	return f, nil
+}
+
+// encodeFooter renders the footer deterministically: meta fields,
+// cloud name, IP bounds, then the block directory, all varints and
+// length-prefixed strings.
+func encodeFooter(f *segFooter) []byte {
+	w := &colWriter{}
+	w.uvarint(uint64(f.Meta.Index))
+	w.uvarint(uint64(f.Meta.Day))
+	w.varint(f.Meta.Probed)
+	var deg byte
+	if f.Meta.Degraded {
+		deg = 1
+	}
+	w.byte(deg)
+	w.uvarint(uint64(f.Meta.Records))
+	w.uvarint(uint64(len(f.CloudName)))
+	w.bytes([]byte(f.CloudName))
+	w.uvarint(uint64(f.MinIP))
+	w.uvarint(uint64(f.MaxIP))
+	w.uvarint(uint64(len(f.Blocks)))
+	for _, b := range f.Blocks {
+		w.uvarint(uint64(len(b.Name)))
+		w.bytes([]byte(b.Name))
+		w.uvarint(uint64(b.Off))
+		w.uvarint(uint64(b.CompLen))
+		w.uvarint(uint64(b.RawLen))
+	}
+	return w.buf
+}
+
+// decodeFooter is the strict inverse of encodeFooter; any leftover or
+// missing bytes are corruption.
+func decodeFooter(buf []byte) (*segFooter, error) {
+	r := &colReader{buf: buf, col: "footer"}
+	f := &segFooter{}
+	index, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	f.Meta.Index = int(index)
+	day, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	f.Meta.Day = int(day)
+	if f.Meta.Probed, err = r.varint(); err != nil {
+		return nil, err
+	}
+	deg, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	f.Meta.Degraded = deg != 0
+	records, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	f.Meta.Records = int(records)
+	nameLen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	name, err := r.bytes(int(nameLen))
+	if err != nil {
+		return nil, err
+	}
+	f.CloudName = string(name)
+	minIP, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	maxIP, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if minIP > 0xffffffff || maxIP > 0xffffffff {
+		return nil, fmt.Errorf("%w: footer IP bound overflows 32 bits", store.ErrCorrupt)
+	}
+	f.MinIP, f.MaxIP = uint32(minIP), uint32(maxIP)
+	nBlocks, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nBlocks > uint64(len(buf)) {
+		return nil, fmt.Errorf("%w: footer claims %d blocks", store.ErrCorrupt, nBlocks)
+	}
+	f.Blocks = make([]blockInfo, nBlocks)
+	for i := range f.Blocks {
+		bnLen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		bn, err := r.bytes(int(bnLen))
+		if err != nil {
+			return nil, err
+		}
+		off, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		compLen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rawLen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		f.Blocks[i] = blockInfo{
+			Name:    string(bn),
+			Off:     int64(off),
+			CompLen: int64(compLen),
+			RawLen:  int64(rawLen),
+		}
+	}
+	if r.pos != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing footer bytes", store.ErrCorrupt, len(buf)-r.pos)
+	}
+	return f, nil
+}
+
+// block returns the named block's directory entry.
+func (f *segFooter) block(name string) (blockInfo, error) {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return blockInfo{}, fmt.Errorf("%w: segment missing column %q", store.ErrCorrupt, name)
+}
+
+// decodeBlock decompresses one named block from full file contents.
+func decodeBlock(data []byte, f *segFooter, name string) (*colReader, error) {
+	b, err := f.block(name)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := decompress(data[b.Off:b.Off+b.CompLen], int(b.RawLen))
+	if err != nil {
+		return nil, fmt.Errorf("%w: column %q: %v", store.ErrCorrupt, name, err)
+	}
+	return &colReader{buf: raw, col: name}, nil
+}
+
+// decodeIPColumn expands the (standalone-decodable) IP column.
+func decodeIPColumn(raw []byte, n int) ([]uint32, error) {
+	r := &colReader{buf: raw, col: ipCol}
+	out := make([]uint32, n)
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		d, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		prev += d
+		if prev > 0xffffffff {
+			return nil, fmt.Errorf("%w: IP column overflows 32 bits", store.ErrCorrupt)
+		}
+		out[i] = uint32(prev)
+	}
+	return out, nil
+}
+
+// decodeSegment reconstructs the round's records from full file
+// contents. Round and Day are reproduced from the footer meta (they
+// are constant across a round and not stored per record).
+func decodeSegment(data []byte, f *segFooter) ([]*store.Record, error) {
+	n := f.Meta.Records
+	// Dictionary first; every string column points into it.
+	dr, err := decodeBlock(data, f, dictCol)
+	if err != nil {
+		return nil, err
+	}
+	nWords, err := dr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	words := make([]string, nWords)
+	for i := range words {
+		ln, err := dr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := dr.bytes(int(ln))
+		if err != nil {
+			return nil, err
+		}
+		words[i] = string(b)
+	}
+	word := func(id uint64) (string, error) {
+		if id >= uint64(len(words)) {
+			return "", fmt.Errorf("%w: dictionary id %d of %d", store.ErrCorrupt, id, len(words))
+		}
+		return words[id], nil
+	}
+
+	readers := make(map[string]*colReader, len(colOrder())-1)
+	for _, name := range colOrder() {
+		if name == dictCol {
+			continue
+		}
+		r, err := decodeBlock(data, f, name)
+		if err != nil {
+			return nil, err
+		}
+		readers[name] = r
+	}
+
+	ips, err := decodeIPColumn(readers[ipCol].buf, n)
+	if err != nil {
+		return nil, err
+	}
+
+	readStr := func(name string) (string, error) {
+		id, err := readers[name].uvarint()
+		if err != nil {
+			return "", err
+		}
+		return word(id)
+	}
+	recs := make([]*store.Record, n)
+	flat := make([]store.Record, n)
+	for i := 0; i < n; i++ {
+		rec := &flat[i]
+		rec.IP = ipaddr.Addr(ips[i])
+		rec.Round = f.Meta.Index
+		rec.Day = f.Meta.Day
+		if rec.OpenPorts, err = readers[portsCol].byte(); err != nil {
+			return nil, err
+		}
+		flags, err := readers[flagsCol].byte()
+		if err != nil {
+			return nil, err
+		}
+		rec.Fetched = flags&flagFetched != 0
+		rec.RobotsDenied = flags&flagRobots != 0
+		rec.VPC = flags&flagVPC != 0
+		if rec.Scheme, err = readStr(schemeCol); err != nil {
+			return nil, err
+		}
+		status, err := readers[statusCol].uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rec.HTTPStatus = int(status)
+		if rec.FetchErr, err = readStr(fetchErrCol); err != nil {
+			return nil, err
+		}
+		if rec.ContentType, err = readStr(ctypeCol); err != nil {
+			return nil, err
+		}
+		bodyLen, err := readers[bodyLenCol].uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rec.BodyLen = int(bodyLen)
+		bl, err := readers[bodyCol].uvarint()
+		if err != nil {
+			return nil, err
+		}
+		body, err := readers[bodyCol].bytes(int(bl))
+		if err != nil {
+			return nil, err
+		}
+		rec.Body = string(body)
+		if rec.PoweredBy, err = readStr(poweredCol); err != nil {
+			return nil, err
+		}
+		if rec.Description, err = readStr(descCol); err != nil {
+			return nil, err
+		}
+		if rec.HeaderNames, err = readStr(hdrCol); err != nil {
+			return nil, err
+		}
+		if rec.Title, err = readStr(titleCol); err != nil {
+			return nil, err
+		}
+		if rec.Template, err = readStr(templateCol); err != nil {
+			return nil, err
+		}
+		if rec.Server, err = readStr(serverCol); err != nil {
+			return nil, err
+		}
+		if rec.Keywords, err = readStr(keywordsCol); err != nil {
+			return nil, err
+		}
+		if rec.AnalyticsID, err = readStr(gaCol); err != nil {
+			return nil, err
+		}
+		sh, err := readers[simhashCol].bytes(12)
+		if err != nil {
+			return nil, err
+		}
+		rec.Simhash = simhash.Fingerprint{
+			Hi: binary.BigEndian.Uint32(sh[:4]),
+			Lo: binary.BigEndian.Uint64(sh[4:]),
+		}
+		nLinks, err := readers[linksCol].uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Zero-length slices decode to nil: gob encodes nil and empty
+		// identically, so Save bytes — and digests — are unaffected.
+		for j := uint64(0); j < nLinks; j++ {
+			s, err := readStr(linksCol)
+			if err != nil {
+				return nil, err
+			}
+			rec.Links = append(rec.Links, s)
+		}
+		nTrackers, err := readers[trackersCol].uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nTrackers; j++ {
+			s, err := readStr(trackersCol)
+			if err != nil {
+				return nil, err
+			}
+			rec.Trackers = append(rec.Trackers, s)
+		}
+		sub, err := readers[subpagesCol].uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rec.Subpages = int(sub)
+		if rec.Cluster, err = readers[clusterCol].varint(); err != nil {
+			return nil, err
+		}
+		recs[i] = rec
+	}
+	return recs, nil
+}

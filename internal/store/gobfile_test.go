@@ -1,0 +1,253 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"whowas/internal/ipaddr"
+)
+
+// buildSaved writes a 3-round campaign to a temp file and returns the
+// path plus the live store it came from.
+func buildSaved(t *testing.T) (string, *Store) {
+	t.Helper()
+	s := New("ec2")
+	for r := 0; r < 3; r++ {
+		if _, err := s.BeginRound(r * 2); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			rec := mkRecord(fmt.Sprintf("10.%d.0.%d", r, i), r)
+			rec.Trackers = []string{"ga"}
+			if err := s.Put(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.AddProbed(40)
+		if err := s.EndRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "store.gob")
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, s
+}
+
+// TestFileBackendLazyExport is the whowas-query regression: exporting
+// one round of a saved store must decode exactly that round, not the
+// whole campaign.
+func TestFileBackendLazyExport(t *testing.T) {
+	path, orig := buildSaved(t)
+	st, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	fb := st.Backend().(*FileBackend)
+	if got := fb.Stats().RoundsDecoded; got != 0 {
+		t.Fatalf("open decoded %d rounds", got)
+	}
+
+	var lazy, eager bytes.Buffer
+	if err := st.ExportJSON(&lazy, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := fb.Stats().RoundsDecoded; got != 1 {
+		t.Fatalf("single-round export decoded %d rounds, want 1", got)
+	}
+	if err := orig.ExportJSON(&eager, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lazy.Bytes(), eager.Bytes()) {
+		t.Fatal("ExportJSON diverges between FileBackend and memory")
+	}
+}
+
+// TestFileBackendDigestIdentity: a saved store reopened lazily
+// reproduces the original digest and History byte for byte.
+func TestFileBackendDigestIdentity(t *testing.T) {
+	path, orig := buildSaved(t)
+	st, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.CloudName != "ec2" || st.NumRounds() != 3 {
+		t.Fatalf("reopened store: cloud %q, %d rounds", st.CloudName, st.NumRounds())
+	}
+	want, err := orig.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("digest %s, want %s", got, want)
+	}
+	ip := ipaddr.MustParseAddr("10.1.0.5")
+	if h := st.History(ip); len(h) != 1 || h[0].Round != 1 {
+		t.Fatalf("History = %+v", h)
+	}
+	if h := st.History(ipaddr.MustParseAddr("9.9.9.9")); h != nil {
+		t.Fatalf("History of unseen IP = %+v", h)
+	}
+}
+
+// TestFileBackendReadOnly: the lazy backend rejects writes, at both
+// the backend and the Store-frontend layers.
+func TestFileBackendReadOnly(t *testing.T) {
+	path, _ := buildSaved(t)
+	st, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	fb := st.Backend().(*FileBackend)
+	if err := fb.Append(RoundMeta{Index: 3}, nil); err == nil {
+		t.Error("Append on read-only backend succeeded")
+	}
+	if err := fb.Rewrite(0, RoundMeta{Index: 0}, nil); err == nil {
+		t.Error("Rewrite on read-only backend succeeded")
+	}
+	if _, err := st.BeginRound(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.EndRound(); err == nil {
+		t.Error("EndRound persisted a round into a read-only backend")
+	}
+	if err := st.UpdateRounds(func(r *Round) bool { return true }); err == nil {
+		t.Error("UpdateRounds rewrote a read-only backend")
+	}
+}
+
+// TestOpenFileCorrupt: truncated and mangled save files must surface
+// ErrCorrupt from open — never a panic, never a partial store.
+func TestOpenFileCorrupt(t *testing.T) {
+	path, _ := buildSaved(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(t *testing.T, b []byte) string {
+		p := filepath.Join(t.TempDir(), "bad.gob")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"bad magic":         []byte("NOTASTORE-------"),
+		"magic only":        []byte(saveMagic),
+		"mid header":        data[:len(saveMagic)+3],
+		"mid frame":         data[:len(data)/2],
+		"last byte missing": data[:len(data)-1],
+		"trailing garbage":  append(append([]byte{}, data...), 'x'),
+	}
+	for name, b := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := OpenFileBackend(write(t, b)); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("OpenFileBackend = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestLoadCorrupt: the eager loader reports the same typed error on
+// the same damage.
+func TestLoadCorrupt(t *testing.T) {
+	path, _ := buildSaved(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    []byte("NOTASTORE-------"),
+		"magic only":   []byte(saveMagic),
+		"mid frame":    data[:len(data)/2],
+		"byte flipped": flip(data, len(data)/2),
+	}
+	for name, b := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(bytes.NewReader(b)); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Load = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+	// The untruncated original still loads.
+	st, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumRounds() != 3 {
+		t.Fatalf("NumRounds = %d", st.NumRounds())
+	}
+}
+
+func flip(data []byte, i int) []byte {
+	out := append([]byte{}, data...)
+	out[i] ^= 0x20
+	return out
+}
+
+// TestUpdateRounds: mutations persist only through UpdateRounds, and
+// they change the digest.
+func TestUpdateRounds(t *testing.T) {
+	_, s := buildSaved(t)
+	before, err := s.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.UpdateRounds(func(r *Round) bool {
+		if r.Index != 1 {
+			return false
+		}
+		r.Each(func(rec *Record) bool {
+			rec.VPC = true
+			return true
+		})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == after {
+		t.Fatal("UpdateRounds left the digest unchanged")
+	}
+	if rec := s.Round(1).Get(ipaddr.MustParseAddr("10.1.0.2")); rec == nil || !rec.VPC {
+		t.Fatalf("mutation not visible: %+v", rec)
+	}
+	if rec := s.Round(0).Get(ipaddr.MustParseAddr("10.0.0.2")); rec == nil || rec.VPC {
+		t.Fatalf("unchanged round mutated: %+v", rec)
+	}
+}
+
+// TestEachRound streams rounds in order and honors early stop.
+func TestEachRound(t *testing.T) {
+	_, s := buildSaved(t)
+	var seen []int
+	s.EachRound(func(r *Round) bool {
+		seen = append(seen, r.Index)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 0 || seen[1] != 1 {
+		t.Fatalf("seen = %v", seen)
+	}
+}

@@ -1,0 +1,79 @@
+package store
+
+import (
+	"fmt"
+
+	"whowas/internal/ipaddr"
+)
+
+// memBackend is the default Backend: finalized rounds held as live
+// slices plus a per-round IP map for History. It retains every record
+// for the life of the store — the layout the analysis engines grew up
+// on — so memory stays proportional to the whole campaign; campaigns
+// that cannot afford that use the columnar backend instead.
+type memBackend struct {
+	rounds []memRound
+}
+
+type memRound struct {
+	meta RoundMeta
+	recs []*Record
+	byIP map[ipaddr.Addr]*Record
+}
+
+// NewMemoryBackend returns the in-memory Backend New installs by
+// default. Exported so conformance tests and benchmarks can construct
+// both backends symmetrically.
+func NewMemoryBackend() Backend { return &memBackend{} }
+
+func indexRecords(recs []*Record) map[ipaddr.Addr]*Record {
+	m := make(map[ipaddr.Addr]*Record, len(recs))
+	for _, rec := range recs {
+		m[rec.IP] = rec
+	}
+	return m
+}
+
+func (b *memBackend) Append(meta RoundMeta, recs []*Record) error {
+	if meta.Index != len(b.rounds) {
+		return fmt.Errorf("store: append round %d, have %d rounds", meta.Index, len(b.rounds))
+	}
+	b.rounds = append(b.rounds, memRound{meta: meta, recs: recs, byIP: indexRecords(recs)})
+	return nil
+}
+
+func (b *memBackend) NumRounds() int { return len(b.rounds) }
+
+func (b *memBackend) Meta(i int) (RoundMeta, error) {
+	if i < 0 || i >= len(b.rounds) {
+		return RoundMeta{}, fmt.Errorf("store: no round %d", i)
+	}
+	return b.rounds[i].meta, nil
+}
+
+func (b *memBackend) Records(i int) ([]*Record, error) {
+	if i < 0 || i >= len(b.rounds) {
+		return nil, fmt.Errorf("store: no round %d", i)
+	}
+	return b.rounds[i].recs, nil
+}
+
+func (b *memBackend) History(ip ipaddr.Addr) ([]*Record, error) {
+	var out []*Record
+	for i := range b.rounds {
+		if rec := b.rounds[i].byIP[ip]; rec != nil {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+func (b *memBackend) Rewrite(i int, meta RoundMeta, recs []*Record) error {
+	if i < 0 || i >= len(b.rounds) {
+		return fmt.Errorf("store: no round %d", i)
+	}
+	b.rounds[i] = memRound{meta: meta, recs: recs, byIP: indexRecords(recs)}
+	return nil
+}
+
+func (b *memBackend) Close() error { return nil }

@@ -1,8 +1,17 @@
 // Package store is WhoWas's measurement database. The paper used MySQL
 // with one table per round of scanning; this package provides the same
-// organization as an embedded, concurrency-safe, gob-persistable store:
+// organization as an embedded, concurrency-safe, persistable store:
 // rounds of per-IP records, plus the per-IP history lookup ("whowas
 // 1.2.3.4") that gives the platform its name.
+//
+// The Store type is a thin frontend: it owns the open round's
+// lock-striped write path, finalization (merge, IP-sort, body drop),
+// metrics and digests, and delegates finalized-round persistence to a
+// Backend (backend.go). The default backend keeps everything in memory;
+// internal/store/colstore persists append-only columnar segments so a
+// campaign's memory stays bounded by one round, not the whole history.
+// Save/Digest/ExportJSON/History are byte-identical whichever backend
+// collected the data.
 //
 // Unresponsive IPs are not stored — a record's absence for a probed IP
 // means the IP did not answer any probe that round, which keeps the
@@ -11,7 +20,9 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/gob"
 	"encoding/hex"
 	"encoding/json"
@@ -88,6 +99,9 @@ func (r *Record) Available() bool { return r.HTTPStatus != 0 }
 // the hot Put path off one global mutex); finalize merges the shards
 // into one IP-sorted index, so the persisted form — and therefore the
 // store digest — is byte-identical whatever the shard count was.
+// Finalized rounds handed out by Store.Round/Rounds/EachRound are
+// read-mostly views over the backend's records; mutations to their
+// records persist only through Store.UpdateRounds.
 type Round struct {
 	Index  int
 	Day    int
@@ -99,7 +113,7 @@ type Round struct {
 	Degraded bool
 	records  map[ipaddr.Addr]*Record
 	shards   []recordShard // open-round write path; nil once finalized
-	sorted   []*Record     // built on Finalize, ascending by IP
+	sorted   []*Record     // built on finalize, ascending by IP
 	final    bool
 }
 
@@ -121,20 +135,31 @@ func (r *Round) shardFor(ip ipaddr.Addr) *recordShard {
 	return &r.shards[h%uint64(len(r.shards))]
 }
 
-// Get returns the record for an IP, or nil (unresponsive). Intended
-// for finalized rounds; on an open round it consults the shards.
+// Get returns the record for an IP, or nil (unresponsive). On an open
+// round it consults the write shards; on a finalized round it binary
+// searches the IP-sorted index.
 func (r *Round) Get(ip ipaddr.Addr) *Record {
-	if r.shards == nil {
+	if r.shards != nil {
+		sh := r.shardFor(ip)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.records[ip]
+	}
+	if r.records != nil {
 		return r.records[ip]
 	}
-	sh := r.shardFor(ip)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.records[ip]
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i].IP >= ip })
+	if i < len(r.sorted) && r.sorted[i].IP == ip {
+		return r.sorted[i]
+	}
+	return nil
 }
 
 // Len returns the number of records (responsive IPs).
 func (r *Round) Len() int {
+	if r.final {
+		return len(r.sorted)
+	}
 	if r.shards == nil {
 		return len(r.records)
 	}
@@ -189,11 +214,22 @@ func (r *Round) finalize() {
 	r.final = true
 }
 
-// Store holds all rounds of one cloud's campaign.
+// meta extracts the round's Backend metadata.
+func (r *Round) meta() RoundMeta {
+	return RoundMeta{Index: r.Index, Day: r.Day, Probed: r.Probed, Degraded: r.Degraded, Records: len(r.sorted)}
+}
+
+// roundOf builds the frontend view of a persisted round.
+func roundOf(meta RoundMeta, recs []*Record) *Round {
+	return &Round{Index: meta.Index, Day: meta.Day, Probed: meta.Probed, Degraded: meta.Degraded, sorted: recs, final: true}
+}
+
+// Store holds all rounds of one cloud's campaign: the open round's
+// write path in front, a Backend for the finalized history behind.
 type Store struct {
 	mu        sync.RWMutex
 	CloudName string
-	rounds    []*Round
+	backend   Backend
 	open      *Round
 	// KeepBodies controls whether raw bodies survive EndRound. The
 	// paper stored full content (900 GB); campaigns here extract
@@ -232,9 +268,35 @@ func (s *Store) SetTracer(t *trace.Tracer) {
 	s.tracer = t
 }
 
-// New creates an empty store for a named cloud.
+// New creates an empty store for a named cloud over the default
+// in-memory backend.
 func New(cloudName string) *Store {
-	return &Store{CloudName: cloudName}
+	return NewWithBackend(cloudName, NewMemoryBackend())
+}
+
+// NewWithBackend creates a store over an explicit backend. The backend
+// may already hold rounds (a reopened columnar directory, a saved
+// snapshot): the store picks up where it left off.
+func NewWithBackend(cloudName string, b Backend) *Store {
+	return &Store{CloudName: cloudName, backend: b}
+}
+
+// Backend returns the store's backend (for stats and tests).
+func (s *Store) Backend() Backend {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.backend
+}
+
+// Close releases the backend's resources. A store with an open round
+// cannot be closed (End or Abort it first).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.open != nil {
+		return fmt.Errorf("store: close with round %d open", s.open.Index)
+	}
+	return s.backend.Close()
 }
 
 // SetShards sets how many write shards future rounds stripe their
@@ -253,22 +315,30 @@ func (s *Store) SetShards(n int) {
 }
 
 // BeginRound opens a new round at the given campaign day. Only one
-// round may be open at a time.
+// round may be open at a time. The returned handle stays readable
+// after EndRound (it keeps the finalized index) — the round loop reads
+// its counters back.
 func (s *Store) BeginRound(day int) (*Round, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.open != nil {
 		return nil, fmt.Errorf("store: round %d still open", s.open.Index)
 	}
-	if len(s.rounds) > 0 && s.rounds[len(s.rounds)-1].Day >= day {
-		return nil, fmt.Errorf("store: day %d not after previous round day %d", day, s.rounds[len(s.rounds)-1].Day)
+	if n := s.backend.NumRounds(); n > 0 {
+		last, err := s.backend.Meta(n - 1)
+		if err != nil {
+			return nil, err
+		}
+		if last.Day >= day {
+			return nil, fmt.Errorf("store: day %d not after previous round day %d", day, last.Day)
+		}
 	}
 	n := s.shardCount
 	if n < 1 {
 		n = 1
 	}
 	r := &Round{
-		Index:  len(s.rounds),
+		Index:  s.backend.NumRounds(),
 		Day:    day,
 		shards: make([]recordShard, n),
 	}
@@ -347,9 +417,10 @@ func (s *Store) AddProbed(n int64) {
 	}
 }
 
-// EndRound finalizes the open round: sorts the index and, unless
-// KeepBodies is set, drops raw bodies (features were extracted by
-// then).
+// EndRound finalizes the open round — merge the write shards, sort by
+// IP, drop raw bodies unless KeepBodies — and appends it to the
+// backend. On a backend failure the round is discarded (the store
+// never wedges on a half-persisted round) and the error returned.
 func (s *Store) EndRound() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -371,8 +442,12 @@ func (s *Store) EndRound() error {
 		}
 		retained += int64(len(rec.Body))
 	}
-	s.rounds = append(s.rounds, s.open)
+	r := s.open
 	s.open = nil
+	if err := s.backend.Append(r.meta(), r.sorted); err != nil {
+		sp.End()
+		return fmt.Errorf("store: persisting round %d: %w", r.Index, err)
+	}
 	s.mRounds.Inc()
 	s.mRetained.Add(retained)
 	sp.End()
@@ -393,28 +468,94 @@ func (s *Store) AbortRound() error {
 	return nil
 }
 
-// Rounds returns the finalized rounds in order.
+// roundAt builds the frontend view of finalized round i. The caller
+// holds s.mu (read or write). A backend read failure here is a broken
+// integrity contract (backends validate at open), not an I/O condition
+// — it panics rather than forcing an error return onto every
+// read-path signature.
+func (s *Store) roundAt(i int) *Round {
+	meta, err := s.backend.Meta(i)
+	if err == nil {
+		var recs []*Record
+		recs, err = s.backend.Records(i)
+		if err == nil {
+			return roundOf(meta, recs)
+		}
+	}
+	panic(fmt.Sprintf("store: reading round %d: %v (backend integrity contract violated)", i, err))
+}
+
+// Rounds returns views of the finalized rounds in order. On a lazy
+// backend this decodes — and keeps referenced — every round; prefer
+// EachRound for single-pass analyses.
 func (s *Store) Rounds() []*Round {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]*Round(nil), s.rounds...)
+	out := make([]*Round, s.backend.NumRounds())
+	for i := range out {
+		out[i] = s.roundAt(i)
+	}
+	return out
 }
 
 // NumRounds returns the finalized round count.
 func (s *Store) NumRounds() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.rounds)
+	return s.backend.NumRounds()
 }
 
-// Round returns round i, or nil.
+// Round returns a view of round i, or nil.
 func (s *Store) Round(i int) *Round {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if i < 0 || i >= len(s.rounds) {
+	if i < 0 || i >= s.backend.NumRounds() {
 		return nil
 	}
-	return s.rounds[i]
+	return s.roundAt(i)
+}
+
+// EachRound streams the finalized rounds in order, one at a time: on a
+// lazy backend at most one round is loaded per iteration, so a
+// full-campaign fold runs in one round's memory. fn returns false to
+// stop. fn must not retain the round (or its records) across
+// iterations if it wants that bound to hold.
+func (s *Store) EachRound(fn func(*Round) bool) {
+	for i := 0; ; i++ {
+		s.mu.RLock()
+		if i >= s.backend.NumRounds() {
+			s.mu.RUnlock()
+			return
+		}
+		r := s.roundAt(i)
+		s.mu.RUnlock()
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// UpdateRounds applies fn to each finalized round in order and
+// persists the rounds fn reports changed (return true) back to the
+// backend. It is the one sanctioned way to mutate stored records —
+// the analysis joins (cartography's VPC labels, clustering's final
+// IDs) write back through it; mutating records obtained from
+// Rounds/Round/EachRound is lost on a lazy backend. fn runs under the
+// store's write lock and must not call other Store methods.
+func (s *Store) UpdateRounds(fn func(*Round) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.backend.NumRounds()
+	for i := 0; i < n; i++ {
+		r := s.roundAt(i)
+		if !fn(r) {
+			continue
+		}
+		if err := s.backend.Rewrite(i, r.meta(), r.sorted); err != nil {
+			return fmt.Errorf("store: rewriting round %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // History returns every record for an IP across rounds, in round
@@ -422,48 +563,138 @@ func (s *Store) Round(i int) *Round {
 func (s *Store) History(ip ipaddr.Addr) []*Record {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var out []*Record
-	for _, r := range s.rounds {
-		if rec := r.records[ip]; rec != nil {
-			out = append(out, rec)
-		}
+	out, err := s.backend.History(ip)
+	if err != nil {
+		panic(fmt.Sprintf("store: history of %s: %v (backend integrity contract violated)", ip, err))
 	}
 	return out
 }
 
-// persisted is the gob wire form.
-type persisted struct {
+// The framed save format: a magic string, then length-prefixed frames,
+// each an independent gob stream — a header frame, then a meta frame
+// and a records frame per round. Independent frames let a reader skip
+// straight to one round's records without decoding the rest (the
+// FileBackend does), while the encoding stays fully deterministic:
+// identical data produces identical bytes, whatever backend or shard
+// count collected it.
+const saveMagic = "WHOWAS2\n"
+
+// saveVersion is the header's format version.
+const saveVersion = 2
+
+// maxFrameLen bounds a frame read so a corrupt length prefix cannot
+// drive an allocation by itself.
+const maxFrameLen = 1 << 31
+
+// saveHeader is the first frame.
+type saveHeader struct {
+	Version   int
 	CloudName string
-	Rounds    []persistedRound
+	Rounds    int
 }
 
-type persistedRound struct {
-	Index    int
-	Day      int
-	Probed   int64
-	Degraded bool
-	Records  []Record
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
 }
 
-// Save writes the store (finalized rounds only) as gob.
+// gobFrame encodes v as a standalone gob stream and frames it.
+func gobFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	return writeFrame(w, buf.Bytes())
+}
+
+// readFrameLen reads a frame's length prefix. Every frame in the
+// format is mandatory — the header fixes the round count — so running
+// out of input here is always truncation, reported as ErrCorrupt.
+func readFrameLen(r io.Reader) (int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: truncated frame length: %v", ErrCorrupt, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n >= maxFrameLen {
+		return 0, fmt.Errorf("%w: frame length %d", ErrCorrupt, n)
+	}
+	return int(n), nil
+}
+
+// readFrame reads one full frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	n, err := readFrameLen(r)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: truncated frame: %v", ErrCorrupt, err)
+	}
+	return buf, nil
+}
+
+// gobUnframe decodes one frame into v.
+func gobUnframe(r io.Reader, v any) error {
+	buf, err := readFrame(r)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(v); err != nil {
+		return fmt.Errorf("%w: decoding frame: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// Save writes the store (finalized rounds only) in the framed format.
+// Rounds are streamed from the backend one at a time, so saving a
+// columnar store never materializes the whole campaign.
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	p := persisted{CloudName: s.CloudName}
-	for _, r := range s.rounds {
-		pr := persistedRound{Index: r.Index, Day: r.Day, Probed: r.Probed, Degraded: r.Degraded}
-		for _, rec := range r.sorted {
-			pr.Records = append(pr.Records, *rec)
-		}
-		p.Rounds = append(p.Rounds, pr)
+	n := s.backend.NumRounds()
+	if _, err := io.WriteString(w, saveMagic); err != nil {
+		return err
 	}
-	return gob.NewEncoder(w).Encode(&p)
+	if err := gobFrame(w, &saveHeader{Version: saveVersion, CloudName: s.CloudName, Rounds: n}); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		meta, err := s.backend.Meta(i)
+		if err != nil {
+			return err
+		}
+		recs, err := s.backend.Records(i)
+		if err != nil {
+			return err
+		}
+		if err := gobFrame(w, &meta); err != nil {
+			return err
+		}
+		flat := make([]Record, len(recs))
+		for j, rec := range recs {
+			flat[j] = *rec
+		}
+		if err := gobFrame(w, flat); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Digest returns the hex SHA-256 of the store's Save encoding. Save
 // writes rounds and records in sorted, deterministic order, so two
-// campaigns that collected identical data digest identically — the
-// byte-identity check behind the chaos determinism tests.
+// campaigns that collected identical data digest identically —
+// whatever the shard count, worker count, transport, or storage
+// backend. This byte-identity is the check behind every chaos and
+// conformance gate.
 func (s *Store) Digest() (string, error) {
 	h := sha256.New()
 	if err := s.Save(h); err != nil {
@@ -474,7 +705,8 @@ func (s *Store) Digest() (string, error) {
 
 // ExportJSON writes one round's records as a JSON array, one object
 // per responsive IP — the interchange format for external analysis
-// tooling (the role the paper's Python library played).
+// tooling (the role the paper's Python library played). Only the
+// requested round is loaded from the backend.
 func (s *Store) ExportJSON(w io.Writer, round int) error {
 	r := s.Round(round)
 	if r == nil {
@@ -536,21 +768,82 @@ func (s *Store) ExportJSON(w io.Writer, round int) error {
 	return err
 }
 
-// Load reads a store written by Save.
+// readMagic consumes and validates the save magic.
+func readMagic(r io.Reader) error {
+	var m [len(saveMagic)]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return fmt.Errorf("%w: reading magic: %v", ErrCorrupt, err)
+	}
+	if string(m[:]) != saveMagic {
+		return fmt.Errorf("%w: not a WhoWas store (bad magic %q)", ErrCorrupt, m[:])
+	}
+	return nil
+}
+
+// readHeader reads and validates the header frame.
+func readHeader(r io.Reader) (saveHeader, error) {
+	var h saveHeader
+	if err := gobUnframe(r, &h); err != nil {
+		return h, err
+	}
+	if h.Version != saveVersion {
+		return h, fmt.Errorf("%w: unsupported store version %d", ErrCorrupt, h.Version)
+	}
+	if h.Rounds < 0 {
+		return h, fmt.Errorf("%w: negative round count %d", ErrCorrupt, h.Rounds)
+	}
+	return h, nil
+}
+
+// decodeRecordsFrame decodes one round's records frame into pointers,
+// stamping Round/Day from the meta.
+func decodeRecordsFrame(buf []byte, meta RoundMeta) ([]*Record, error) {
+	var flat []Record
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&flat); err != nil {
+		return nil, fmt.Errorf("%w: decoding round %d records: %v", ErrCorrupt, meta.Index, err)
+	}
+	if len(flat) != meta.Records {
+		return nil, fmt.Errorf("%w: round %d holds %d records, meta says %d", ErrCorrupt, meta.Index, len(flat), meta.Records)
+	}
+	recs := make([]*Record, len(flat))
+	for i := range flat {
+		recs[i] = &flat[i]
+	}
+	return recs, nil
+}
+
+// Load reads a store written by Save into memory. Truncated or mangled
+// input returns an error wrapping ErrCorrupt — never a panic. For
+// lazy, bounded-memory access to a saved file use OpenFileBackend
+// instead.
 func Load(rd io.Reader) (*Store, error) {
-	var p persisted
-	if err := gob.NewDecoder(rd).Decode(&p); err != nil {
-		return nil, fmt.Errorf("store: decoding: %w", err)
+	if err := readMagic(rd); err != nil {
+		return nil, err
 	}
-	s := New(p.CloudName)
-	for _, pr := range p.Rounds {
-		r := &Round{Index: pr.Index, Day: pr.Day, Probed: pr.Probed, Degraded: pr.Degraded, records: make(map[ipaddr.Addr]*Record, len(pr.Records))}
-		for i := range pr.Records {
-			rec := pr.Records[i]
-			r.records[rec.IP] = &rec
+	h, err := readHeader(rd)
+	if err != nil {
+		return nil, err
+	}
+	b := &memBackend{}
+	for i := 0; i < h.Rounds; i++ {
+		var meta RoundMeta
+		if err := gobUnframe(rd, &meta); err != nil {
+			return nil, err
 		}
-		r.finalize()
-		s.rounds = append(s.rounds, r)
+		if meta.Index != i {
+			return nil, fmt.Errorf("%w: round %d carries index %d", ErrCorrupt, i, meta.Index)
+		}
+		buf, err := readFrame(rd)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := decodeRecordsFrame(buf, meta)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Append(meta, recs); err != nil {
+			return nil, err
+		}
 	}
-	return s, nil
+	return NewWithBackend(h.CloudName, b), nil
 }

@@ -1,0 +1,161 @@
+#!/bin/sh
+# store_gate.sh — the storage-engine acceptance gate (the CI store
+# job). The store's digest is backend-independent by contract; this
+# gate holds the whole stack to it:
+#
+#   - the same seeded campaign runs with the in-memory backend and
+#     with the columnar backend (-store-dir) at 1, 2 and 4 pipeline
+#     shards: every run must print the same collection digest, every
+#     -out gob (written after cartography + clustering, so the
+#     columnar Rewrite path is exercised too) must be byte-identical,
+#     and every segment directory must digest identically when
+#     reopened cold — proving the analysis write-backs reached the
+#     disk, not just the backend's round cache;
+#   - the gob is converted to a segment directory with whowas-query
+#     -to-dir, and the directory must digest identically to the file;
+#   - a 2-worker distributed campaign (whowas-cloudd +
+#     whowas-coordinator -store-dir) must reproduce its single-process
+#     reference digest from the columnar backend.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SCALE="${STORE_SCALE:-4096}"
+ROUNDS="${STORE_ROUNDS:-3}"
+SEED="${STORE_SEED:-7}"
+ADDR="${STORE_CLOUDD_ADDR:-127.0.0.1:8398}"
+CADDR="${STORE_COORD_ADDR:-127.0.0.1:8399}"
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/store_gate.XXXXXX")
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building binaries"
+go build -o "$WORK/bin/whowas" ./cmd/whowas
+go build -o "$WORK/bin/whowas-cloudd" ./cmd/whowas-cloudd
+go build -o "$WORK/bin/whowas-coordinator" ./cmd/whowas-coordinator
+go build -o "$WORK/bin/whowas-query" ./cmd/whowas-query
+
+# digest_of FILE — pull the (collection) store digest out of a run log.
+digest_of() {
+    sed -n 's/^store digest: //p' "$1" | head -1
+}
+
+echo "== in-memory reference campaign (scale $SCALE, $ROUNDS rounds)"
+"$WORK"/bin/whowas -scale "$SCALE" -seed "$SEED" -rounds "$ROUNDS" -q \
+    -out "$WORK/mem.whowas" >"$WORK/mem.out"
+BASE=$(digest_of "$WORK/mem.out")
+if [ -z "$BASE" ]; then
+    echo "store_gate: missing store digest in reference output" >&2
+    exit 1
+fi
+echo "   digest $BASE"
+# The post-analysis digest (what -out holds after cartography +
+# clustering): the campaign's segment directory must match this one,
+# not the collection digest, once reopened cold.
+"$WORK"/bin/whowas-query -store "$WORK/mem.whowas" -digest >"$WORK/filedigest.out"
+FILED=$(digest_of "$WORK/filedigest.out")
+if [ -z "$FILED" ]; then
+    echo "store_gate: missing post-analysis digest for the reference gob" >&2
+    exit 1
+fi
+
+for shards in 1 2 4; do
+    echo "== columnar campaign, $shards pipeline shard(s)"
+    "$WORK"/bin/whowas -scale "$SCALE" -seed "$SEED" -rounds "$ROUNDS" -q \
+        -pipeline-shards "$shards" -store-dir "$WORK/col$shards" \
+        -out "$WORK/col$shards.whowas" >"$WORK/col$shards.out"
+    DIGEST=$(digest_of "$WORK/col$shards.out")
+    if [ "$DIGEST" != "$BASE" ]; then
+        echo "store_gate: DIGEST MISMATCH (columnar, $shards shards): $DIGEST != $BASE" >&2
+        exit 1
+    fi
+    if ! cmp -s "$WORK/col$shards.whowas" "$WORK/mem.whowas"; then
+        echo "store_gate: -out gob from the columnar backend ($shards shards) is not byte-identical to the in-memory one" >&2
+        exit 1
+    fi
+    # Reopen the campaign's own segment directory cold: the
+    # post-analysis digest must survive without the writing process's
+    # round cache.
+    "$WORK"/bin/whowas-query -store-dir "$WORK/col$shards" -digest >"$WORK/col$shards.dir.out"
+    DIRD=$(digest_of "$WORK/col$shards.dir.out")
+    if [ "$DIRD" != "$FILED" ]; then
+        echo "store_gate: DIGEST MISMATCH (reopened segment dir, $shards shards): $DIRD != $FILED (stale on-disk rounds?)" >&2
+        exit 1
+    fi
+done
+echo "== columnar digests and -out gobs identical across 1/2/4 shards"
+
+echo "== gob -> columnar conversion identity"
+"$WORK"/bin/whowas-query -store "$WORK/mem.whowas" -to-dir "$WORK/conv" >/dev/null
+"$WORK"/bin/whowas-query -store-dir "$WORK/conv" -digest >"$WORK/convdigest.out"
+CONVD=$(digest_of "$WORK/convdigest.out")
+if [ -z "$FILED" ] || [ "$FILED" != "$CONVD" ]; then
+    echo "store_gate: conversion digest mismatch: file=$FILED converted=$CONVD" >&2
+    exit 1
+fi
+echo "   digest $CONVD"
+
+echo "== starting whowas-cloudd on $ADDR for the fleet run"
+"$WORK"/bin/whowas-cloudd -cloud ec2 -scale "$SCALE" -seed "$SEED" \
+    -addr "$ADDR" -data-listeners 4 &
+PIDS="$PIDS $!"
+i=0
+until "$WORK"/bin/whowas-query cloud -addr "$ADDR" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "store_gate: cloudd never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "== single-process wire campaign (the fleet reference)"
+"$WORK"/bin/whowas -cloud-addr "$ADDR" -rounds "$ROUNDS" \
+    -cluster=false -carto=false -q >"$WORK/wire.out"
+WIREBASE=$(digest_of "$WORK/wire.out")
+
+echo "== 2-worker fleet on the columnar backend"
+"$WORK"/bin/whowas-coordinator -cloud-addr "$ADDR" -addr "$CADDR" \
+    -rounds "$ROUNDS" -store-dir "$WORK/fleet" -q >"$WORK/coord.out" 2>&1 &
+COORD=$!
+PIDS="$PIDS $COORD"
+i=0
+until grep -q "coordinator listening" "$WORK/coord.out"; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "store_gate: coordinator never started" >&2
+        cat "$WORK/coord.out" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+for w in 0 1; do
+    "$WORK"/bin/whowas -worker -coordinator-addr "$CADDR" \
+        -worker-id "store-w$w" >"$WORK/worker$w.out" 2>&1 &
+    PIDS="$PIDS $!"
+done
+if ! wait "$COORD"; then
+    echo "store_gate: coordinator failed" >&2
+    cat "$WORK/coord.out" >&2
+    exit 1
+fi
+FLEETD=$(digest_of "$WORK/coord.out")
+if [ -z "$FLEETD" ] || [ "$FLEETD" != "$WIREBASE" ]; then
+    echo "store_gate: DIGEST MISMATCH (2-worker fleet on colstore): fleet=$FLEETD single=$WIREBASE" >&2
+    exit 1
+fi
+SEGS=$(ls "$WORK/fleet" | grep -c '\.seg$' || true)
+if [ "$SEGS" -ne "$ROUNDS" ]; then
+    echo "store_gate: fleet segment directory holds $SEGS segments, want $ROUNDS" >&2
+    exit 1
+fi
+echo "== fleet digest identical from the columnar backend: $FLEETD"
+
+echo "store_gate: PASS"
