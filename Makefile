@@ -12,19 +12,27 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-invariant static analysis (what the CI lint job runs): the
-# determinism / nilsafe / ctxfirst / errcheck / lockdisc suite over the
-# whole module. Non-zero exit on any unsuppressed finding.
+# Project-invariant static analysis (what the CI lint job runs): vet,
+# gofmt, then the determinism / nilsafe / ctxfirst / errcheck /
+# lockdisc suite plus the call-graph analyzers (goleak / wiretag /
+# atomicwrite / budgetpath) over the whole module. Non-zero exit on
+# any unsuppressed finding.
 lint:
 	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
 	$(GO) run ./cmd/whowas-lint ./...
 
 # Fast loop: skips the full-campaign integration tests.
 test:
 	$(GO) test -short ./...
 
-# What CI runs; the campaign fixtures shrink under -race.
+# What CI runs; the campaign fixtures shrink under -race. The
+# concurrency-heavy packages go first, twice, so a schedule-dependent
+# race has two chances to interleave before the full-module pass.
 race:
+	$(GO) test -race -count=2 -timeout 20m \
+		./internal/coord/ ./internal/pipeline/ ./internal/fleetobs/ \
+		./internal/cloudapi/ ./internal/ops/
 	$(GO) test -race -timeout 40m ./...
 
 # Short native-fuzzing smoke over the parser surfaces (what the CI

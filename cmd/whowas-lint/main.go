@@ -1,23 +1,30 @@
 // Command whowas-lint runs WhoWas's project-invariant static-analysis
 // suite (internal/lint) over the module: determinism of the
 // digest-feeding packages, nil-safety of the metrics/trace handles,
-// context-first I/O signatures, crash-safety error discipline, and
-// lock discipline. It exits non-zero when any diagnostic survives the
-// //lint:allow suppressions, which is what lets CI gate on it.
+// context-first I/O signatures, crash-safety error discipline, lock
+// discipline, and the call-graph analyzers — goroutine join paths,
+// wire-struct json tags, atomic persistence writes, and rate-budget
+// domination of probe dials. It exits non-zero when any diagnostic
+// survives the //lint:allow suppressions, which is what lets CI gate
+// on it.
 //
 // Usage:
 //
-//	whowas-lint [-v] [-rules] [packages...]
+//	whowas-lint [-v] [-rules] [-json] [-analyzers a,b,...] [packages...]
 //
 // Packages default to ./... (the whole module). Patterns accept
-// ./dir, ./dir/..., and full import paths.
+// ./dir, ./dir/..., and full import paths. -json prints findings as a
+// JSON array (empty array when clean) for CI annotation; -analyzers
+// narrows the run to a comma-separated subset of the catalogue.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"whowas/internal/lint"
 )
@@ -25,8 +32,10 @@ import (
 func main() {
 	verbose := flag.Bool("v", false, "list the packages as they are checked")
 	rules := flag.Bool("rules", false, "print the analyzer catalogue and exit")
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array on stdout")
+	analyzers := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: whowas-lint [-v] [-rules] [packages...]\n")
+		fmt.Fprintf(os.Stderr, "usage: whowas-lint [-v] [-rules] [-json] [-analyzers a,b,...] [packages...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,14 +47,30 @@ func main() {
 		}
 		return
 	}
+	if *analyzers != "" {
+		if err := suite.Select(strings.Split(*analyzers, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, "whowas-lint:", err)
+			os.Exit(2)
+		}
+	}
 
-	if err := run(suite, flag.Args(), *verbose); err != nil {
+	if err := run(suite, flag.Args(), *verbose, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "whowas-lint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(suite *lint.Suite, patterns []string, verbose bool) error {
+// finding is the -json output shape: one object per diagnostic, with
+// the position split out so CI annotators need no parsing.
+type finding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+func run(suite *lint.Suite, patterns []string, verbose, jsonOut bool) error {
 	cwd, err := os.Getwd()
 	if err != nil {
 		return err
@@ -64,13 +89,30 @@ func run(suite *lint.Suite, patterns []string, verbose bool) error {
 		}
 	}
 	diags := suite.Run(pkgs)
-	for _, d := range diags {
-		// Print module-relative paths: stable across machines, and what
-		// editors and CI annotations expect.
-		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+	// Print module-relative paths: stable across machines, and what
+	// editors and CI annotations expect.
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Println(d)
+	}
+	if jsonOut {
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Rule: d.Rule, Msg: d.Msg,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if n := len(diags); n > 0 {
 		fmt.Fprintf(os.Stderr, "whowas-lint: %d diagnostic(s) in %d package(s)\n", n, len(pkgs))

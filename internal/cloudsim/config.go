@@ -23,10 +23,12 @@ import (
 // RegionConfig sizes one cloud region. EC2 regions carve their address
 // space into classic and VPC /22 prefixes (Table 2); Azure has no VPC
 // distinction.
+// The json tags are pinned: region configs cross the cloudapi control
+// plane inside a CloudSpec.
 type RegionConfig struct {
-	Name       string
-	Prefixes22 int // total /22 blocks advertised by the region
-	VPC22      int // of which are VPC prefixes (EC2 only)
+	Name       string `json:"name"`
+	Prefixes22 int    `json:"prefixes_22"` // total /22 blocks advertised by the region
+	VPC22      int    `json:"vpc_22"`      // of which are VPC prefixes (EC2 only)
 }
 
 // GiantConfig describes one very large deployment, mirroring a row of

@@ -1,0 +1,30 @@
+package cloudsim
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestRegionConfigJSONWireShape pins the region-catalogue wire shape
+// served through cloudapi: snake_case keys, not Go identifiers.
+func TestRegionConfigJSONWireShape(t *testing.T) {
+	buf, err := json.Marshal(RegionConfig{Name: "us-east-1", Prefixes22: 4, VPC22: 1})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := []string{"name", "prefixes_22", "vpc_22"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RegionConfig wire keys = %v, want %v", got, want)
+	}
+}

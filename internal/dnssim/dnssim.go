@@ -46,10 +46,11 @@ func (t ResponseType) String() string {
 	}
 }
 
-// Response is one DNS answer.
+// Response is one DNS answer. The json tags are pinned: responses
+// cross the cloudapi control plane's resolve endpoint.
 type Response struct {
-	Type ResponseType
-	Addr ipaddr.Addr // meaningful for PublicA (the public IP) and PrivateA (a 10/8 address)
+	Type ResponseType `json:"type"`
+	Addr ipaddr.Addr  `json:"addr"` // meaningful for PublicA (the public IP) and PrivateA (a 10/8 address)
 }
 
 // Resolver answers DNS queries from the simulated cloud's ground truth.

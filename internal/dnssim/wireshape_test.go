@@ -1,0 +1,30 @@
+package dnssim
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestResponseJSONWireShape pins the cloudapi DNS-answer wire shape:
+// explicit lower-case keys, not Go identifiers.
+func TestResponseJSONWireShape(t *testing.T) {
+	buf, err := json.Marshal(Response{Type: PublicA, Addr: 0x0A000001})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := []string{"addr", "type"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Response wire keys = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,77 @@
+// The atomicwrite analyzer. The durability contract — a crash at any
+// instant leaves every store file either old-and-intact or
+// new-and-complete — holds only because every persistence-layer write
+// goes through internal/atomicfile's temp-fsync-rename protocol. A
+// single direct os.Create in the store or the trace journal reopens
+// the torn-write window the protocol exists to close. One rule:
+//
+//	atomicwrite/direct — a persistence package (store, colstore, the
+//	    trace journal) opens a file destructively itself: os.Create,
+//	    os.WriteFile, or os.OpenFile with O_TRUNC. The atomicfile
+//	    package is the one place allowed to do that, because it does
+//	    it to a temp file and renames over the target.
+package lint
+
+import (
+	"go/ast"
+)
+
+// AtomicWriteAnalyzer keeps destructive file opens out of the
+// persistence packages.
+var AtomicWriteAnalyzer = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "persistence packages never open files destructively; durable writes go through internal/atomicfile",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(pkg *Package, opts Options) []Diagnostic {
+	if matchPkg(pkg.Path, opts.AtomicPackages) || !matchPkg(pkg.Path, opts.PersistPackages) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, _, ok := pkgRef(pkg, sel)
+			if !ok || path != "os" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Create", "WriteFile":
+				out = append(out, diag(pkg, call, "atomicwrite/direct",
+					"os."+sel.Sel.Name+" in a persistence package truncates in place; a crash mid-write tears the file — use internal/atomicfile"))
+			case "OpenFile":
+				if hasTruncFlag(call) {
+					out = append(out, diag(pkg, call, "atomicwrite/direct",
+						"os.OpenFile with O_TRUNC in a persistence package tears the file on a crash mid-write — use internal/atomicfile"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasTruncFlag reports whether an os.OpenFile call's flag argument
+// mentions O_TRUNC.
+func hasTruncFlag(call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	found := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "O_TRUNC" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

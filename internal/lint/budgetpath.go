@@ -1,0 +1,184 @@
+// The budgetpath analyzer. The §7 measurement-ethics envelope is a
+// number: probes per second, fleet-wide, enforced by the ratelimit
+// package's token acquisitions. Every network dial the scanner issues
+// must sit behind one — and that property is about paths, not call
+// sites: a helper that dials correctly today is one new caller away
+// from an unbudgeted probe. The analyzer walks the call graph so the
+// envelope cannot be bypassed by a code path nobody thought about:
+//
+//	budgetpath/unbudgeted — a probe-issuing dial (a DialContext with
+//	    the (ctx, network, address) → (net.Conn, error) shape) in a
+//	    budget-scoped package is not dominated by a rate-budget token
+//	    acquisition. Dominated means: an acquisition (a call that
+//	    reaches ratelimit Wait/Allow/Acquire through the call graph)
+//	    lexically precedes the dial in the same body, or every caller
+//	    path into the enclosing function performs one before the call
+//	    site. A dial whose enclosing function has no resolved callers
+//	    is flagged — an unreferenced dial path is exactly the hole the
+//	    rule exists to close. Recursion is treated optimistically (a
+//	    retry loop re-entering its own budgeted body is fine).
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"whowas/internal/lint/callgraph"
+)
+
+// BudgetPathAnalyzer proves every probe dial sits behind the rate
+// budget.
+var BudgetPathAnalyzer = &Analyzer{
+	Name:      "budgetpath",
+	Doc:       "every probe-issuing DialContext is dominated by a ratelimit token acquisition on all caller paths",
+	RunModule: runBudgetPath,
+}
+
+func runBudgetPath(pkgs []*Package, g *callgraph.Graph, opts Options) []Diagnostic {
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	bp := &budgetPath{g: g, opts: opts, acquires: map[*callgraph.Node]int8{}}
+
+	var out []Diagnostic
+	for _, n := range g.Nodes() {
+		pkg := byPath[n.Pkg.Path]
+		if pkg == nil || !matchPkg(n.Pkg.Path, opts.BudgetPackages) {
+			continue
+		}
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		inspectOwnBody(body, func(node ast.Node) {
+			call, ok := node.(*ast.CallExpr)
+			if !ok || !isProbeDial(n.Pkg.Info, call) {
+				return
+			}
+			if !bp.pathBudgeted(n, call.Pos(), map[*callgraph.Node]bool{}) {
+				out = append(out, diag(pkg, call, "budgetpath/unbudgeted",
+					"probe dial in "+n.Name()+" is not dominated by a rate-budget acquisition on every caller path; acquire a ratelimit token before dialing"))
+			}
+		})
+	}
+	return out
+}
+
+// budgetPath memoizes acquire-reachability per node across queries.
+type budgetPath struct {
+	g        *callgraph.Graph
+	opts     Options
+	acquires map[*callgraph.Node]int8 // 0 unknown, 1 yes, -1 no
+}
+
+// pathBudgeted reports whether every execution path reaching pos
+// inside n performs a budget acquisition first: either one lexically
+// precedes pos in n's own body, or every resolved caller of n is
+// itself budgeted before its call site. visiting breaks cycles
+// optimistically.
+func (bp *budgetPath) pathBudgeted(n *callgraph.Node, pos token.Pos, visiting map[*callgraph.Node]bool) bool {
+	if bp.budgetedBefore(n, pos) {
+		return true
+	}
+	if visiting[n] {
+		return true // recursion: the outer frame decides
+	}
+	visiting[n] = true
+	defer delete(visiting, n)
+	callers := bp.g.CallersOf(n)
+	if len(callers) == 0 {
+		return false
+	}
+	for _, e := range callers {
+		if !bp.pathBudgeted(e.Caller, e.Call.Pos(), visiting) {
+			return false
+		}
+	}
+	return true
+}
+
+// budgetedBefore reports whether n's own body performs (or calls into)
+// a budget acquisition lexically before pos.
+func (bp *budgetPath) budgetedBefore(n *callgraph.Node, pos token.Pos) bool {
+	body := n.Body()
+	if body == nil {
+		return false
+	}
+	found := false
+	inspectOwnBody(body, func(node ast.Node) {
+		call, ok := node.(*ast.CallExpr)
+		if !ok || found || call.Pos() >= pos {
+			return
+		}
+		if isAcquireCall(n.Pkg.Info, call, bp.opts) {
+			found = true
+			return
+		}
+		for _, callee := range bp.g.CalleesAt(n, call) {
+			if bp.acquirePerforming(callee) {
+				found = true
+				return
+			}
+		}
+	})
+	return found
+}
+
+// acquirePerforming reports whether the node transitively reaches a
+// budget acquisition.
+func (bp *budgetPath) acquirePerforming(n *callgraph.Node) bool {
+	switch bp.acquires[n] {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	bp.acquires[n] = -1 // cycle default: not acquiring
+	ok := bp.g.Reaches(n, func(m *callgraph.Node) bool {
+		return bodyHasCall(m, func(info *types.Info, call *ast.CallExpr) bool {
+			return isAcquireCall(info, call, bp.opts)
+		})
+	})
+	if ok {
+		bp.acquires[n] = 1
+	}
+	return ok
+}
+
+// isAcquireCall reports whether the call resolves to one of the
+// configured "pkgsuffix.Func" budget acquisitions.
+func isAcquireCall(info *types.Info, call *ast.CallExpr, opts Options) bool {
+	fn, ok := calleeOfInfo(info, call).(*types.Func)
+	if !ok {
+		return false
+	}
+	for _, spec := range opts.BudgetAcquire {
+		dot := strings.LastIndex(spec, ".")
+		if dot < 0 {
+			continue
+		}
+		if fn.Name() == spec[dot+1:] && matchPkg(objPkgPath(fn), []string{spec[:dot]}) {
+			return true
+		}
+	}
+	return false
+}
+
+// isProbeDial reports whether the call is a probe-issuing dial: a
+// method or function named DialContext with the canonical
+// (context.Context, string, string) → (net.Conn, error) shape.
+func isProbeDial(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeOfInfo(info, call).(*types.Func)
+	if !ok || fn.Name() != "DialContext" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 3 || sig.Results().Len() != 2 {
+		return false
+	}
+	return sig.Params().At(0).Type().String() == "context.Context" &&
+		sig.Results().At(0).Type().String() == "net.Conn"
+}

@@ -1,0 +1,432 @@
+// Package callgraph builds a conservative, dependency-free call graph
+// over go/types for the lint suite's interprocedural analyzers. Three
+// resolution strategies, in increasing order of conservatism:
+//
+//   - static calls — a call whose callee resolves to a declared
+//     function or concrete method gets one edge to it.
+//   - method sets — a call through an interface method gets an edge to
+//     every loaded concrete method that implements it (computed from
+//     the method sets of every named type in the loaded packages), so
+//     "the spawner calls Close on the Dialer" still reaches every
+//     Close body the program could run.
+//   - function values, tracked one level — a local variable assigned a
+//     function literal or a declared function exactly as a value
+//     (f := func(){...}; f()) resolves calls through that variable to
+//     the assigned bodies. Deeper value flow (through fields, channels,
+//     or returns) is out of scope; analyzers treat unresolved calls
+//     conservatively.
+//
+// The graph is syntax+types only: no SSA, no golang.org/x/tools. That
+// keeps the lint suite stdlib-only and the resolution rules simple
+// enough to audit — which matters, because analyzers derive "must hold"
+// claims (a goroutine joins, a dial is budgeted) from reachability
+// over these edges.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Pkg is one loaded package: the syntax, type info and package object
+// the builder consumes. It mirrors the lint loader's Package without
+// importing it (the lint package imports this one).
+type Pkg struct {
+	Path  string
+	Files []*ast.File
+	Info  *types.Info
+	Types *types.Package
+}
+
+// Node is one function body in the graph: a declared function or
+// method (Func and Decl set) or a function literal (Lit set). Literals
+// are their own nodes — code inside a literal runs under the literal's
+// lifetime, not its encloser's — with Encl pointing back to the node
+// whose source encloses them.
+type Node struct {
+	Func *types.Func   // declared function/method object; nil for literals
+	Decl *ast.FuncDecl // declaration with body; nil for literals
+	Lit  *ast.FuncLit  // literal body; nil for declared functions
+	Encl *Node         // lexically enclosing node (literals only)
+	Pkg  *Pkg          // package the body lives in
+
+	calls   []*Edge // outgoing edges, in source order
+	callers []*Edge // incoming edges
+}
+
+// Body returns the node's statement block.
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// Name returns a human-readable identifier for diagnostics.
+func (n *Node) Name() string {
+	if n.Func != nil {
+		return n.Func.Name()
+	}
+	if n.Encl != nil {
+		return "func literal in " + n.Encl.Name()
+	}
+	return "func literal"
+}
+
+// Edge is one resolved call site: Caller's body contains Call, which
+// may run Callee.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	Call   *ast.CallExpr
+}
+
+// Graph is the module's call graph.
+type Graph struct {
+	byFunc map[*types.Func]*Node
+	byLit  *litMap
+	nodes  []*Node
+
+	// implsOf maps an interface method to the concrete loaded methods
+	// that implement it.
+	implsOf map[*types.Func][]*types.Func
+}
+
+// litMap is a tiny identity map for literal nodes (FuncLit pointers).
+type litMap struct{ m map[*ast.FuncLit]*Node }
+
+// Build constructs the graph over the loaded packages.
+func Build(pkgs []*Pkg) *Graph {
+	g := &Graph{
+		byFunc:  map[*types.Func]*Node{},
+		byLit:   &litMap{m: map[*ast.FuncLit]*Node{}},
+		implsOf: map[*types.Func][]*types.Func{},
+	}
+	// Pass 1: one node per declared function and per literal.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := &Node{Func: fn, Decl: fd, Pkg: pkg}
+				g.byFunc[fn] = node
+				g.nodes = append(g.nodes, node)
+				g.addLiterals(pkg, node, fd.Body)
+			}
+		}
+	}
+	g.buildMethodSets(pkgs)
+	// Pass 2: edges.
+	for _, n := range g.nodes {
+		if n.Lit == nil { // literals' bodies are walked by their own nodes
+			g.addEdges(n)
+		}
+	}
+	for _, n := range g.nodes {
+		if n.Lit != nil {
+			g.addEdges(n)
+		}
+	}
+	return g
+}
+
+// addLiterals creates nodes for every function literal in body, each
+// parented to the nearest enclosing node.
+func (g *Graph) addLiterals(pkg *Pkg, encl *Node, body *ast.BlockStmt) {
+	var walk func(n ast.Node, encl *Node) bool
+	walk = func(n ast.Node, encl *Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		node := &Node{Lit: lit, Encl: encl, Pkg: pkg}
+		g.byLit.m[lit] = node
+		g.nodes = append(g.nodes, node)
+		ast.Inspect(lit.Body, func(inner ast.Node) bool {
+			if inner == lit.Body {
+				return true
+			}
+			return walk(inner, node)
+		})
+		return false // the recursive Inspect above handles nested literals
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return walk(n, encl) })
+}
+
+// buildMethodSets records, for every interface method of every
+// interface type the loaded packages declare or use, the loaded
+// concrete methods implementing it.
+func (g *Graph) buildMethodSets(pkgs []*Pkg) {
+	// Collect the named concrete types defined in the loaded packages.
+	var concrete []types.Type
+	var ifaces []*types.Interface
+	seenIface := map[*types.Interface]bool{}
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			t := tn.Type()
+			if it, ok := t.Underlying().(*types.Interface); ok {
+				if !seenIface[it] {
+					seenIface[it] = true
+					ifaces = append(ifaces, it)
+				}
+				continue
+			}
+			concrete = append(concrete, t)
+		}
+		// Interfaces from imported packages show up through uses; the
+		// analyzers only need the ones whose methods are actually
+		// called, which Info.Uses resolves — collect them lazily below.
+		for _, obj := range pkg.Info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				continue
+			}
+			if it, ok := sig.Recv().Type().Underlying().(*types.Interface); ok && !seenIface[it] {
+				seenIface[it] = true
+				ifaces = append(ifaces, it)
+			}
+		}
+	}
+	for _, it := range ifaces {
+		for i := 0; i < it.NumMethods(); i++ {
+			im := it.Method(i)
+			for _, ct := range concrete {
+				for _, recv := range []types.Type{ct, types.NewPointer(ct)} {
+					if !types.Implements(recv, it) {
+						continue
+					}
+					obj, _, _ := types.LookupFieldOrMethod(recv, true, im.Pkg(), im.Name())
+					if m, ok := obj.(*types.Func); ok {
+						g.implsOf[im] = appendUniqueFunc(g.implsOf[im], m)
+					}
+					break // pointer method set ⊇ value method set
+				}
+			}
+		}
+	}
+}
+
+func appendUniqueFunc(fns []*types.Func, fn *types.Func) []*types.Func {
+	for _, f := range fns {
+		if f == fn {
+			return fns
+		}
+	}
+	return append(fns, fn)
+}
+
+// addEdges resolves every call in the node's own body (excluding
+// nested literals, which own their calls).
+func (g *Graph) addEdges(n *Node) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	// funcValues tracks one level of function-value flow local to this
+	// body: variable object -> nodes assigned to it.
+	funcValues := g.localFuncValues(n, body)
+	inspectOwn(body, func(node ast.Node) {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, callee := range g.resolve(n, call, funcValues) {
+			e := &Edge{Caller: n, Callee: callee, Call: call}
+			n.calls = append(n.calls, e)
+			callee.callers = append(callee.callers, e)
+		}
+	})
+}
+
+// inspectOwn walks a body but does not descend into nested function
+// literals.
+func inspectOwn(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// localFuncValues collects single-level function-value bindings in the
+// body: `f := func(){...}`, `var f = func(){...}`, `f := pkg.G`. A
+// variable assigned more than once maps to every assigned body
+// (conservative union).
+func (g *Graph) localFuncValues(n *Node, body *ast.BlockStmt) map[types.Object][]*Node {
+	out := map[types.Object][]*Node{}
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := n.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = n.Pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.FuncLit:
+			if ln := g.byLit.m[r]; ln != nil {
+				out[obj] = append(out[obj], ln)
+			}
+		case *ast.Ident:
+			if fn, ok := n.Pkg.Info.Uses[r].(*types.Func); ok {
+				if fnode := g.byFunc[fn]; fnode != nil {
+					out[obj] = append(out[obj], fnode)
+				}
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := n.Pkg.Info.Uses[r.Sel].(*types.Func); ok {
+				if fnode := g.byFunc[fn]; fnode != nil {
+					out[obj] = append(out[obj], fnode)
+				}
+			}
+		}
+	}
+	inspectOwn(body, func(node ast.Node) {
+		switch st := node.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					bind(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i := range st.Names {
+					bind(st.Names[i], st.Values[i])
+				}
+			}
+		}
+	})
+	return out
+}
+
+// resolve returns the possible callee nodes of one call expression.
+func (g *Graph) resolve(n *Node, call *ast.CallExpr, funcValues map[types.Object][]*Node) []*Node {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := n.Pkg.Info.Uses[fun]
+		if fn, ok := obj.(*types.Func); ok {
+			return g.funcNodes(fn)
+		}
+		if obj != nil {
+			return funcValues[obj] // one-level function value
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := n.Pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return g.funcNodes(fn)
+		}
+	case *ast.FuncLit:
+		if ln := g.byLit.m[fun]; ln != nil {
+			return []*Node{ln}
+		}
+	}
+	return nil
+}
+
+// funcNodes maps a callee object to graph nodes: the static target
+// when its body is loaded, plus — for interface methods — every loaded
+// implementation.
+func (g *Graph) funcNodes(fn *types.Func) []*Node {
+	var out []*Node
+	if node := g.byFunc[fn]; node != nil {
+		out = append(out, node)
+	}
+	for _, impl := range g.implsOf[fn] {
+		if node := g.byFunc[impl]; node != nil {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// NodeOf returns the node for a declared function object, or nil when
+// its body was not loaded.
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.byFunc[fn] }
+
+// LitNode returns the node for a function literal.
+func (g *Graph) LitNode(lit *ast.FuncLit) *Node { return g.byLit.m[lit] }
+
+// Nodes returns every node, declared functions first, in load order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// CalleesAt returns the possible callee nodes of one call expression
+// appearing inside from's body.
+func (g *Graph) CalleesAt(from *Node, call *ast.CallExpr) []*Node {
+	var out []*Node
+	for _, e := range from.calls {
+		if e.Call == call {
+			out = append(out, e.Callee)
+		}
+	}
+	return out
+}
+
+// CallersOf returns every resolved call site that may run n.
+func (g *Graph) CallersOf(n *Node) []*Edge { return n.callers }
+
+// CallsFrom returns n's outgoing edges in source order.
+func (g *Graph) CallsFrom(n *Node) []*Edge { return n.calls }
+
+// Reaches reports whether pred holds for n or any node transitively
+// callable from n. It memoizes per call, so analyzers can probe many
+// roots cheaply.
+func (g *Graph) Reaches(n *Node, pred func(*Node) bool) bool {
+	return g.reaches(n, pred, map[*Node]bool{})
+}
+
+func (g *Graph) reaches(n *Node, pred func(*Node) bool, seen map[*Node]bool) bool {
+	if n == nil || seen[n] {
+		return false
+	}
+	seen[n] = true
+	if pred(n) {
+		return true
+	}
+	for _, e := range n.calls {
+		if g.reaches(e.Callee, pred, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// PosOf returns the position of the node's body for diagnostics.
+func (n *Node) PosOf() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return token.NoPos
+}

@@ -1,0 +1,176 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// load type-checks one import-free source file into a Pkg.
+func load(t *testing.T, src string) *Pkg {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return &Pkg{Path: "x", Files: []*ast.File{f}, Info: info, Types: tpkg}
+}
+
+// nodeByName finds a declared function node.
+func nodeByName(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Func != nil && n.Func.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q", name)
+	return nil
+}
+
+// calleeNames flattens a node's outgoing edges to callee names.
+func calleeNames(n *Node) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range n.calls {
+		if e.Callee.Func != nil {
+			out[e.Callee.Func.Name()] = true
+		} else {
+			out["<lit>"] = true
+		}
+	}
+	return out
+}
+
+func TestStaticCallsAndCallers(t *testing.T) {
+	pkg := load(t, `package x
+func a() { b(); c() }
+func b() { c() }
+func c() {}
+`)
+	g := Build([]*Pkg{pkg})
+	a, c := nodeByName(t, g, "a"), nodeByName(t, g, "c")
+	got := calleeNames(a)
+	if !got["b"] || !got["c"] {
+		t.Fatalf("a's callees = %v, want b and c", got)
+	}
+	callers := map[string]bool{}
+	for _, e := range g.CallersOf(c) {
+		callers[e.Caller.Func.Name()] = true
+	}
+	if !callers["a"] || !callers["b"] || len(callers) != 2 {
+		t.Fatalf("c's callers = %v, want exactly a and b", callers)
+	}
+}
+
+// TestMethodSetResolution pins the conservative interface expansion: a
+// call through an interface method gets an edge to every loaded
+// implementation, value and pointer receivers alike.
+func TestMethodSetResolution(t *testing.T) {
+	pkg := load(t, `package x
+type closer interface{ close() }
+type fileImpl struct{}
+func (fileImpl) close() {}
+type connImpl struct{ n int }
+func (c *connImpl) close() { c.n++ }
+type unrelated struct{}
+func (unrelated) open() {}
+func shutdown(c closer) { c.close() }
+`)
+	g := Build([]*Pkg{pkg})
+	sd := nodeByName(t, g, "shutdown")
+	impls := map[string]bool{}
+	for _, e := range g.CallsFrom(sd) {
+		if e.Callee.Func != nil {
+			sig := e.Callee.Func.Type().(*types.Signature)
+			if sig.Recv() != nil {
+				impls[sig.Recv().Type().String()] = true
+			}
+		}
+	}
+	if len(impls) != 2 {
+		t.Fatalf("interface call resolved to %v, want the 2 close implementations", impls)
+	}
+}
+
+// TestFuncValueOneLevel pins single-level function-value tracking:
+// f := func(){...} / f := named, then f().
+func TestFuncValueOneLevel(t *testing.T) {
+	pkg := load(t, `package x
+func target() {}
+func viaLit() {
+	f := func() { target() }
+	f()
+}
+func viaName() {
+	g := target
+	g()
+}
+`)
+	g := Build([]*Pkg{pkg})
+	target := nodeByName(t, g, "target")
+
+	// viaLit -> literal edge, and the literal -> target edge.
+	vl := nodeByName(t, g, "viaLit")
+	if got := calleeNames(vl); !got["<lit>"] {
+		t.Fatalf("viaLit callees = %v, want the assigned literal", got)
+	}
+	// viaName -> target directly through the value.
+	vn := nodeByName(t, g, "viaName")
+	if got := calleeNames(vn); !got["target"] {
+		t.Fatalf("viaName callees = %v, want target", got)
+	}
+	// Reachability sees target from both.
+	pred := func(n *Node) bool { return n == target }
+	if !g.Reaches(vl, pred) {
+		t.Error("viaLit does not reach target through the literal")
+	}
+	if !g.Reaches(vn, pred) {
+		t.Error("viaName does not reach target through the value")
+	}
+}
+
+// TestLiteralNodesOwnTheirCalls pins the node-per-literal split: calls
+// inside a literal belong to the literal's node, not its encloser's,
+// and Encl points back.
+func TestLiteralNodesOwnTheirCalls(t *testing.T) {
+	pkg := load(t, `package x
+func helper() {}
+func spawn() {
+	go func() { helper() }()
+}
+`)
+	g := Build([]*Pkg{pkg})
+	sp := nodeByName(t, g, "spawn")
+	if got := calleeNames(sp); got["helper"] {
+		t.Fatalf("spawn owns the literal's helper call: %v", got)
+	}
+	var lit *Node
+	for _, n := range g.Nodes() {
+		if n.Lit != nil {
+			lit = n
+		}
+	}
+	if lit == nil {
+		t.Fatal("no literal node built")
+	}
+	if lit.Encl != sp {
+		t.Fatalf("literal's encloser = %v, want spawn", lit.Encl)
+	}
+	if got := calleeNames(lit); !got["helper"] {
+		t.Fatalf("literal callees = %v, want helper", got)
+	}
+}

@@ -9,70 +9,132 @@
 //	errcheck/discard — a bare call statement (or defer) that throws
 //	    away an error returned by (a) anything from an error-source
 //	    package like atomicfile, (b) an error-returning function from
-//	    the store or trace packages, or (c) Close/Sync on an os.File
-//	    that this function opened for writing. An explicit `_ = call`
-//	    is intentional and exempt — the discard is visible in review.
-//	    Inside an error-source package itself, every bare discard is
-//	    flagged (the whole package is write path).
+//	    the store or trace packages, (c) Close/Sync on an os.File
+//	    that this function opened for writing, or (d) a forwarder — a
+//	    function anywhere in the module whose return statement hands
+//	    back an error it got from (a) or (b), found through the call
+//	    graph so wrapping a store mutation in a helper does not launder
+//	    the discard. An explicit `_ = call` is intentional and exempt —
+//	    the discard is visible in review. Inside an error-source
+//	    package itself, every bare discard is flagged (the whole
+//	    package is write path).
 package lint
 
 import (
 	"go/ast"
 	"go/types"
+
+	"whowas/internal/lint/callgraph"
 )
 
 // ErrCheckAnalyzer flags discarded errors on crash-safety write paths.
 var ErrCheckAnalyzer = &Analyzer{
-	Name: "errcheck",
-	Doc:  "no discarded errors from atomicfile, store/colstore/trace mutations, or write-path file closes",
-	Run:  runErrCheck,
+	Name:      "errcheck",
+	Doc:       "no discarded errors from atomicfile, store/colstore/trace mutations, their forwarders, or write-path file closes",
+	RunModule: runErrCheck,
 }
 
-func runErrCheck(pkg *Package, opts Options) []Diagnostic {
+func runErrCheck(pkgs []*Package, g *callgraph.Graph, opts Options) []Diagnostic {
+	forwarders := errForwarders(g, opts)
 	var out []Diagnostic
-	insideSource := matchPkg(pkg.Path, opts.ErrSourcePackages)
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+	for _, pkg := range pkgs {
+		insideSource := matchPkg(pkg.Path, opts.ErrSourcePackages)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				writeFiles := writeOpenedFiles(pkg, fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					var call *ast.CallExpr
+					switch nn := n.(type) {
+					case *ast.ExprStmt:
+						call, _ = nn.X.(*ast.CallExpr)
+					case *ast.DeferStmt:
+						call = nn.Call
+					}
+					if call == nil {
+						return true
+					}
+					obj := calleeOf(pkg, call)
+					if obj == nil || !returnsError(obj) {
+						return true
+					}
+					calleePkg := objPkgPath(obj)
+					switch {
+					case insideSource:
+						out = append(out, diag(pkg, call, "errcheck/discard",
+							"error from "+obj.Name()+" discarded inside a crash-safety package; handle it or assign it to _ explicitly"))
+					case matchPkg(calleePkg, opts.ErrSourcePackages):
+						out = append(out, diag(pkg, call, "errcheck/discard",
+							"error from "+calleePkg+"."+obj.Name()+" discarded; the atomic-write protocol's outcome must be checked"))
+					case matchPkg(calleePkg, opts.ErrMethodPackages):
+						out = append(out, diag(pkg, call, "errcheck/discard",
+							"error from "+calleePkg+"."+obj.Name()+" discarded; store/journal mutations must surface their failures"))
+					case forwarderDiscard(obj, forwarders):
+						out = append(out, diag(pkg, call, "errcheck/discard",
+							"error from "+obj.Name()+" discarded; it forwards a crash-path error from "+forwarders[obj.(*types.Func)]+" — wrapping the mutation in a helper does not make the failure ignorable"))
+					case isWritePathClose(pkg, call, obj, writeFiles):
+						out = append(out, diag(pkg, call, "errcheck/discard",
+							"error from Close on a file opened for writing discarded; a failed close loses buffered data silently"))
+					}
+					return true
+				})
 			}
-			writeFiles := writeOpenedFiles(pkg, fd)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				var call *ast.CallExpr
-				switch nn := n.(type) {
-				case *ast.ExprStmt:
-					call, _ = nn.X.(*ast.CallExpr)
-				case *ast.DeferStmt:
-					call = nn.Call
-				}
-				if call == nil {
-					return true
-				}
-				obj := calleeOf(pkg, call)
-				if obj == nil || !returnsError(obj) {
-					return true
-				}
-				calleePkg := objPkgPath(obj)
-				switch {
-				case insideSource:
-					out = append(out, diag(pkg, call, "errcheck/discard",
-						"error from "+obj.Name()+" discarded inside a crash-safety package; handle it or assign it to _ explicitly"))
-				case matchPkg(calleePkg, opts.ErrSourcePackages):
-					out = append(out, diag(pkg, call, "errcheck/discard",
-						"error from "+calleePkg+"."+obj.Name()+" discarded; the atomic-write protocol's outcome must be checked"))
-				case matchPkg(calleePkg, opts.ErrMethodPackages):
-					out = append(out, diag(pkg, call, "errcheck/discard",
-						"error from "+calleePkg+"."+obj.Name()+" discarded; store/journal mutations must surface their failures"))
-				case isWritePathClose(pkg, call, obj, writeFiles):
-					out = append(out, diag(pkg, call, "errcheck/discard",
-						"error from Close on a file opened for writing discarded; a failed close loses buffered data silently"))
-				}
-				return true
-			})
 		}
 	}
 	return out
+}
+
+// errForwarders finds module functions whose return statements hand
+// back the error of a crash-path call — the one-level helpers whose
+// discard is as dangerous as discarding the underlying mutation. The
+// map value names the forwarded package for the diagnostic.
+func errForwarders(g *callgraph.Graph, opts Options) map[*types.Func]string {
+	out := map[*types.Func]string{}
+	crashPath := append(append([]string{}, opts.ErrSourcePackages...), opts.ErrMethodPackages...)
+	for _, n := range g.Nodes() {
+		if n.Func == nil || !returnsError(n.Func) {
+			continue
+		}
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		inspectOwnBody(body, func(node ast.Node) {
+			ret, ok := node.(*ast.ReturnStmt)
+			if ok {
+				for _, res := range ret.Results {
+					ast.Inspect(res, func(inner ast.Node) bool {
+						call, ok := inner.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						obj := calleeOfInfo(info, call)
+						if obj != nil && returnsError(obj) && matchPkg(objPkgPath(obj), crashPath) {
+							out[n.Func] = objPkgPath(obj)
+						}
+						return true
+					})
+				}
+			}
+		})
+	}
+	return out
+}
+
+// forwarderDiscard reports whether the discarded callee is a known
+// crash-path forwarder (and is not itself in a crash-path package,
+// which the earlier cases already cover).
+func forwarderDiscard(obj types.Object, forwarders map[*types.Func]string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	_, isFwd := forwarders[fn]
+	return isFwd
 }
 
 // writeOpenedFiles collects the variables in this function that hold

@@ -1,0 +1,264 @@
+// The goleak analyzer. Twice in this repo's history a goroutine was
+// spawned with no path to termination — the PR 4 fetcher fan-in that
+// outlived its pipeline, and the PR 7 worker heartbeat that kept
+// beating for a dead lease — and both were found late, by chaos tests,
+// after the leak had already shipped. The property is interprocedural
+// (the join lives in the spawner, the Done in the body, the Close in a
+// different file), so an AST check per function cannot see it; the
+// call graph can. One rule:
+//
+//	goleak/join — every `go` statement's goroutine must provably reach
+//	    a join or cancel path. The analyzer accepts five shapes, each
+//	    taken from a real pattern in this codebase:
+//	      1. the body (or a function it directly calls) calls Done or
+//	         Wait on a sync.WaitGroup — the worker-pool shape;
+//	      2. the body receives from a context's Done channel — the
+//	         cancellation-loop shape;
+//	      3. the body sends on or closes a channel that the spawner
+//	         itself receives from or ranges over — the handshake shape;
+//	      4. the body's work is a method call on an object (commonly a
+//	         struct field like s.srv) on which some loaded code calls
+//	         Close, Shutdown or Stop — the managed-server shape;
+//	      5. the body defers Close on a net.Conn it was handed — the
+//	         connection-scoped handler shape, which ends when the peer
+//	         hangs up.
+//	    Package main is exempt: a CLI's top-level goroutines die with
+//	    the process.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"whowas/internal/lint/callgraph"
+)
+
+// GoLeakAnalyzer proves every spawned goroutine can terminate.
+var GoLeakAnalyzer = &Analyzer{
+	Name:      "goleak",
+	Doc:       "every go statement's goroutine must reach a join or cancel path the spawner controls",
+	RunModule: runGoLeak,
+}
+
+func runGoLeak(pkgs []*Package, g *callgraph.Graph, opts Options) []Diagnostic {
+	closed := closedObjects(pkgs)
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+
+	var out []Diagnostic
+	for _, n := range g.Nodes() {
+		pkg := byPath[n.Pkg.Path]
+		if pkg == nil || pkg.Types.Name() == "main" {
+			continue
+		}
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		inspectOwnBody(body, func(node ast.Node) {
+			gs, ok := node.(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			targets := g.CalleesAt(n, gs.Call)
+			if len(targets) == 0 {
+				out = append(out, diag(pkg, gs, "goleak/join",
+					"goroutine target cannot be resolved (function value flowed more than one level); spawn a named function or literal so the join path is provable"))
+				return
+			}
+			for _, t := range targets {
+				if !joined(g, t, n, closed) {
+					out = append(out, diag(pkg, gs, "goleak/join",
+						"goroutine "+t.Name()+" has no provable join or cancel path (WaitGroup Done/Wait, ctx.Done receive, channel handshake with the spawner, a managed object's Close/Shutdown, or a conn-scoped defer Close)"))
+				}
+			}
+		})
+	}
+	return out
+}
+
+// joined reports whether the spawned node (or a function it directly
+// calls — one level, matching the call graph's value-tracking depth)
+// exhibits one of the accepted termination shapes.
+func joined(g *callgraph.Graph, spawned, spawner *callgraph.Node, closed map[types.Object]bool) bool {
+	bodies := []*callgraph.Node{spawned}
+	for _, e := range g.CallsFrom(spawned) {
+		bodies = append(bodies, e.Callee)
+	}
+	for _, b := range bodies {
+		if wgJoin(b) || ctxJoin(b) || connScoped(b) || closeManaged(b, closed) {
+			return true
+		}
+	}
+	// The handshake shape relates the spawned body to its spawner, so
+	// it is checked on the spawned node only.
+	return chanHandshake(spawned, spawner)
+}
+
+// wgJoin: the body calls Done or Wait on a sync.WaitGroup.
+func wgJoin(n *callgraph.Node) bool {
+	return bodyHasCall(n, func(info *types.Info, call *ast.CallExpr) bool {
+		fn, ok := calleeOfInfo(info, call).(*types.Func)
+		if !ok || (fn.Name() != "Done" && fn.Name() != "Wait") {
+			return false
+		}
+		return recvIsNamed(fn, "sync", "WaitGroup")
+	})
+}
+
+// ctxJoin: the body calls Done on a context.Context (the result is
+// only useful received, so a call is taken as the cancellation hook).
+func ctxJoin(n *callgraph.Node) bool {
+	return bodyHasCall(n, func(info *types.Info, call *ast.CallExpr) bool {
+		fn, ok := calleeOfInfo(info, call).(*types.Func)
+		return ok && fn.Name() == "Done" && objPkgPath(fn) == "context"
+	})
+}
+
+// connScoped: the body defers Close on a net.Conn-typed value.
+func connScoped(n *callgraph.Node) bool {
+	body := n.Body()
+	if body == nil {
+		return false
+	}
+	found := false
+	inspectOwnBody(body, func(node ast.Node) {
+		ds, ok := node.(*ast.DeferStmt)
+		if !ok || found {
+			return
+		}
+		sel, ok := ast.Unparen(ds.Call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return
+		}
+		if tv, ok := n.Pkg.Info.Types[sel.X]; ok && tv.Type != nil && tv.Type.String() == "net.Conn" {
+			found = true
+		}
+	})
+	return found
+}
+
+// closeManaged: the body calls a method on an object (local, package
+// var, or struct field) that some loaded code calls Close, Shutdown or
+// Stop on — the http.Server-style managed loop.
+func closeManaged(n *callgraph.Node, closed map[types.Object]bool) bool {
+	return bodyHasCall(n, func(info *types.Info, call *ast.CallExpr) bool {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		obj := baseObj(info, sel.X)
+		return obj != nil && closed[obj]
+	})
+}
+
+// chanHandshake: the spawned body sends on or closes a channel that
+// the spawner's own body receives from or ranges over.
+func chanHandshake(spawned, spawner *callgraph.Node) bool {
+	sent := map[types.Object]bool{}
+	if body := spawned.Body(); body != nil {
+		inspectOwnBody(body, func(node ast.Node) {
+			switch st := node.(type) {
+			case *ast.SendStmt:
+				if obj := baseObj(spawned.Pkg.Info, st.Chan); obj != nil {
+					sent[obj] = true
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "close" && len(st.Args) == 1 {
+					if obj := baseObj(spawned.Pkg.Info, st.Args[0]); obj != nil {
+						sent[obj] = true
+					}
+				}
+			}
+		})
+	}
+	if len(sent) == 0 || spawner == nil {
+		return false
+	}
+	received := false
+	if body := spawner.Body(); body != nil {
+		inspectOwnBody(body, func(node ast.Node) {
+			switch st := node.(type) {
+			case *ast.UnaryExpr:
+				if st.Op.String() == "<-" {
+					if obj := baseObj(spawner.Pkg.Info, st.X); obj != nil && sent[obj] {
+						received = true
+					}
+				}
+			case *ast.RangeStmt:
+				if obj := baseObj(spawner.Pkg.Info, st.X); obj != nil && sent[obj] {
+					received = true
+				}
+			}
+		})
+	}
+	return received
+}
+
+// closedObjects collects every object (variable or struct field) that
+// any loaded code calls Close, Shutdown or Stop on.
+func closedObjects(pkgs []*Package) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Close", "Shutdown", "Stop":
+					if obj := baseObj(pkg.Info, sel.X); obj != nil {
+						out[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// bodyHasCall reports whether the node's own body contains a call
+// matching pred.
+func bodyHasCall(n *callgraph.Node, pred func(*types.Info, *ast.CallExpr) bool) bool {
+	body := n.Body()
+	if body == nil {
+		return false
+	}
+	found := false
+	inspectOwnBody(body, func(node ast.Node) {
+		if found {
+			return
+		}
+		if call, ok := node.(*ast.CallExpr); ok && pred(n.Pkg.Info, call) {
+			found = true
+		}
+	})
+	return found
+}
+
+// recvIsNamed reports whether fn is a method whose receiver's base
+// type is the named type pkgPath.name.
+func recvIsNamed(fn *types.Func, pkgPath, name string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -23,13 +23,55 @@ func pkgRef(pkg *Package, sel *ast.SelectorExpr) (path string, obj types.Object,
 // calleeOf resolves a call expression's callee object (a *types.Func
 // for method and function calls), or nil.
 func calleeOf(pkg *Package, call *ast.CallExpr) types.Object {
+	return calleeOfInfo(pkg.Info, call)
+}
+
+// calleeOfInfo is calleeOf for code holding only the type info (the
+// call-graph-backed analyzers work on callgraph nodes, whose packages
+// are not lint Packages).
+func calleeOfInfo(info *types.Info, call *ast.CallExpr) types.Object {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		return pkg.Info.Uses[fun]
+		return info.Uses[fun]
 	case *ast.SelectorExpr:
-		return pkg.Info.Uses[fun.Sel]
+		return info.Uses[fun.Sel]
 	}
 	return nil
+}
+
+// baseObj resolves the object an expression names: a plain identifier
+// (local, parameter, package var) or a selector's field/method object
+// (s.srv resolves to the srv field). nil when the expression is more
+// complex than a name.
+func baseObj(info *types.Info, expr ast.Expr) types.Object {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return obj
+		}
+		return info.Defs[x]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// inspectOwnBody walks a function body without descending into nested
+// function literals — a literal's statements belong to the literal's
+// own call-graph node, not its encloser's.
+func inspectOwnBody(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
 }
 
 // returnsError reports whether the object is a function whose result

@@ -27,6 +27,33 @@
 //     and no channel send while a mutex is held in pipeline/store
 //     (colstore included).
 //
+// A second generation of analyzers runs over the whole module at once,
+// powered by the conservative call graph in internal/lint/callgraph
+// (static calls, interface method sets, function values tracked one
+// level):
+//
+//   - goleak — every goroutine spawned by a `go` statement must reach
+//     a join or cancel path: a WaitGroup Done/Wait, a receive from a
+//     context's Done channel, a close/send on a channel the spawner
+//     receives from, a server loop whose Close/Shutdown is called
+//     elsewhere, or a connection-scoped handler that defers Close on
+//     the conn it owns. The exact shape of the PR 4 fetcher leak and
+//     the PR 7 coordinator leak.
+//   - wiretag — every struct that crosses a wire boundary (the coord
+//     protocol, ops JSON documents, the cloudapi control plane,
+//     fleetobs reports — found by tracing encoder call sites and
+//     closing over field types) carries explicit `json` tags on all
+//     exported fields, and no wire package iterates a map straight
+//     into an encoder.
+//   - atomicwrite — the persistence packages (store, colstore, the
+//     trace journal) never open a file destructively themselves
+//     (os.Create / os.WriteFile / O_TRUNC); every durable write goes
+//     through internal/atomicfile's temp-and-rename protocol.
+//   - budgetpath — every probe-issuing DialContext in scanner, core
+//     and coord is dominated by a rate-budget token acquisition
+//     (ratelimit.Limiter.Wait and friends), directly or through every
+//     caller path, so no new code path can bypass the §7 envelope.
+//
 // A finding the code is genuinely right to ignore is suppressed in
 // place with a written reason:
 //
@@ -42,6 +69,8 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+
+	"whowas/internal/lint/callgraph"
 )
 
 // Diagnostic is one finding: a position, the rule that fired, and a
@@ -58,7 +87,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
 }
 
-// Analyzer is one named check run over a type-checked package.
+// Analyzer is one named check. Intraprocedural analyzers set Run and
+// are invoked once per package; interprocedural analyzers set
+// RunModule and are invoked once over every loaded package plus the
+// call graph built from them. Exactly one of the two is set.
 type Analyzer struct {
 	// Name is the rule category; individual diagnostics carry rule IDs
 	// of the form "<Name>/<check>".
@@ -67,6 +99,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and returns its findings.
 	Run func(pkg *Package, opts Options) []Diagnostic
+	// RunModule inspects the whole load at once with the call graph.
+	RunModule func(pkgs []*Package, g *callgraph.Graph, opts Options) []Diagnostic
 }
 
 // Options scopes the analyzers to the packages whose invariants they
@@ -93,6 +127,26 @@ type Options struct {
 	// LockSendPackages lists the packages checked for channel sends
 	// under a held mutex.
 	LockSendPackages []string
+	// WirePackages lists the packages whose JSON encoder/decoder call
+	// sites seed the wiretag closure — the wire boundaries.
+	WirePackages []string
+	// WireSinks lists additional wire sinks as "pkgsuffix.Func" (the
+	// ops helpers that wrap json.Encoder); any argument type at a call
+	// site seeds the wiretag closure.
+	WireSinks []string
+	// PersistPackages lists the packages that must route every durable
+	// write through AtomicPackages (atomicwrite analyzer).
+	PersistPackages []string
+	// AtomicPackages lists the packages allowed to open files
+	// destructively — the temp-and-rename layer itself.
+	AtomicPackages []string
+	// BudgetPackages lists the packages whose DialContext calls must be
+	// dominated by a budget acquisition (budgetpath analyzer).
+	BudgetPackages []string
+	// BudgetAcquire lists token acquisitions as "pkgsuffix.Func"; a
+	// call reaching one of these (directly or through the call graph)
+	// satisfies budgetpath.
+	BudgetAcquire []string
 }
 
 // DefaultOptions returns the suite configuration for the WhoWas module
@@ -122,6 +176,24 @@ func DefaultOptions() Options {
 		ErrSourcePackages: []string{"internal/atomicfile"},
 		ErrMethodPackages: []string{"internal/store", "internal/store/colstore", "internal/trace"},
 		LockSendPackages:  []string{"internal/pipeline", "internal/store", "internal/store/colstore", "internal/coord", "internal/fleetobs"},
+		WirePackages: []string{
+			"internal/coord",
+			"internal/ops",
+			"internal/cloudapi",
+			"internal/fleetobs",
+		},
+		WireSinks: []string{
+			"internal/ops.WriteJSON",
+			"internal/ops.writeJSON",
+		},
+		PersistPackages: []string{"internal/store", "internal/store/colstore", "internal/trace"},
+		AtomicPackages:  []string{"internal/atomicfile"},
+		BudgetPackages:  []string{"internal/scanner", "internal/core", "internal/coord"},
+		BudgetAcquire: []string{
+			"internal/ratelimit.Wait",
+			"internal/ratelimit.Allow",
+			"internal/ratelimit.Acquire",
+		},
 	}
 }
 
@@ -152,9 +224,32 @@ func NewSuite(opts Options) *Suite {
 			CtxFirstAnalyzer,
 			ErrCheckAnalyzer,
 			LockDiscAnalyzer,
+			GoLeakAnalyzer,
+			WireTagAnalyzer,
+			AtomicWriteAnalyzer,
+			BudgetPathAnalyzer,
 		},
 		Opts: opts,
 	}
+}
+
+// Select narrows the suite to the named analyzers (the whowas-lint
+// -analyzers flag). Unknown names are reported, not ignored.
+func (s *Suite) Select(names []string) error {
+	byName := map[string]*Analyzer{}
+	for _, a := range s.Analyzers {
+		byName[a.Name] = a
+	}
+	var kept []*Analyzer
+	for _, name := range names {
+		a, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("unknown analyzer %q", name)
+		}
+		kept = append(kept, a)
+	}
+	s.Analyzers = kept
+	return nil
 }
 
 // DefaultSuite is NewSuite(DefaultOptions()).
@@ -165,17 +260,36 @@ func DefaultSuite() *Suite { return NewSuite(DefaultOptions()) }
 // sorted by position. Malformed or unused suppressions are reported as
 // lint/* diagnostics alongside the analyzers' own.
 func (s *Suite) Run(pkgs []*Package) []Diagnostic {
+	// Suppressions are collected module-wide up front: module-level
+	// analyzers report across package boundaries, and allow.matches
+	// compares filenames, so applying the whole set to every finding
+	// is exact.
+	var allows []*allow
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		allows, allowDiags := collectAllows(pkg)
-		var raw []Diagnostic
-		for _, a := range s.Analyzers {
-			raw = append(raw, a.Run(pkg, s.Opts)...)
-		}
-		out = append(out, applyAllows(raw, allows)...)
+		pkgAllows, allowDiags := collectAllows(pkg)
+		allows = append(allows, pkgAllows...)
 		out = append(out, allowDiags...)
-		out = append(out, unusedAllows(allows)...)
 	}
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range s.Analyzers {
+			if a.Run != nil {
+				raw = append(raw, a.Run(pkg, s.Opts)...)
+			}
+		}
+	}
+	if s.needsGraph() {
+		g := callgraph.Build(graphPkgs(pkgs))
+		for _, a := range s.Analyzers {
+			if a.RunModule != nil {
+				raw = append(raw, a.RunModule(pkgs, g, s.Opts)...)
+			}
+		}
+	}
+	out = append(out, applyAllows(raw, allows)...)
+	out = append(out, unusedAllows(allows)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -189,5 +303,25 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
+	return out
+}
+
+// needsGraph reports whether any selected analyzer is interprocedural.
+func (s *Suite) needsGraph() bool {
+	for _, a := range s.Analyzers {
+		if a.RunModule != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// graphPkgs adapts the loader's packages to the call-graph builder's
+// input shape.
+func graphPkgs(pkgs []*Package) []*callgraph.Pkg {
+	out := make([]*callgraph.Pkg, 0, len(pkgs))
+	for _, p := range pkgs {
+		out = append(out, &callgraph.Pkg{Path: p.Path, Files: p.Files, Info: p.Info, Types: p.Types})
+	}
 	return out
 }

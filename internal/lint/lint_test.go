@@ -64,6 +64,11 @@ func TestAnalyzerGoldens(t *testing.T) {
 		{"ctxfirst", "./internal/scanner"},
 		{"errcheck_source", "./internal/atomicfile"},
 		{"errcheck_lockdisc", "./internal/pipeline"},
+		{"errcheck_forwarder", "./internal/relay"},
+		{"goleak", "./internal/fleet"},
+		{"wiretag", "./internal/ops"},
+		{"atomicwrite", "./internal/trace"},
+		{"budgetpath", "./internal/core"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

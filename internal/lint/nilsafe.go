@@ -7,21 +7,27 @@
 //
 //	nilsafe/guard — every exported method with a pointer receiver on a
 //	    configured handle type must establish its nil-receiver check
-//	    within its first two statements, or consist of a single
-//	    statement delegating to another method on the same receiver
-//	    (which carries the guard).
+//	    within its first two statements, or delegate: a method whose
+//	    receiver is only ever used as the receiver of calls to methods
+//	    that are themselves guarded (resolved through the call graph)
+//	    inherits their guards — the Inc-calls-Add pattern, and the
+//	    WriteJSON-wraps-Snapshot pattern, without suppressions.
 package lint
 
 import (
 	"go/ast"
+	"go/token"
+	"go/types"
+
+	"whowas/internal/lint/callgraph"
 )
 
 // NilSafeAnalyzer enforces the nil-receiver-guard contract on the
 // metrics/trace handle types.
 var NilSafeAnalyzer = &Analyzer{
-	Name: "nilsafe",
-	Doc:  "exported methods on metrics/trace handle types begin with a nil-receiver guard",
-	Run:  runNilSafe,
+	Name:      "nilsafe",
+	Doc:       "exported methods on metrics/trace handle types begin with a nil-receiver guard or delegate to one",
+	RunModule: runNilSafe,
 }
 
 // guardWindow is how many leading statements may precede the nil
@@ -29,46 +35,150 @@ var NilSafeAnalyzer = &Analyzer{
 // first).
 const guardWindow = 2
 
-func runNilSafe(pkg *Package, opts Options) []Diagnostic {
-	var typeNames []string
-	for suffix, names := range opts.NilSafe {
-		if matchPkg(pkg.Path, []string{suffix}) {
-			typeNames = append(typeNames, names...)
-		}
-	}
-	if len(typeNames) == 0 {
-		return nil
-	}
-	guarded := map[string]bool{}
-	for _, n := range typeNames {
-		guarded[n] = true
-	}
-
+func runNilSafe(pkgs []*Package, g *callgraph.Graph, opts Options) []Diagnostic {
+	ns := &nilSafe{g: g, state: map[*ast.FuncDecl]int8{}}
 	var out []Diagnostic
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
-				continue
+	for _, pkg := range pkgs {
+		var typeNames []string
+		for suffix, names := range opts.NilSafe {
+			if matchPkg(pkg.Path, []string{suffix}) {
+				typeNames = append(typeNames, names...)
 			}
-			tname, pointer := recvTypeName(fd)
-			if !pointer || !guarded[tname] {
-				continue
+		}
+		if len(typeNames) == 0 {
+			continue
+		}
+		guarded := map[string]bool{}
+		for _, n := range typeNames {
+			guarded[n] = true
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+					continue
+				}
+				tname, pointer := recvTypeName(fd)
+				if !pointer || !guarded[tname] {
+					continue
+				}
+				if !ns.safe(fd, pkg.Info) {
+					out = append(out, diag(pkg, fd.Name, "nilsafe/guard",
+						"exported method (*"+tname+")."+fd.Name.Name+" does not begin with a nil-receiver guard or delegate to a guarded method; a nil "+tname+" handle must be a no-op"))
+				}
 			}
-			recv := recvIdent(fd)
-			if recv == nil {
-				// An unnamed receiver cannot be dereferenced, so the
-				// method is trivially nil-safe.
-				continue
-			}
-			if hasNilGuard(fd, recv.Name) || delegates(fd, recv.Name) {
-				continue
-			}
-			out = append(out, diag(pkg, fd.Name, "nilsafe/guard",
-				"exported method (*"+tname+")."+fd.Name.Name+" does not begin with a nil-receiver guard; a nil "+tname+" handle must be a no-op"))
 		}
 	}
 	return out
+}
+
+// nilSafe memoizes per-method safety across the recursive delegation
+// check.
+type nilSafe struct {
+	g     *callgraph.Graph
+	state map[*ast.FuncDecl]int8 // 0 unknown, 1 safe, -1 unsafe, 2 visiting
+}
+
+// safe reports whether the method is nil-receiver safe: it guards, it
+// never dereferences its receiver, or every receiver use is a call to
+// a method that is itself safe.
+func (ns *nilSafe) safe(fd *ast.FuncDecl, info *types.Info) bool {
+	switch ns.state[fd] {
+	case 1, 2: // visiting counts as safe: a guard anywhere on the cycle covers it
+		return true
+	case -1:
+		return false
+	}
+	ns.state[fd] = 2
+	ok := ns.check(fd, info)
+	if ok {
+		ns.state[fd] = 1
+	} else {
+		ns.state[fd] = -1
+	}
+	return ok
+}
+
+func (ns *nilSafe) check(fd *ast.FuncDecl, info *types.Info) bool {
+	recv := recvIdent(fd)
+	if recv == nil {
+		// An unnamed receiver cannot be dereferenced, so the method is
+		// trivially nil-safe.
+		return true
+	}
+	if hasNilGuard(fd, recv.Name) {
+		return true
+	}
+	recvObj := info.Defs[recv]
+	if recvObj == nil {
+		return false
+	}
+	// Delegation: collect the receiver uses that are safe — appearing
+	// in a nil comparison, or as the receiver of a call to a method
+	// that carries its own guard.
+	okUse := map[*ast.Ident]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok || info.Uses[id] != recvObj {
+				return true
+			}
+			if ns.delegateSafe(sel, fd, info) {
+				okUse[id] = true
+			}
+		case *ast.BinaryExpr:
+			if x.Op != token.EQL && x.Op != token.NEQ {
+				return true
+			}
+			xi, xok := ast.Unparen(x.X).(*ast.Ident)
+			yi, yok := ast.Unparen(x.Y).(*ast.Ident)
+			if xok && yok {
+				if info.Uses[xi] == recvObj && yi.Name == "nil" {
+					okUse[xi] = true
+				}
+				if info.Uses[yi] == recvObj && xi.Name == "nil" {
+					okUse[yi] = true
+				}
+			}
+		}
+		return true
+	})
+	unsafe := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == recvObj && !okUse[id] {
+			unsafe = true
+		}
+		return !unsafe
+	})
+	return !unsafe
+}
+
+// delegateSafe reports whether the method a selector call resolves to
+// (through the call graph) is a pointer-receiver method on the same
+// type that is itself nil-safe.
+func (ns *nilSafe) delegateSafe(sel *ast.SelectorExpr, caller *ast.FuncDecl, info *types.Info) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	node := ns.g.NodeOf(fn)
+	if node == nil || node.Decl == nil {
+		return false
+	}
+	calleeType, calleePtr := recvTypeName(node.Decl)
+	callerType, _ := recvTypeName(caller)
+	if !calleePtr || calleeType != callerType {
+		// A value-receiver method (or a promoted method on an embedded
+		// type) dereferences the pointer at the call — no guard can
+		// save that.
+		return false
+	}
+	return ns.safe(node.Decl, node.Pkg.Info)
 }
 
 // hasNilGuard reports whether one of the method's first guardWindow
@@ -82,30 +192,4 @@ func hasNilGuard(fd *ast.FuncDecl, recv string) bool {
 		}
 	}
 	return false
-}
-
-// delegates reports whether the method body is a single statement
-// whose work is a call through the same receiver — the Inc-calls-Add
-// pattern, where the callee carries the guard.
-func delegates(fd *ast.FuncDecl, recv string) bool {
-	if len(fd.Body.List) != 1 {
-		return false
-	}
-	found := false
-	ast.Inspect(fd.Body.List[0], func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == recv {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
 }

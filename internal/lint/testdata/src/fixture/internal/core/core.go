@@ -1,0 +1,83 @@
+// Package core is a lint fixture budget package for the budgetpath
+// analyzer: every DialContext call must be dominated by a ratelimit
+// acquisition — in its own body, or on every caller path into the
+// helper that dials.
+package core
+
+import (
+	"context"
+	"net"
+
+	"fixture/internal/ratelimit"
+)
+
+// Prober dials probe targets under a budget.
+type Prober struct {
+	dialer  net.Dialer
+	limiter *ratelimit.Limiter
+}
+
+// ProbeOne acquires before dialing in the same body: not flagged.
+func (p *Prober) ProbeOne(ctx context.Context, addr string) error {
+	if err := p.limiter.Wait(ctx); err != nil {
+		return err
+	}
+	conn, err := p.dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// dial is a helper with no acquisition of its own, so every caller
+// path must be budgeted. Rush below is not, so this dial is flagged.
+func (p *Prober) dial(ctx context.Context, addr string) (net.Conn, error) {
+	return p.dialer.DialContext(ctx, "tcp", addr)
+}
+
+// wait reaches the ratelimit root one call level down.
+func (p *Prober) wait(ctx context.Context) error { return p.limiter.Wait(ctx) }
+
+// ProbeVia acquires through the wait helper before calling dial: this
+// caller path is budgeted.
+func (p *Prober) ProbeVia(ctx context.Context, addr string) error {
+	if err := p.wait(ctx); err != nil {
+		return err
+	}
+	conn, err := p.dial(ctx, addr)
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// Rush calls the dial helper with no acquisition anywhere on the
+// path: the helper's dial is flagged for it.
+func (p *Prober) Rush(ctx context.Context, addr string) error {
+	conn, err := p.dial(ctx, addr)
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// Burst dials directly with no acquisition: flagged.
+func (p *Prober) Burst(ctx context.Context, addr string) error {
+	conn, err := p.dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// Calibrate dials the loopback to measure the local stack — outside
+// the probe budget by design; the suppression records why: not
+// flagged.
+func (p *Prober) Calibrate(ctx context.Context) error {
+	//lint:allow budgetpath/unbudgeted loopback self-measurement sends no probe at the cloud
+	conn, err := p.dialer.DialContext(ctx, "tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}

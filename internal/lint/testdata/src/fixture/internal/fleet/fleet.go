@@ -1,0 +1,101 @@
+// Package fleet is a lint fixture for the goleak analyzer: one
+// goroutine per accepted termination shape, one leak, and one audited
+// fire-and-forget.
+package fleet
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+// Pool joins its workers through a WaitGroup: not flagged.
+func Pool(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Watch spawns a loop whose exit is the ctx.Done receive: not flagged.
+func Watch(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// Handshake's goroutine closes a channel the spawner ranges over: not
+// flagged.
+func Handshake() int {
+	out := make(chan int)
+	go func() {
+		out <- 1
+		close(out)
+	}()
+	n := 0
+	for v := range out {
+		n += v
+	}
+	return n
+}
+
+// Server owns a managed serve loop.
+type Server struct{ srv *loop }
+
+type loop struct{ n int }
+
+// Serve blocks until Shutdown.
+func (l *loop) Serve() { l.n++ }
+
+// Shutdown stops Serve.
+func (l *loop) Shutdown() { l.n-- }
+
+// Start's goroutine serves s.srv, whose Shutdown is called by Stop —
+// the managed-server shape: not flagged.
+func (s *Server) Start() {
+	go func() { s.srv.Serve() }()
+}
+
+// Stop is the join path Start relies on.
+func (s *Server) Stop() { s.srv.Shutdown() }
+
+// Handle is connection-scoped: the deferred Close bounds the
+// goroutine's life to the peer's: not flagged.
+func Handle(c net.Conn) {
+	go func() {
+		defer c.Close()
+		buf := make([]byte, 1)
+		_, _ = c.Read(buf)
+	}()
+}
+
+// Leak spawns a goroutine that sends forever on a channel the spawner
+// never drains — no join, no cancel: flagged.
+func Leak(ch chan int) {
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+// Fire is a sanctioned one-shot; the suppression records why: not
+// flagged.
+func Fire() {
+	//lint:allow goleak/join one-shot best-effort notification; process exit bounds it
+	go func() {
+		notify()
+	}()
+}
+
+func notify() {}

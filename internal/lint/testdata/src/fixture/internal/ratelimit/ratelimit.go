@@ -1,0 +1,24 @@
+// Package ratelimit is the fixture budget layer: Wait, Allow and
+// Acquire are the acquisition roots the budgetpath analyzer
+// recognizes by package suffix and name.
+package ratelimit
+
+import "context"
+
+// Limiter hands out probe tokens.
+type Limiter struct{ rate float64 }
+
+// Wait blocks until a token is available.
+func (l *Limiter) Wait(ctx context.Context) error { return ctx.Err() }
+
+// Allow reports whether a token is free right now.
+func (l *Limiter) Allow() bool { return l.rate > 0 }
+
+// Budget is a leased share of the fleet-wide rate.
+type Budget struct{ held int }
+
+// Acquire leases one probe slot.
+func (b *Budget) Acquire(ctx context.Context) error {
+	b.held++
+	return ctx.Err()
+}

@@ -1,0 +1,21 @@
+// Package relay is a lint fixture for the errcheck forwarder rule: a
+// helper whose return statement hands back a store mutation's error
+// is as load-bearing as the mutation itself, and bare-discarding it
+// is flagged even though the helper lives outside the store package.
+package relay
+
+import "fixture/internal/store"
+
+// Checkpoint forwards the store flush error to its caller.
+func Checkpoint(db *store.DB) error { return db.Flush() }
+
+// Tick bare-discards the forwarder: flagged.
+func Tick(db *store.DB) {
+	Checkpoint(db)
+}
+
+// TickAudited discards explicitly; the `_ =` form is visible in
+// review and exempt.
+func TickAudited(db *store.DB) {
+	_ = Checkpoint(db)
+}

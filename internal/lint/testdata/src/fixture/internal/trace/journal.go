@@ -1,0 +1,64 @@
+// Package trace is a lint fixture persistence package for the
+// atomicwrite analyzer: durable writes must go through the module's
+// atomicfile layer; append-only opens are the one direct form allowed.
+package trace
+
+import (
+	"os"
+
+	"fixture/internal/atomicfile"
+)
+
+// AppendEntry opens the journal append-only — no truncation window:
+// not flagged.
+func AppendEntry(path string, line []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(line); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Checkpoint rewrites the snapshot through the atomic layer: not
+// flagged.
+func Checkpoint(path string) error {
+	a, err := atomicfile.Create(path)
+	if err != nil {
+		return err
+	}
+	return a.Commit()
+}
+
+// RewriteDirect truncates the live snapshot in place: flagged.
+func RewriteDirect(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Reset creates over the target: flagged.
+func Reset(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Compact opens the journal with O_TRUNC: flagged.
+func Compact(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Scratch writes a throwaway debug dump; the suppression records why:
+// not flagged.
+func Scratch(path string, data []byte) error {
+	//lint:allow atomicwrite/direct scratch debug dump outside the durability contract
+	return os.WriteFile(path, data, 0o644)
+}

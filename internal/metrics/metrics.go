@@ -462,9 +462,8 @@ func (r *Registry) Names() []string {
 }
 
 // WriteJSON writes the registry snapshot as indented JSON. Nil-safe:
-// a nil registry writes the zero snapshot ("{}").
-//
-//lint:allow nilsafe/guard delegates to Snapshot, whose nil guard makes a nil registry encode as the zero snapshot
+// a nil registry writes the zero snapshot ("{}") — the lint suite's
+// call-graph delegation check verifies this through Snapshot's guard.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -114,13 +114,14 @@ type Result struct {
 	OpenPorts uint8 // store.PortSSH / PortHTTP / PortHTTPS bits
 }
 
-// Stats summarizes one scan round.
+// Stats summarizes one scan round. It rides the coord submit wire
+// inside a RegionResult, so the JSON field names are pinned.
 type Stats struct {
-	Probed     int64 // IPs probed
-	Skipped    int64 // IPs skipped via the opt-out blacklist
-	Probes     int64 // individual port probes sent (retries included)
-	Retries    int64 // probes that were retries of a timed-out attempt
-	Responsive int64 // IPs that answered at least one probe
+	Probed     int64 `json:"probed"`     // IPs probed
+	Skipped    int64 `json:"skipped"`    // IPs skipped via the opt-out blacklist
+	Probes     int64 `json:"probes"`     // individual port probes sent (retries included)
+	Retries    int64 `json:"retries"`    // probes that were retries of a timed-out attempt
+	Responsive int64 `json:"responsive"` // IPs that answered at least one probe
 }
 
 // Scanner probes cloud address ranges through a Dialer.

@@ -1,0 +1,30 @@
+package scanner
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestStatsJSONWireShape pins the shard-submit wire shape of Stats:
+// snake_case keys, not Go identifiers.
+func TestStatsJSONWireShape(t *testing.T) {
+	buf, err := json.Marshal(Stats{})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := []string{"probed", "probes", "responsive", "retries", "skipped"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Stats wire keys = %v, want %v", got, want)
+	}
+}

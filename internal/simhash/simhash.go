@@ -25,10 +25,12 @@ import (
 const Bits = 96
 
 // Fingerprint is a 96-bit simhash value. Hi holds the most significant
-// 32 bits in its low word; Lo holds the least significant 64 bits.
+// 32 bits in its low word; Lo holds the least significant 64 bits. The
+// json tags are pinned because fingerprints travel inside records on
+// the coord submit wire.
 type Fingerprint struct {
-	Hi uint32
-	Lo uint64
+	Hi uint32 `json:"hi"`
+	Lo uint64 `json:"lo"`
 }
 
 // Zero is the fingerprint of the empty document.

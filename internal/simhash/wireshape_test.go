@@ -1,0 +1,37 @@
+package simhash
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestFingerprintJSONWireShape pins the fingerprint's wire shape
+// inside a submitted Record: explicit "hi"/"lo" keys.
+func TestFingerprintJSONWireShape(t *testing.T) {
+	buf, err := json.Marshal(Fingerprint{Hi: 7, Lo: 9})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := []string{"hi", "lo"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Fingerprint wire keys = %v, want %v", got, want)
+	}
+	var out Fingerprint
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if out != (Fingerprint{Hi: 7, Lo: 9}) {
+		t.Errorf("round trip changed the fingerprint: %+v", out)
+	}
+}

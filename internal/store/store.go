@@ -47,41 +47,44 @@ const (
 // Record is one IP's observation in one round: probe results, the HTTP
 // exchange, and the features extracted from the fetched page (§4's ten
 // features plus links and tracker matches).
+// The json tags pin the coord submit-wire shape (a ShardResult carries
+// records); Save/Digest use gob, which ignores tags, so the on-disk
+// format and the digest invariant are untouched by them.
 type Record struct {
-	IP    ipaddr.Addr
-	Round int // round index, 0-based
-	Day   int // campaign day offset of the round
+	IP    ipaddr.Addr `json:"ip"`
+	Round int         `json:"round"` // round index, 0-based
+	Day   int         `json:"day"`   // campaign day offset of the round
 
-	OpenPorts uint8 // PortSSH|PortHTTP|PortHTTPS bits
+	OpenPorts uint8 `json:"open_ports"` // PortSSH|PortHTTP|PortHTTPS bits
 
 	// HTTP exchange.
-	Fetched      bool   // a fetch was attempted
-	RobotsDenied bool   // robots.txt disallowed "/"; no page GET was made
-	Scheme       string // "http" or "https"
-	HTTPStatus   int    // 0 when no HTTP response was obtained
-	FetchErr     string // error class when the exchange failed
-	ContentType  string
-	BodyLen      int    // feature 4: length of returned body
-	Body         string // raw body; empty if the store drops bodies
+	Fetched      bool   `json:"fetched"`       // a fetch was attempted
+	RobotsDenied bool   `json:"robots_denied"` // robots.txt disallowed "/"; no page GET was made
+	Scheme       string `json:"scheme"`        // "http" or "https"
+	HTTPStatus   int    `json:"http_status"`   // 0 when no HTTP response was obtained
+	FetchErr     string `json:"fetch_err"`     // error class when the exchange failed
+	ContentType  string `json:"content_type"`
+	BodyLen      int    `json:"body_len"` // feature 4: length of returned body
+	Body         string `json:"body"`     // raw body; empty if the store drops bodies
 
 	// Extracted features.
-	PoweredBy   string              // feature 1: x-powered-by header
-	Description string              // feature 2: meta description
-	HeaderNames string              // feature 3: sorted header-name string, "#"-joined
-	Title       string              // feature 5
-	Template    string              // feature 6: meta generator (web template)
-	Server      string              // feature 7: Server header
-	Keywords    string              // feature 8
-	AnalyticsID string              // feature 9: Google Analytics ID
-	Simhash     simhash.Fingerprint // feature 10
+	PoweredBy   string              `json:"powered_by"`   // feature 1: x-powered-by header
+	Description string              `json:"description"`  // feature 2: meta description
+	HeaderNames string              `json:"header_names"` // feature 3: sorted header-name string, "#"-joined
+	Title       string              `json:"title"`        // feature 5
+	Template    string              `json:"template"`     // feature 6: meta generator (web template)
+	Server      string              `json:"server"`       // feature 7: Server header
+	Keywords    string              `json:"keywords"`     // feature 8
+	AnalyticsID string              `json:"analytics_id"` // feature 9: Google Analytics ID
+	Simhash     simhash.Fingerprint `json:"simhash"`      // feature 10
 
-	Links    []string // absolute URLs found in the page (malicious-URL analysis)
-	Trackers []string // third-party tracker names matched (Table 20)
-	Subpages int      // followed-link pages fetched (§9 deep-crawl extension)
+	Links    []string `json:"links"`    // absolute URLs found in the page (malicious-URL analysis)
+	Trackers []string `json:"trackers"` // third-party tracker names matched (Table 20)
+	Subpages int      `json:"subpages"` // followed-link pages fetched (§9 deep-crawl extension)
 
 	// Labels joined after collection.
-	VPC     bool  // cloud-cartography label
-	Cluster int64 // final cluster ID; 0 = unassigned
+	VPC     bool  `json:"vpc"`     // cloud-cartography label
+	Cluster int64 `json:"cluster"` // final cluster ID; 0 = unassigned
 }
 
 // Responsive reports whether the IP answered any probe (§4).

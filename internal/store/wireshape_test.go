@@ -1,0 +1,67 @@
+package store
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestRecordJSONWireShape pins the coord submit-wire shape of Record:
+// every exported field crosses the wire under its snake_case tag, not
+// its Go identifier. The wiretag lint analyzer forces the tags to
+// exist; this pins their spelling. Save/Digest use gob, which ignores
+// tags, so this shape is independent of the on-disk format.
+func TestRecordJSONWireShape(t *testing.T) {
+	buf, err := json.Marshal(Record{})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := []string{
+		"analytics_id", "body", "body_len", "cluster", "content_type",
+		"day", "description", "fetch_err", "fetched", "header_names",
+		"http_status", "ip", "keywords", "links", "open_ports",
+		"powered_by", "robots_denied", "round", "scheme", "server",
+		"simhash", "subpages", "template", "title", "trackers", "vpc",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Record wire keys = %v\nwant %v", got, want)
+	}
+}
+
+// TestRecordJSONRoundTrip pins that a tagged Record survives the
+// submit wire intact.
+func TestRecordJSONRoundTrip(t *testing.T) {
+	in := Record{
+		IP:         0x0A000001,
+		Round:      3,
+		Day:        7,
+		OpenPorts:  PortSSH | PortHTTP,
+		Fetched:    true,
+		HTTPStatus: 200,
+		Scheme:     "http",
+		Title:      "hello",
+		Links:      []string{"http://example.com/a"},
+		Cluster:    42,
+	}
+	buf, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var out Record
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the record:\n in %+v\nout %+v", in, out)
+	}
+}
